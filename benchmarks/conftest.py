@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artefact (figure/claim) at full
+size, times the dominant computation via pytest-benchmark, asserts the
+paper's qualitative shape, and writes the rendered report to
+``bench_reports/<name>.txt`` so the regenerated "figures" survive the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORT_DIR = Path(__file__).resolve().parent.parent / "bench_reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture
+def save_report(report_dir):
+    """Persist an experiment's artefacts to bench_reports/<name>.*.
+
+    Strings get a ``.txt``; ExperimentResults additionally get ``.json``
+    (full data dump) and, when they carry series, ``.svg`` (the figure).
+    """
+
+    def _save(name: str, result, svg_kwargs: dict | None = None) -> None:
+        if isinstance(result, str):
+            (report_dir / f"{name}.txt").write_text(result, encoding="utf-8")
+            return
+        (report_dir / f"{name}.txt").write_text(result.render(), encoding="utf-8")
+        result.save_json(report_dir / f"{name}.json")
+        if result.series:
+            result.to_svg(report_dir / f"{name}.svg", **(svg_kwargs or {}))
+
+    return _save

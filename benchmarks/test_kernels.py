@@ -1,0 +1,101 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Not tied to a paper artefact — these guard the performance of the
+primitives every experiment leans on: the vectorised commit kernel, graph
+snapshotting, engine stepping, Delaunay insertion and the generators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.delaunay.triangulation import Triangulation
+from repro.control.hybrid import HybridController
+from repro.graph.generators import gnm_random
+from repro.model.permutation import PrefixSampler
+from repro.runtime.workloads import ReplayGraphWorkload
+
+
+@pytest.fixture(scope="module")
+def big_graph():
+    return gnm_random(2000, 16, seed=0)
+
+
+def test_committed_mask_kernel(benchmark, big_graph):
+    snap = big_graph.snapshot()
+    sampler = PrefixSampler(snap, np.random.default_rng(1))
+
+    def draw():
+        return sampler.committed(1000).sum()
+
+    total = benchmark(draw)
+    assert 0 < total < 1000
+
+
+def test_snapshot_construction(benchmark, big_graph):
+    snap = benchmark(big_graph.snapshot)
+    assert snap.num_edges == big_graph.num_edges
+
+
+def test_graph_generation(benchmark):
+    g = benchmark.pedantic(lambda: gnm_random(2000, 16, seed=2), rounds=5, iterations=1)
+    assert g.num_edges == 16000
+
+
+def test_engine_step_throughput(benchmark, big_graph):
+    wl = ReplayGraphWorkload(big_graph.copy())
+    engine = wl.build_engine(HybridController(0.2), seed=3)
+
+    def hundred_steps():
+        for _ in range(100):
+            engine.step()
+
+    benchmark.pedantic(hundred_steps, rounds=3, iterations=1)
+    assert engine.steps_executed >= 300
+
+
+@pytest.mark.parametrize("m", [100, 500, 1500])
+def test_committed_mask_scaling(benchmark, big_graph, m):
+    """The MC kernel's cost scales with the prefix size, not n."""
+    snap = big_graph.snapshot()
+    sampler = PrefixSampler(snap, np.random.default_rng(m))
+    benchmark(lambda: sampler.committed(m).sum())
+
+
+def test_boruvka_throughput(benchmark):
+    from repro.apps.boruvka import BoruvkaMST, random_weighted_graph
+    from repro.control.fixed import FixedController
+
+    def run():
+        app = BoruvkaMST(random_weighted_graph(500, 8, seed=5))
+        app.build_engine(FixedController(32), seed=6).run(max_steps=10**5)
+        return app
+
+    app = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert app.num_components() == 1
+
+
+def test_ordered_engine_throughput(benchmark):
+    from repro.apps.des import DiscreteEventSimulation, QueueingNetwork
+    from repro.control.fixed import FixedController
+
+    net = QueueingNetwork(30, avg_degree=3.0, seed=7)
+
+    def run():
+        sim = DiscreteEventSimulation(net, num_jobs=40, end_time=15.0, seed=8)
+        return sim.build_engine(FixedController(8), seed=9).run(max_steps=10**6)
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert res.total_committed > 0
+
+
+def test_delaunay_insertion(benchmark):
+    rng = np.random.default_rng(4)
+    base = Triangulation.from_points(rng.random((300, 2)).tolist())
+
+    points = iter(rng.random((20000, 2)).tolist())
+
+    def insert_one():
+        base.insert(next(points))
+
+    benchmark(insert_one)
+    assert base.check_consistency()

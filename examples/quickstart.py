@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: adaptive processor allocation on a random conflict graph.
+
+Builds a 2000-node CC graph (average degree 16 — the paper's Fig. 2/3
+setup), runs the hybrid controller of Algorithm 1 against it, and prints
+the allocation trajectory: watch m_t climb from the cold start m₀ = 2 to
+the optimum in a handful of steps and then hold, with the realised
+conflict ratio pinned near the target ρ = 20%.
+
+Run:  python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro.control import HybridController, oracle_mu
+from repro.graph import gnm_random
+from repro.runtime import ReplayGraphWorkload
+from repro.utils import format_series, format_table
+
+SEED = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+RHO = 0.20
+
+
+def main() -> None:
+    graph = gnm_random(2000, 16, seed=SEED)
+    print(f"CC graph: {graph}")
+
+    mu = oracle_mu(graph, RHO, seed=SEED)
+    print(f"oracle optimum: mu = {mu} (largest m with conflict ratio <= {RHO:.0%})\n")
+
+    controller = HybridController(rho=RHO)
+    workload = ReplayGraphWorkload(graph)
+    engine = workload.build_engine(controller, seed=SEED + 1)
+    result = engine.run(max_steps=100)
+
+    steps = list(range(len(result)))
+    print(format_series("allocation m_t", steps, result.m_trace.tolist()))
+    print()
+    print(format_series("conflict ratio r_t", steps, result.r_trace.tolist()))
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("settling step (±30% of mu)", result.settling_step(mu, band=0.3)),
+                ("steady-state mean m", float(result.m_trace[40:].mean())),
+                ("steady-state mean r", float(result.r_trace[40:].mean())),
+                ("target rho", RHO),
+                ("committed tasks", result.total_committed),
+                ("wasted launches", result.total_aborted),
+            ],
+            title="summary",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

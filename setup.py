@@ -1,0 +1,9 @@
+"""Setup shim so `pip install -e .` works offline (no `wheel` available).
+
+All metadata lives in pyproject.toml; this file only enables the legacy
+editable-install path in environments without the `wheel` package.
+"""
+
+from setuptools import setup
+
+setup()

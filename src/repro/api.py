@@ -1,0 +1,131 @@
+"""High-level facade — Galois-style one-call parallel loops.
+
+For users who want the paper's machinery without assembling engines by
+hand::
+
+    from repro.api import for_each
+
+    result = for_each(initial_tasks, operator, rho=0.25)
+
+mirrors Galois' ``for_each`` (unordered amorphous data-parallel loop with
+adaptive processor allocation), and :func:`for_each_ordered` the ordered
+variant.  :func:`solve_graph` runs the controller over an explicit CC
+graph directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.control.base import Controller
+from repro.control.hybrid import HybridController
+from repro.errors import ReproError
+from repro.graph.ccgraph import CCGraph
+from repro.runtime.conflict import ItemLockPolicy
+from repro.runtime.engine import OptimisticEngine
+from repro.runtime.ordered import OrderedEngine, PriorityWorkset
+from repro.runtime.stats import RunResult
+from repro.runtime.task import Operator, Task
+from repro.runtime.workloads import ConsumingGraphWorkload, ReplayGraphWorkload
+from repro.runtime.workset import RandomWorkset
+
+__all__ = ["for_each", "for_each_ordered", "solve_graph"]
+
+
+def _wrap_tasks(items: Iterable[object]) -> list[Task]:
+    return [item if isinstance(item, Task) else Task(payload=item) for item in items]
+
+
+def _default_controller(rho: float, m_max: int) -> Controller:
+    return HybridController(rho, m_max=m_max)
+
+
+def for_each(
+    initial: Iterable[object],
+    operator: Operator,
+    rho: float = 0.25,
+    controller: Controller | None = None,
+    m_max: int = 1024,
+    max_steps: int | None = None,
+    seed=None,
+) -> RunResult:
+    """Run an unordered amorphous data-parallel loop to completion.
+
+    *initial* seeds the work-set (plain payloads are wrapped into
+    :class:`Task`); *operator* supplies neighbourhoods and commit
+    behaviour; processor allocation adapts via Algorithm 1 targeting
+    *rho* unless an explicit *controller* is given.
+    """
+    tasks = _wrap_tasks(initial)
+    if not tasks:
+        raise ReproError("for_each needs at least one initial task")
+    workset = RandomWorkset()
+    workset.add_all(tasks)
+    engine = OptimisticEngine(
+        workset=workset,
+        operator=operator,
+        policy=ItemLockPolicy(),
+        controller=controller or _default_controller(rho, m_max),
+        seed=seed,
+    )
+    return engine.run(max_steps=max_steps)
+
+
+def for_each_ordered(
+    initial: Iterable[tuple[float, object]],
+    operator: Operator,
+    priority_of: Callable[[Task], float],
+    rho: float = 0.25,
+    controller: Controller | None = None,
+    m_max: int = 1024,
+    max_steps: int | None = None,
+    seed=None,
+) -> RunResult:
+    """Run an ordered loop: *initial* is ``(priority, payload)`` pairs.
+
+    Commits respect priorities globally (see
+    :class:`~repro.runtime.ordered.OrderedEngine`); *priority_of* must
+    return the priority of any task the operator creates.
+    """
+    pairs = list(initial)
+    if not pairs:
+        raise ReproError("for_each_ordered needs at least one initial task")
+    workset = PriorityWorkset()
+    for prio, item in pairs:
+        task = item if isinstance(item, Task) else Task(payload=item)
+        workset.add(task, float(prio))
+    engine = OrderedEngine(
+        workset=workset,
+        operator=operator,
+        controller=controller or _default_controller(rho, m_max),
+        priority_of=priority_of,
+        seed=seed,
+    )
+    return engine.run(max_steps=max_steps)
+
+
+def solve_graph(
+    graph: CCGraph,
+    rho: float = 0.25,
+    consuming: bool = True,
+    controller: Controller | None = None,
+    m_max: int = 1024,
+    max_steps: int | None = None,
+    seed=None,
+) -> RunResult:
+    """Run the controller directly over an explicit CC graph.
+
+    ``consuming=True`` drains the graph (committed nodes disappear);
+    ``consuming=False`` replays it as a stationary environment (cap the
+    run with *max_steps*).
+    """
+    if consuming:
+        workload = ConsumingGraphWorkload(graph)
+    else:
+        if max_steps is None:
+            raise ReproError("replay workloads never drain; pass max_steps")
+        workload = ReplayGraphWorkload(graph)
+    engine = workload.build_engine(
+        controller or _default_controller(rho, m_max), seed=seed
+    )
+    return engine.run(max_steps=max_steps)

@@ -1,0 +1,71 @@
+"""Irregular applications: the workloads that drive the controller."""
+
+from repro.apps.boruvka import (
+    BoruvkaMST,
+    WeightedGraph,
+    kruskal_weight,
+    random_weighted_graph,
+)
+from repro.apps.clustering import AgglomerativeClustering, random_points
+from repro.apps.coloring import GreedyColoring, independent_set_via_coloring
+from repro.apps.components import LabelPropagation
+from repro.apps.maxflow import (
+    FlowNetwork,
+    PreflowPush,
+    random_flow_network,
+    reference_max_flow,
+)
+from repro.apps.des import (
+    DiscreteEventSimulation,
+    QueueingNetwork,
+    sequential_history,
+)
+from repro.apps.delaunay import (
+    RefinementWorkload,
+    Triangulation,
+    mesh_quality,
+    random_input_mesh,
+)
+from repro.apps.profiles import (
+    Phase,
+    ScheduledReplayWorkload,
+    delaunay_burst_profile,
+    graph_for_parallelism,
+    ramp_profile,
+    spike_profile,
+    step_profile,
+)
+from repro.apps.sp import SatInstance, SurveyPropagation, random_ksat
+
+__all__ = [
+    "BoruvkaMST",
+    "WeightedGraph",
+    "kruskal_weight",
+    "random_weighted_graph",
+    "AgglomerativeClustering",
+    "random_points",
+    "GreedyColoring",
+    "independent_set_via_coloring",
+    "DiscreteEventSimulation",
+    "QueueingNetwork",
+    "sequential_history",
+    "LabelPropagation",
+    "FlowNetwork",
+    "PreflowPush",
+    "random_flow_network",
+    "reference_max_flow",
+    "RefinementWorkload",
+    "Triangulation",
+    "mesh_quality",
+    "random_input_mesh",
+    "Phase",
+    "ScheduledReplayWorkload",
+    "delaunay_burst_profile",
+    "graph_for_parallelism",
+    "ramp_profile",
+    "spike_profile",
+    "step_profile",
+    "SatInstance",
+    "SurveyPropagation",
+    "random_ksat",
+]

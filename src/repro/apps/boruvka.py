@@ -1,0 +1,233 @@
+"""Borůvka's minimum-spanning-tree algorithm as a work-set application.
+
+One of the Galois workloads the paper cites [6]: each task takes a
+component, finds its lightest outgoing edge, and contracts it.  Two tasks
+conflict when they touch the same component — the classic irregular
+conflict pattern whose density *shrinks* as components merge (few big
+components ⇒ little parallelism), giving the controller a workload whose
+available parallelism decays over time.
+
+Implementation: union–find for components plus a per-component map of the
+lightest edge to each neighbouring component (merged small-into-large on
+contraction, so total maintenance cost is O(E log V)).  Conflict
+neighbourhood of a task = its component root and the partner component's
+root, the two items the contraction mutates.
+
+Correctness oracle: with distinct edge weights the MST is unique, so the
+test suite checks the total weight against an independent Kruskal
+implementation (:func:`kruskal_weight`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import ApplicationError
+from repro.runtime.conflict import ItemLockPolicy
+from repro.runtime.engine import OptimisticEngine
+from repro.runtime.task import Operator, Task
+from repro.runtime.workset import RandomWorkset
+from repro.utils.rng import ensure_rng
+
+__all__ = ["WeightedGraph", "random_weighted_graph", "BoruvkaMST", "kruskal_weight"]
+
+Edge = tuple[int, int, float]
+
+
+class WeightedGraph:
+    """Minimal undirected weighted graph (adjacency dict of dicts)."""
+
+    def __init__(self, num_nodes: int):
+        if num_nodes < 0:
+            raise ApplicationError(f"negative node count {num_nodes}")
+        self.num_nodes = num_nodes
+        self._adj: list[dict[int, float]] = [dict() for _ in range(num_nodes)]
+        self.num_edges = 0
+
+    def add_edge(self, u: int, v: int, w: float) -> None:
+        if u == v:
+            raise ApplicationError(f"self-loop on {u}")
+        if not (0 <= u < self.num_nodes and 0 <= v < self.num_nodes):
+            raise ApplicationError(f"edge ({u}, {v}) outside node range")
+        if v not in self._adj[u]:
+            self.num_edges += 1
+        self._adj[u][v] = w
+        self._adj[v][u] = w
+
+    def edges(self) -> list[Edge]:
+        return [
+            (u, v, w)
+            for u in range(self.num_nodes)
+            for v, w in self._adj[u].items()
+            if u < v
+        ]
+
+    def neighbors(self, u: int) -> dict[int, float]:
+        return self._adj[u]
+
+
+def random_weighted_graph(n: int, avg_degree: float, seed=None) -> WeightedGraph:
+    """Connected-ish G(n, M) with distinct uniform edge weights.
+
+    A random spanning tree is laid first so Borůvka always runs to a single
+    component; remaining edges are uniform pairs.  Weights are distinct
+    with probability one, making the MST unique.
+    """
+    rng = ensure_rng(seed)
+    if n < 1:
+        raise ApplicationError(f"need n >= 1, got {n}")
+    g = WeightedGraph(n)
+    order = rng.permutation(n)
+    for i in range(1, n):
+        u = int(order[i])
+        v = int(order[int(rng.integers(0, i))])
+        g.add_edge(u, v, float(rng.random()))
+    target_edges = int(round(n * avg_degree / 2.0))
+    attempts = 0
+    while g.num_edges < target_edges and attempts < 50 * target_edges:
+        attempts += 1
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        if u != v and v not in g.neighbors(u):
+            g.add_edge(u, v, float(rng.random()))
+    return g
+
+
+def kruskal_weight(graph: WeightedGraph) -> float:
+    """Total MST (forest) weight by Kruskal's algorithm — the test oracle."""
+    parent = list(range(graph.num_nodes))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    total = 0.0
+    for u, v, w in sorted(graph.edges(), key=lambda e: e[2]):
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            total += w
+    return total
+
+
+class BoruvkaMST(Operator):
+    """Borůvka contraction as engine tasks (payload = component root)."""
+
+    def __init__(self, graph: WeightedGraph):
+        self.graph = graph
+        n = graph.num_nodes
+        self._parent = list(range(n))
+        self._rank = [0] * n
+        # lightest edge from each component to each neighbouring component:
+        # root -> {other_root: (w, u, v)}
+        self._comp_edges: list[dict[int, Edge]] = [dict() for _ in range(n)]
+        for u in range(n):
+            for v, w in graph.neighbors(u).items():
+                best = self._comp_edges[u].get(v)
+                if best is None or w < best[2]:
+                    self._comp_edges[u][v] = (u, v, w)
+        self.mst_edges: list[Edge] = []
+        self.policy = ItemLockPolicy()
+        self.workset = RandomWorkset()
+        self.stale_commits = 0
+        for u in range(n):
+            if self._comp_edges[u]:
+                self.workset.add(Task(payload=u))
+
+    # ------------------------------------------------------------------
+    def find(self, x: int) -> int:
+        """Union–find root with path halving."""
+        parent = self._parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def _lightest(self, root: int) -> Edge | None:
+        """Lightest live outgoing edge of component *root* (lazy cleanup)."""
+        edges = self._comp_edges[root]
+        best: Edge | None = None
+        dead: list[int] = []
+        for other, e in edges.items():
+            if self.find(other) == root:
+                dead.append(other)  # edge became internal after past merges
+                continue
+            if best is None or e[2] < best[2]:
+                best = e
+        for other in dead:
+            del edges[other]
+        return best
+
+    # ------------------------------------------------------------------
+    # Operator interface
+    # ------------------------------------------------------------------
+    def neighborhood(self, task: Task):
+        root = self.find(task.payload)
+        if root != task.payload:
+            return ()  # stale: this component was absorbed already
+        e = self._lightest(root)
+        if e is None:
+            return ()
+        return (root, self.find(e[1] if self.find(e[0]) == root else e[0]))
+
+    def apply(self, task: Task) -> list[Task]:
+        root = self.find(task.payload)
+        if root != task.payload:
+            self.stale_commits += 1
+            return []
+        e = self._lightest(root)
+        if e is None:
+            return []  # spanning complete for this component
+        u, v, w = e
+        other = self.find(v) if self.find(u) == root else self.find(u)
+        if other == root:  # raced internal edge; retry via fresh task
+            return [Task(payload=root)]
+        self.mst_edges.append((u, v, w))
+        merged = self._union(root, other)
+        return [Task(payload=merged)] if self._comp_edges[merged] else []
+
+    def _union(self, a: int, b: int) -> int:
+        """Merge components *a*, *b*; returns the surviving root."""
+        if self._rank[a] < self._rank[b]:
+            a, b = b, a
+        self._parent[b] = a
+        if self._rank[a] == self._rank[b]:
+            self._rank[a] += 1
+        # fold b's lightest-edge table into a's, keeping minima
+        ea, eb = self._comp_edges[a], self._comp_edges[b]
+        if len(eb) > len(ea):  # merge the smaller table
+            ea, eb = eb, ea
+            self._comp_edges[a] = ea
+        for other, edge in eb.items():
+            if self.find(other) == a:
+                continue
+            cur = ea.get(other)
+            if cur is None or edge[2] < cur[2]:
+                ea[other] = edge
+        self._comp_edges[b] = dict()
+        ea.pop(a, None)
+        ea.pop(b, None)
+        return a
+
+    # ------------------------------------------------------------------
+    def build_engine(self, controller, seed=None, step_hook=None) -> OptimisticEngine:
+        """Engine running Borůvka under *controller*."""
+        return OptimisticEngine(
+            workset=self.workset,
+            operator=self,
+            policy=self.policy,
+            controller=controller,
+            seed=seed,
+            step_hook=step_hook,
+        )
+
+    @property
+    def total_weight(self) -> float:
+        return float(sum(w for _, _, w in self.mst_edges))
+
+    def num_components(self) -> int:
+        return sum(1 for x in range(self.graph.num_nodes) if self.find(x) == x)

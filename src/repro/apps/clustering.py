@@ -1,0 +1,185 @@
+"""Agglomerative clustering as a work-set application (ref. [21]).
+
+Bottom-up clustering of points in the plane: each task takes a live
+cluster, finds its nearest neighbour, and merges the two when they are
+within ``merge_threshold`` (centroid linkage).  Two merges conflict when
+they involve a common cluster, so the conflict neighbourhood is the pair
+of cluster ids — the same contraction pattern as Borůvka, but driven by
+geometry, with parallelism that collapses as big clusters absorb the
+plane.
+
+Nearest-neighbour queries use a uniform grid over centroids (cells of the
+merge threshold), so each query is O(1) expected for well-spread inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import count
+
+import numpy as np
+
+from repro.errors import ApplicationError
+from repro.runtime.conflict import ItemLockPolicy
+from repro.runtime.engine import OptimisticEngine
+from repro.runtime.task import Operator, Task
+from repro.runtime.workset import RandomWorkset
+from repro.utils.rng import ensure_rng
+
+__all__ = ["AgglomerativeClustering", "random_points"]
+
+
+def random_points(n: int, clusters: int = 8, spread: float = 0.03, seed=None) -> np.ndarray:
+    """Gaussian blobs on the unit square — a clusterable synthetic input."""
+    if n < 1:
+        raise ApplicationError(f"need at least one point, got {n}")
+    if clusters < 1:
+        raise ApplicationError(f"need at least one blob, got {clusters}")
+    rng = ensure_rng(seed)
+    centers = rng.random((clusters, 2)) * 0.8 + 0.1
+    assign = rng.integers(0, clusters, size=n)
+    pts = centers[assign] + rng.normal(scale=spread, size=(n, 2))
+    return np.clip(pts, 0.0, 1.0)
+
+
+class _Cluster:
+    __slots__ = ("cid", "centroid", "size", "members")
+
+    def __init__(self, cid: int, centroid: tuple[float, float], size: int, members: list[int]):
+        self.cid = cid
+        self.centroid = centroid
+        self.size = size
+        self.members = members
+
+
+class AgglomerativeClustering(Operator):
+    """Centroid-linkage agglomeration under optimistic parallelism.
+
+    Task payloads are cluster ids.  The run drains when every live cluster
+    has no neighbour within ``merge_threshold``; the final partition is in
+    :meth:`labels`, the merge history in :attr:`dendrogram` (child ids →
+    parent id rows, in commit order).
+    """
+
+    def __init__(self, points: np.ndarray, merge_threshold: float = 0.05):
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ApplicationError(f"points must be (n, 2), got {pts.shape}")
+        if merge_threshold <= 0:
+            raise ApplicationError(f"merge threshold must be positive, got {merge_threshold}")
+        self.points = pts
+        self.merge_threshold = float(merge_threshold)
+        self._ids = count()
+        self._clusters: dict[int, _Cluster] = {}
+        self._grid: dict[tuple[int, int], set[int]] = {}
+        self.dendrogram: list[tuple[int, int, int, float]] = []  # (a, b, parent, dist)
+        self.policy = ItemLockPolicy()
+        self.workset = RandomWorkset()
+        self.stale_commits = 0
+        for i, (x, y) in enumerate(pts):
+            cid = next(self._ids)
+            self._clusters[cid] = _Cluster(cid, (float(x), float(y)), 1, [i])
+            self._grid_add(cid)
+            self.workset.add(Task(payload=cid))
+
+    # ------------------------------------------------------------------
+    # centroid grid
+    # ------------------------------------------------------------------
+    def _cell(self, p: tuple[float, float]) -> tuple[int, int]:
+        h = self.merge_threshold
+        return (int(math.floor(p[0] / h)), int(math.floor(p[1] / h)))
+
+    def _grid_add(self, cid: int) -> None:
+        self._grid.setdefault(self._cell(self._clusters[cid].centroid), set()).add(cid)
+
+    def _grid_remove(self, cid: int) -> None:
+        cell = self._cell(self._clusters[cid].centroid)
+        bucket = self._grid.get(cell)
+        if bucket is not None:
+            bucket.discard(cid)
+            if not bucket:
+                del self._grid[cell]
+
+    def nearest_within_threshold(self, cid: int) -> tuple[int, float] | None:
+        """Closest other live cluster within the merge threshold, if any."""
+        c = self._clusters.get(cid)
+        if c is None:
+            return None
+        cx, cy = self._cell(c.centroid)
+        best: tuple[int, float] | None = None
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for other in self._grid.get((cx + dx, cy + dy), ()):
+                    if other == cid:
+                        continue
+                    oc = self._clusters[other].centroid
+                    d = math.hypot(oc[0] - c.centroid[0], oc[1] - c.centroid[1])
+                    if d <= self.merge_threshold and (best is None or d < best[1]):
+                        best = (other, d)
+        return best
+
+    # ------------------------------------------------------------------
+    # Operator interface
+    # ------------------------------------------------------------------
+    def neighborhood(self, task: Task):
+        cid = task.payload
+        if cid not in self._clusters:
+            return ()
+        near = self.nearest_within_threshold(cid)
+        if near is None:
+            return ()
+        return (cid, near[0])
+
+    def apply(self, task: Task) -> list[Task]:
+        cid = task.payload
+        if cid not in self._clusters:
+            self.stale_commits += 1
+            return []
+        near = self.nearest_within_threshold(cid)
+        if near is None:
+            return []  # isolated at this scale: cluster is final
+        other, dist = near
+        a, b = self._clusters[cid], self._clusters[other]
+        parent = next(self._ids)
+        total = a.size + b.size
+        centroid = (
+            (a.centroid[0] * a.size + b.centroid[0] * b.size) / total,
+            (a.centroid[1] * a.size + b.centroid[1] * b.size) / total,
+        )
+        self._grid_remove(cid)
+        self._grid_remove(other)
+        del self._clusters[cid]
+        del self._clusters[other]
+        merged = _Cluster(parent, centroid, total, a.members + b.members)
+        self._clusters[parent] = merged
+        self._grid_add(parent)
+        self.dendrogram.append((cid, other, parent, dist))
+        return [Task(payload=parent)]
+
+    # ------------------------------------------------------------------
+    def build_engine(self, controller, seed=None, step_hook=None) -> OptimisticEngine:
+        """Engine clustering the points under *controller*."""
+        return OptimisticEngine(
+            workset=self.workset,
+            operator=self,
+            policy=self.policy,
+            controller=controller,
+            seed=seed,
+            step_hook=step_hook,
+        )
+
+    # ------------------------------------------------------------------
+    def num_clusters(self) -> int:
+        return len(self._clusters)
+
+    def labels(self) -> np.ndarray:
+        """Cluster index (0..k-1, arbitrary order) for every input point."""
+        out = np.empty(self.points.shape[0], dtype=np.int64)
+        for label, cluster in enumerate(self._clusters.values()):
+            for i in cluster.members:
+                out[i] = label
+        return out
+
+    def total_mass(self) -> int:
+        """Σ cluster sizes — must equal the input size at all times."""
+        return sum(c.size for c in self._clusters.values())

@@ -1,0 +1,223 @@
+"""Survey propagation on random k-SAT as a work-set application (ref. [5]).
+
+Message-passing on the clause–variable factor graph: each clause ``a``
+sends each of its variables ``i`` a *survey* ``η_{a→i}`` — the probability
+that ``a`` warns ``i`` to satisfy it.  The asynchronous update of one
+clause reads the surveys of all clauses sharing its variables and writes
+its own outgoing surveys; tasks therefore conflict when their clauses
+share a variable, a bounded-degree, locality-rich conflict structure very
+different from mesh refinement's.
+
+Update rule (standard SP; Braunstein–Mézard–Zecchina):
+
+    η_{a→i} = Π_{j∈a∖i} [ Π^u_{j→a} / (Π^u_{j→a} + Π^s_{j→a} + Π^0_{j→a}) ]
+
+where, with ``V^u_a(j)`` the clauses where ``j`` appears with the
+*opposite* literal sign to its sign in ``a`` and ``V^s_a(j)`` those with
+the *same* sign (excluding ``a`` itself):
+
+    Π^u_{j→a} = [1 − Π_{b∈V^u}(1−η_{b→j})] · Π_{b∈V^s}(1−η_{b→j})
+    Π^s_{j→a} = [1 − Π_{b∈V^s}(1−η_{b→j})] · Π_{b∈V^u}(1−η_{b→j})
+    Π^0_{j→a} = Π_{b∈V^s∪V^u}(1−η_{b→j})
+
+A clause whose surveys move more than ``tol`` re-enqueues the clauses that
+read them; the work-set drains at a fixed point.  On instances without
+contradictions all surveys converge to 0 (the paranoid-free fixed point),
+which the tests verify.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ApplicationError
+from repro.runtime.conflict import ItemLockPolicy
+from repro.runtime.engine import OptimisticEngine
+from repro.runtime.task import Operator, Task
+from repro.runtime.workset import RandomWorkset
+from repro.utils.rng import ensure_rng
+
+__all__ = ["SatInstance", "random_ksat", "SurveyPropagation"]
+
+Clause = tuple[int, ...]  # non-zero ints, DIMACS-style: -3 == ¬x₃ (1-based)
+
+
+class SatInstance:
+    """A CNF formula in DIMACS-like integer-literal form."""
+
+    def __init__(self, num_vars: int, clauses: Sequence[Clause]):
+        if num_vars < 1:
+            raise ApplicationError(f"need at least one variable, got {num_vars}")
+        self.num_vars = num_vars
+        self.clauses: list[Clause] = []
+        for idx, clause in enumerate(clauses):
+            if not clause:
+                raise ApplicationError(f"clause {idx} is empty")
+            for lit in clause:
+                if lit == 0 or abs(lit) > num_vars:
+                    raise ApplicationError(f"clause {idx}: bad literal {lit}")
+            if len({abs(lit) for lit in clause}) != len(clause):
+                raise ApplicationError(f"clause {idx}: repeated variable")
+            self.clauses.append(tuple(clause))
+
+    def __repr__(self) -> str:
+        return f"SatInstance(vars={self.num_vars}, clauses={len(self.clauses)})"
+
+
+def random_ksat(num_vars: int, num_clauses: int, k: int = 3, seed=None) -> SatInstance:
+    """Uniform random k-SAT (distinct variables per clause, random signs)."""
+    if k < 1 or k > num_vars:
+        raise ApplicationError(f"clause width k={k} out of range [1, {num_vars}]")
+    rng = ensure_rng(seed)
+    clauses: list[Clause] = []
+    for _ in range(num_clauses):
+        vars_ = rng.choice(num_vars, size=k, replace=False) + 1
+        signs = rng.integers(0, 2, size=k) * 2 - 1
+        clauses.append(tuple(int(v * s) for v, s in zip(vars_, signs)))
+    return SatInstance(num_vars, clauses)
+
+
+class SurveyPropagation(Operator):
+    """Asynchronous SP message passing under optimistic parallelism.
+
+    Task payloads are clause indices.  Surveys live in ``eta[(a, var)]``.
+    """
+
+    def __init__(self, instance: SatInstance, tol: float = 1e-3, damping: float = 0.0,
+                 init: float = 0.5, max_updates: int | None = None, seed=None):
+        if not 0.0 <= damping < 1.0:
+            raise ApplicationError(f"damping must be in [0, 1), got {damping}")
+        if tol <= 0:
+            raise ApplicationError(f"tolerance must be positive, got {tol}")
+        if not 0.0 <= init <= 1.0:
+            raise ApplicationError(f"initial survey must be in [0, 1], got {init}")
+        self.instance = instance
+        self.tol = float(tol)
+        self.damping = float(damping)
+        rng = ensure_rng(seed)
+        # clauses touching each variable, with the literal sign used
+        self.var_clauses: list[list[tuple[int, int]]] = [
+            [] for _ in range(instance.num_vars + 1)
+        ]
+        for a, clause in enumerate(instance.clauses):
+            for lit in clause:
+                self.var_clauses[abs(lit)].append((a, 1 if lit > 0 else -1))
+        self.eta: dict[tuple[int, int], float] = {}
+        for a, clause in enumerate(instance.clauses):
+            for lit in clause:
+                jitter = 0.0 if init in (0.0, 1.0) else float(rng.uniform(-0.1, 0.1))
+                self.eta[(a, abs(lit))] = min(max(init + jitter, 0.0), 1.0)
+        self.updates_done = 0
+        self.max_updates = max_updates
+        self.policy = ItemLockPolicy()
+        self.workset = RandomWorkset()
+        self._enqueued: set[int] = set()
+        for a in range(len(instance.clauses)):
+            self.workset.add(Task(payload=a))
+            self._enqueued.add(a)
+
+    # ------------------------------------------------------------------
+    def _pi_products(self, j: int, a: int, sign_in_a: int) -> tuple[float, float, float]:
+        """(Π^u, Π^s, Π^0) for variable *j* with respect to clause *a*."""
+        prod_same = 1.0
+        prod_opp = 1.0
+        for b, sign in self.var_clauses[j]:
+            if b == a:
+                continue
+            factor = 1.0 - self.eta[(b, j)]
+            if sign == sign_in_a:
+                prod_same *= factor
+            else:
+                prod_opp *= factor
+        pi_u = (1.0 - prod_opp) * prod_same
+        pi_s = (1.0 - prod_same) * prod_opp
+        pi_0 = prod_same * prod_opp
+        return pi_u, pi_s, pi_0
+
+    def _new_survey(self, a: int, i: int) -> float:
+        """Recompute η_{a→i} from the current neighbour surveys."""
+        clause = self.instance.clauses[a]
+        out = 1.0
+        for lit in clause:
+            j = abs(lit)
+            if j == i:
+                continue
+            sign = 1 if lit > 0 else -1
+            pi_u, pi_s, pi_0 = self._pi_products(j, a, sign)
+            denom = pi_u + pi_s + pi_0
+            out *= pi_u / denom if denom > 0 else 0.0
+        return out
+
+    # ------------------------------------------------------------------
+    # Operator interface
+    # ------------------------------------------------------------------
+    def neighborhood(self, task: Task):
+        a = task.payload
+        return {abs(lit) for lit in self.instance.clauses[a]}
+
+    def apply(self, task: Task) -> list[Task]:
+        a = task.payload
+        self._enqueued.discard(a)
+        if self.max_updates is not None and self.updates_done >= self.max_updates:
+            return []
+        self.updates_done += 1
+        changed_vars: list[int] = []
+        for lit in self.instance.clauses[a]:
+            i = abs(lit)
+            new = self._new_survey(a, i)
+            old = self.eta[(a, i)]
+            value = self.damping * old + (1.0 - self.damping) * new
+            if abs(value - old) > self.tol:
+                changed_vars.append(i)
+            self.eta[(a, i)] = value
+        if not changed_vars:
+            return []
+        out: list[Task] = []
+        for i in changed_vars:
+            for b, _sign in self.var_clauses[i]:
+                if b != a and b not in self._enqueued:
+                    self._enqueued.add(b)
+                    out.append(Task(payload=b))
+        return out
+
+    # ------------------------------------------------------------------
+    def build_engine(self, controller, seed=None, step_hook=None) -> OptimisticEngine:
+        """Engine running SP to a fixed point under *controller*."""
+        return OptimisticEngine(
+            workset=self.workset,
+            operator=self,
+            policy=self.policy,
+            controller=controller,
+            seed=seed,
+            step_hook=step_hook,
+        )
+
+    # ------------------------------------------------------------------
+    def max_residual(self) -> float:
+        """Largest one-step survey change if everything updated now."""
+        worst = 0.0
+        for a, clause in enumerate(self.instance.clauses):
+            for lit in clause:
+                i = abs(lit)
+                worst = max(worst, abs(self._new_survey(a, i) - self.eta[(a, i)]))
+        return worst
+
+    def biases(self) -> np.ndarray:
+        """Per-variable polarisation in [-1, 1] from incoming surveys."""
+        out = np.zeros(self.instance.num_vars + 1)
+        for j in range(1, self.instance.num_vars + 1):
+            prod_plus = 1.0
+            prod_minus = 1.0
+            for b, sign in self.var_clauses[j]:
+                factor = 1.0 - self.eta[(b, j)]
+                if sign > 0:
+                    prod_plus *= factor
+                else:
+                    prod_minus *= factor
+            w_plus = (1.0 - prod_plus) * prod_minus
+            w_minus = (1.0 - prod_minus) * prod_plus
+            denom = w_plus + w_minus + prod_plus * prod_minus
+            out[j] = (w_minus - w_plus) / denom if denom > 0 else 0.0
+        return out[1:]

@@ -1,0 +1,119 @@
+"""Noise-adaptive variant of Algorithm 1 (extension).
+
+The paper hand-tunes a second parameter set for small ``m`` because the
+conflict-ratio signal is noisier there.  Instead of two fixed regimes,
+this controller re-derives its window and dead-band from the *current*
+allocation using the noise model of :mod:`repro.model.noise`:
+
+* dead-band: ``α₁ = z·σ_w/ρ`` so the on-target false-trigger rate is a
+  chosen constant at every ``m`` (the fixed-α₁ hybrid false-triggers ~40%
+  of windows at m = 10 and almost never at m = 500);
+* switch threshold: ``α₀ = max(α₀_base, 2·α₁)`` so Recurrence B only
+  fires on genuinely large errors;
+* window: lengthened (up to a cap) when even a maximal dead-band cannot
+  contain the noise.
+
+Behaviour degrades gracefully to the plain hybrid at large ``m``, where
+the suggested dead-band falls below the paper's 6%.
+"""
+
+from __future__ import annotations
+
+from repro.control.base import Controller, clamp
+from repro.errors import ControllerError
+from repro.model.noise import suggest_deadband, suggest_period
+
+__all__ = ["NoiseAdaptiveHybridController"]
+
+
+class NoiseAdaptiveHybridController(Controller):
+    """Algorithm 1 with statistically derived, m-dependent thresholds."""
+
+    def __init__(
+        self,
+        rho: float,
+        m0: int = 2,
+        m_min: int = 2,
+        m_max: int = 1024,
+        r_min: float = 0.03,
+        alpha0_base: float = 0.25,
+        alpha1_floor: float = 0.06,
+        trigger_rate: float = 0.1,
+        max_deadband: float = 0.35,
+        base_period: int = 4,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < rho < 1.0:
+            raise ControllerError(f"target conflict ratio must be in (0,1), got {rho}")
+        if not 0.0 < r_min < 1.0:
+            raise ControllerError(f"r_min must be in (0,1), got {r_min}")
+        if not 0.0 < trigger_rate < 1.0:
+            raise ControllerError(f"trigger rate must be in (0,1), got {trigger_rate}")
+        if base_period < 1:
+            raise ControllerError(f"base period must be >= 1, got {base_period}")
+        if m_min < 1 or m_min > m_max:
+            raise ControllerError(f"bad allocation range [{m_min}, {m_max}]")
+        self.rho = float(rho)
+        self.m0 = int(m0)
+        self.m_min = int(m_min)
+        self.m_max = int(m_max)
+        self.r_min = float(r_min)
+        self.alpha0_base = float(alpha0_base)
+        self.alpha1_floor = float(alpha1_floor)
+        self.trigger_rate = float(trigger_rate)
+        self.max_deadband = float(max_deadband)
+        self.base_period = int(base_period)
+        self._do_reset()
+
+    def _do_reset(self) -> None:
+        self._m = clamp(self.m0, self.m_min, self.m_max)
+        self._acc = 0.0
+        self._count = 0
+        self._period = self._current_period()
+
+    # ------------------------------------------------------------------
+    #: longest window the controller will wait between updates — beyond
+    #: this, responsiveness costs more than the residual noise does
+    PERIOD_CAP = 16
+
+    def _current_period(self) -> int:
+        suggested = suggest_period(
+            self.rho, self._m, self.max_deadband, self.trigger_rate
+        )
+        return max(self.base_period, min(suggested, self.PERIOD_CAP))
+
+    def current_thresholds(self) -> tuple[float, float, int]:
+        """(α₀, α₁, T) the controller is using at the current allocation."""
+        period = self._period
+        alpha1 = max(
+            suggest_deadband(self.rho, self._m, period, self.trigger_rate),
+            self.alpha1_floor,
+        )
+        alpha1 = min(alpha1, self.max_deadband)
+        alpha0 = max(self.alpha0_base, 2.0 * alpha1)
+        return alpha0, alpha1, period
+
+    # ------------------------------------------------------------------
+    def _next_m(self) -> int:
+        return self._m
+
+    def _ingest(self, r: float, launched: int) -> None:
+        self._acc += r
+        self._count += 1
+        if self._count < self._period:
+            return
+        avg = self._acc / self._period
+        self._acc = 0.0
+        self._count = 0
+        alpha0, alpha1, _ = self.current_thresholds()
+        alpha = abs(1.0 - avg / self.rho)
+        if alpha > alpha0:
+            effective = max(avg, self.r_min)
+            self._m = clamp((self.rho / effective) * self._m, self.m_min, self.m_max)
+        elif alpha > alpha1:
+            self._m = clamp((1.0 - avg + self.rho) * self._m, self.m_min, self.m_max)
+        self._period = self._current_period()
+
+    @property
+    def current_m(self) -> int:
+        return self._m

@@ -1,0 +1,77 @@
+"""AIMD baseline controller.
+
+Additive-increase / multiplicative-decrease is the classic congestion-
+control answer to the same structural problem (probe an unknown capacity,
+back off on congestion signals), so it is the natural off-the-shelf
+baseline for Algorithm 1: ``r > ρ`` plays the role of packet loss.
+
+Its known weakness transfers too: the additive climb is O(μ) windows from
+a cold start (versus Recurrence B's O(log μ) jumps), and the steady state
+oscillates in a sawtooth instead of holding inside a dead-band.
+"""
+
+from __future__ import annotations
+
+from repro.control.base import Controller, clamp
+from repro.errors import ControllerError
+
+__all__ = ["AIMDController"]
+
+
+class AIMDController(Controller):
+    """Windowed AIMD on the conflict-ratio signal."""
+
+    def __init__(
+        self,
+        rho: float,
+        m0: int = 2,
+        m_min: int = 2,
+        m_max: int = 1024,
+        period: int = 4,
+        increase: int = 4,
+        decrease: float = 0.5,
+        deadband: float = 0.06,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < rho < 1.0:
+            raise ControllerError(f"target conflict ratio must be in (0,1), got {rho}")
+        if period < 1:
+            raise ControllerError(f"averaging period must be >= 1, got {period}")
+        if increase < 1:
+            raise ControllerError(f"additive increase must be >= 1, got {increase}")
+        if not 0.0 < decrease < 1.0:
+            raise ControllerError(f"decrease factor must be in (0,1), got {decrease}")
+        if deadband < 0:
+            raise ControllerError(f"deadband must be >= 0, got {deadband}")
+        if m_min < 1 or m_min > m_max:
+            raise ControllerError(f"bad allocation range [{m_min}, {m_max}]")
+        self.rho = float(rho)
+        self.m0 = int(m0)
+        self.m_min = int(m_min)
+        self.m_max = int(m_max)
+        self.period = int(period)
+        self.increase = int(increase)
+        self.decrease = float(decrease)
+        self.deadband = float(deadband)
+        self._do_reset()
+
+    def _do_reset(self) -> None:
+        self._m = clamp(self.m0, self.m_min, self.m_max)
+        self._acc = 0.0
+        self._count = 0
+
+    def _next_m(self) -> int:
+        return self._m
+
+    def _ingest(self, r: float, launched: int) -> None:
+        self._acc += r
+        self._count += 1
+        if self._count < self.period:
+            return
+        avg = self._acc / self.period
+        self._acc = 0.0
+        self._count = 0
+        if avg > self.rho * (1.0 + self.deadband):
+            self._m = clamp(self._m * self.decrease, self.m_min, self.m_max)
+        elif avg < self.rho * (1.0 - self.deadband):
+            self._m = clamp(self._m + self.increase, self.m_min, self.m_max)

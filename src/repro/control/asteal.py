@@ -1,0 +1,80 @@
+"""A-Steal-inspired baseline (the paper's reference [1]).
+
+Agrawal–Leiserson–He–Hsu's adaptive work-stealing allocates by
+*parallelism feedback*: each quantum the job reports whether it used its
+processors efficiently; the scheduler grows its *desire* multiplicatively
+when efficient and shrinks it when inefficient.  Their context has no
+speculation — inefficiency is idling — but the protocol transplants
+directly to ours by reading **utilisation = 1 − r** as the efficiency
+signal:
+
+* efficient window (``1 − r ≥ efficiency_threshold``): desire ``× growth``;
+* inefficient window: desire ``/ growth``.
+
+This gives a multiplicative-increase/multiplicative-decrease (MIMD)
+baseline between AIMD and the paper's Recurrence B.  Characteristic
+behaviour the ablation shows: geometric cold-start (like B) but a steady
+state that *oscillates across the efficiency threshold* instead of
+holding inside a dead-band — desire always moves.
+"""
+
+from __future__ import annotations
+
+from repro.control.base import Controller, clamp
+from repro.errors import ControllerError
+
+__all__ = ["AStealController"]
+
+
+class AStealController(Controller):
+    """Windowed MIMD on the utilisation signal (A-Steal transplant)."""
+
+    def __init__(
+        self,
+        rho: float,
+        m0: int = 2,
+        m_min: int = 2,
+        m_max: int = 1024,
+        period: int = 4,
+        growth: float = 2.0,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < rho < 1.0:
+            raise ControllerError(f"target conflict ratio must be in (0,1), got {rho}")
+        if period < 1:
+            raise ControllerError(f"averaging period must be >= 1, got {period}")
+        if growth <= 1.0:
+            raise ControllerError(f"growth factor must exceed 1, got {growth}")
+        if m_min < 1 or m_min > m_max:
+            raise ControllerError(f"bad allocation range [{m_min}, {m_max}]")
+        self.rho = float(rho)
+        #: a window is "efficient" when utilisation 1−r is at least this
+        self.efficiency_threshold = 1.0 - float(rho)
+        self.m0 = int(m0)
+        self.m_min = int(m_min)
+        self.m_max = int(m_max)
+        self.period = int(period)
+        self.growth = float(growth)
+        self._do_reset()
+
+    def _do_reset(self) -> None:
+        self._desire = float(clamp(self.m0, self.m_min, self.m_max))
+        self._acc = 0.0
+        self._count = 0
+
+    def _next_m(self) -> int:
+        return clamp(self._desire, self.m_min, self.m_max)
+
+    def _ingest(self, r: float, launched: int) -> None:
+        self._acc += r
+        self._count += 1
+        if self._count < self.period:
+            return
+        avg = self._acc / self.period
+        self._acc = 0.0
+        self._count = 0
+        if 1.0 - avg >= self.efficiency_threshold:
+            self._desire *= self.growth  # efficient: ask for more
+        else:
+            self._desire /= self.growth  # inefficient: back off
+        self._desire = float(clamp(self._desire, self.m_min, self.m_max))

@@ -1,0 +1,107 @@
+"""Controller interface for the processor-allocation problem (§4).
+
+A controller decides, before each temporal step, how many processors
+``m_t`` the runtime should use, and afterwards observes the realised
+conflict ratio ``r_t``.  The engine guarantees the call order
+``propose() → observe(r, launched) → propose() → …``.
+
+Controllers are deliberately *environment-blind*: they see only the
+``(r_t, m_t)`` history, exactly the information available to the paper's
+recurrences (Eq. 31).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ControllerError
+
+__all__ = ["Controller", "ControlTrace", "clamp"]
+
+
+def clamp(m: float, m_min: int, m_max: int) -> int:
+    """Round up and clamp an allocation into ``[m_min, m_max]``.
+
+    The paper's recurrences use ceilings (⌈·⌉) so the controller never
+    rounds itself into a fixed point below the target.
+    """
+    if m_min > m_max:
+        raise ControllerError(f"empty allocation range [{m_min}, {m_max}]")
+    import math
+
+    return max(m_min, min(m_max, int(math.ceil(m))))
+
+
+@dataclass
+class ControlTrace:
+    """Per-step history of a controller: proposals and observations."""
+
+    proposals: list[int]
+    observations: list[float]
+    launched: list[int]
+
+    @classmethod
+    def empty(cls) -> "ControlTrace":
+        return cls(proposals=[], observations=[], launched=[])
+
+    @property
+    def m_trace(self) -> np.ndarray:
+        return np.array(self.proposals, dtype=np.int64)
+
+    @property
+    def r_trace(self) -> np.ndarray:
+        return np.array(self.observations, dtype=float)
+
+    def __len__(self) -> int:
+        return len(self.proposals)
+
+
+class Controller(abc.ABC):
+    """Base class: bookkeeping plus the propose/observe contract."""
+
+    def __init__(self) -> None:
+        self.trace = ControlTrace.empty()
+        self._awaiting_observation = False
+
+    # -- subclass surface ------------------------------------------------
+    @abc.abstractmethod
+    def _next_m(self) -> int:
+        """Current allocation decision (state-dependent, no side effects)."""
+
+    def _ingest(self, r: float, launched: int) -> None:
+        """Consume one observation; subclasses update their state here."""
+
+    def _do_reset(self) -> None:
+        """Subclass state reset (defaults to nothing extra)."""
+
+    # -- engine-facing API -----------------------------------------------
+    def propose(self) -> int:
+        """The allocation ``m_t`` for the upcoming step."""
+        m = int(self._next_m())
+        if m < 1:
+            raise ControllerError(f"{type(self).__name__} produced m={m} < 1")
+        self.trace.proposals.append(m)
+        self._awaiting_observation = True
+        return m
+
+    def observe(self, r: float, launched: int) -> None:
+        """Report the realised conflict ratio of the step just executed."""
+        if not self._awaiting_observation:
+            raise ControllerError("observe() without a preceding propose()")
+        if not 0.0 <= r <= 1.0:
+            raise ControllerError(f"conflict ratio {r} outside [0, 1]")
+        if launched < 0:
+            raise ControllerError(f"launched count {launched} negative")
+        self.trace.observations.append(float(r))
+        self.trace.launched.append(int(launched))
+        self._awaiting_observation = False
+        self._ingest(float(r), int(launched))
+
+    def reset(self) -> None:
+        """Forget all history and return to the initial state."""
+        self.trace = ControlTrace.empty()
+        self._awaiting_observation = False
+        self._do_reset()

@@ -1,0 +1,98 @@
+"""Bisection controller (Eq. 30).
+
+Prop. 1 makes ``r̄(m)`` non-decreasing, so the target ``μ`` (largest ``m``
+with ``r̄(m) ≤ ρ``) can be bracketed::
+
+    r̄(m′) ≤ ρ ≤ r̄(m″)  ⇒  m′ ≤ μ ≤ m″
+
+The controller measures the windowed conflict ratio at the current probe,
+moves the corresponding bracket end, and probes the midpoint, halving the
+bracket every window.  Convergence is O(log m_max) *windows* — typically
+slower in steps than Recurrence B's single jump and, unlike the paper's
+hybrid, it has no natural re-tracking behaviour: when the workload drifts,
+the bracket must be detected stale and re-opened (implemented here by
+re-widening whenever the measurement contradicts the bracket).
+"""
+
+from __future__ import annotations
+
+from repro.control.base import Controller, clamp
+from repro.errors import ControllerError
+
+__all__ = ["BisectionController"]
+
+
+class BisectionController(Controller):
+    """Windowed bisection on the monotone conflict-ratio curve."""
+
+    def __init__(
+        self,
+        rho: float,
+        m_min: int = 2,
+        m_max: int = 1024,
+        period: int = 4,
+        slack: float = 0.02,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < rho < 1.0:
+            raise ControllerError(f"target conflict ratio must be in (0,1), got {rho}")
+        if period < 1:
+            raise ControllerError(f"averaging period must be >= 1, got {period}")
+        if m_min < 1 or m_min > m_max:
+            raise ControllerError(f"bad allocation range [{m_min}, {m_max}]")
+        if slack < 0:
+            raise ControllerError(f"slack must be >= 0, got {slack}")
+        self.rho = float(rho)
+        self.m_min = int(m_min)
+        self.m_max = int(m_max)
+        self.period = int(period)
+        self.slack = float(slack)
+        self._do_reset()
+
+    def _do_reset(self) -> None:
+        self._lo = self.m_min  # invariant: believed r̄(lo) <= rho
+        self._hi = self.m_max  # invariant: believed r̄(hi) >= rho
+        self._m = self.m_min
+        self._acc = 0.0
+        self._count = 0
+
+    def _next_m(self) -> int:
+        return self._m
+
+    def _ingest(self, r: float, launched: int) -> None:
+        self._acc += r
+        self._count += 1
+        if self._count < self.period:
+            return
+        avg = self._acc / self.period
+        self._acc = 0.0
+        self._count = 0
+        if avg > self.rho + self.slack:
+            # probe is above target: μ < m
+            if self._m <= self._lo:
+                # contradiction with the lower bracket -> environment moved
+                self._lo = self.m_min
+            self._hi = max(self._m - 1, self._lo)
+        elif avg < self.rho - self.slack:
+            if self._m >= self._hi:
+                self._hi = self.m_max
+            self._lo = min(self._m, self._hi)
+        else:
+            # inside the slack band: treat as converged at this probe
+            self._lo = self._m
+            self._hi = self._m
+        if self._hi - self._lo <= 1:
+            # bracket closed: sit at lo, except when lo itself just measured
+            # below target and the (unconfirmed) hi is still available
+            if avg < self.rho - self.slack and self._m == self._lo and self._hi > self._lo:
+                nxt = self._hi
+            else:
+                nxt = self._lo
+            self._m = clamp(nxt, self.m_min, self.m_max)
+            # keep a live bracket so drift re-opens the search
+            if self._hi == self._lo:
+                self._hi = min(self._hi + 1, self.m_max)
+        else:
+            # round the probe up so a bracket like [m_max−1, m_max] still
+            # tests the upper end instead of re-probing the lower one
+            self._m = clamp((self._lo + self._hi + 1) // 2, self.m_min, self.m_max)

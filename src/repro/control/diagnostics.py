@@ -1,0 +1,109 @@
+"""Controller-run diagnostics: what did Algorithm 1 actually do?
+
+Post-mortem analysis of a finished run — which update rule fired when,
+how long each phase lasted, how the realised ratios distribute against
+the target.  Useful both for debugging controller configurations and for
+the ablation write-ups.
+
+Works from the information the controller itself keeps: the
+:class:`~repro.control.base.ControlTrace` and (for hybrids) the
+``updates`` log of ``(step, rule, windowed r, new m)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.control.hybrid import HybridController
+from repro.errors import ControllerError
+
+__all__ = ["RuleUsage", "HybridDiagnostics", "diagnose_hybrid"]
+
+
+@dataclass(frozen=True)
+class RuleUsage:
+    """How often one update rule fired, and when it was last used."""
+
+    rule: str
+    count: int
+    first_step: int
+    last_step: int
+
+
+@dataclass(frozen=True)
+class HybridDiagnostics:
+    """Summary of one hybrid-controller run."""
+
+    rule_usage: dict[str, RuleUsage]
+    cold_start_steps: int
+    windows: int
+    mean_window_r: float
+    final_m: int
+    r_percentiles: tuple[float, float, float]  # 10/50/90 of per-step r
+
+    def render(self) -> str:
+        lines = ["hybrid controller diagnostics:"]
+        lines.append(
+            f"  windows: {self.windows}, cold start (last B-rule step): "
+            f"{self.cold_start_steps}"
+        )
+        for usage in self.rule_usage.values():
+            lines.append(
+                f"  rule {usage.rule:>4}: {usage.count:4d} firings "
+                f"(steps {usage.first_step}..{usage.last_step})"
+            )
+        p10, p50, p90 = self.r_percentiles
+        lines.append(
+            f"  per-step r: p10={p10:.3f} p50={p50:.3f} p90={p90:.3f}; "
+            f"mean windowed r = {self.mean_window_r:.3f}"
+        )
+        lines.append(f"  final allocation: {self.final_m}")
+        return "\n".join(lines)
+
+
+def diagnose_hybrid(controller: HybridController) -> HybridDiagnostics:
+    """Analyse a finished :class:`HybridController` run.
+
+    *Cold start* is measured as the last step at which Recurrence B fired
+    while the allocation was still rising — the paper's "initial phase".
+    """
+    if not isinstance(controller, HybridController):
+        raise ControllerError(
+            f"diagnose_hybrid needs a HybridController, got {type(controller).__name__}"
+        )
+    if not controller.updates:
+        raise ControllerError("controller has made no updates yet")
+    usage: dict[str, RuleUsage] = {}
+    for step, rule, _avg, _m in controller.updates:
+        if rule not in usage:
+            usage[rule] = RuleUsage(rule=rule, count=1, first_step=step, last_step=step)
+        else:
+            prev = usage[rule]
+            usage[rule] = RuleUsage(
+                rule=rule,
+                count=prev.count + 1,
+                first_step=prev.first_step,
+                last_step=step,
+            )
+    # cold start: last B firing within the initial monotone climb
+    cold = 0
+    prev_m = 0
+    for step, rule, _avg, new_m in controller.updates:
+        if rule == "B" and new_m >= prev_m:
+            cold = step
+        elif new_m < prev_m:
+            break
+        prev_m = new_m
+    rs = controller.trace.r_trace
+    window_rs = np.array([avg for _s, _r, avg, _m in controller.updates])
+    percentiles = tuple(float(p) for p in np.percentile(rs, [10, 50, 90])) if rs.size else (0.0, 0.0, 0.0)
+    return HybridDiagnostics(
+        rule_usage=usage,
+        cold_start_steps=int(cold),
+        windows=len(controller.updates),
+        mean_window_r=float(window_rs.mean()) if window_rs.size else 0.0,
+        final_m=controller.current_m,
+        r_percentiles=percentiles,  # type: ignore[arg-type]
+    )

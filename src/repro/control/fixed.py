@@ -1,0 +1,25 @@
+"""The trivial baseline: a constant processor allocation."""
+
+from __future__ import annotations
+
+from repro.control.base import Controller
+from repro.errors import ControllerError
+
+__all__ = ["FixedController"]
+
+
+class FixedController(Controller):
+    """Always allocate ``m`` processors.
+
+    The static strawman of the processor-allocation problem: optimal only
+    when the workload's parallelism happens to be constant and known.
+    """
+
+    def __init__(self, m: int):
+        super().__init__()
+        if m < 1:
+            raise ControllerError(f"fixed allocation must be >= 1, got {m}")
+        self.m = int(m)
+
+    def _next_m(self) -> int:
+        return self.m

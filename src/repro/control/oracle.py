@@ -1,0 +1,64 @@
+"""Oracle controller — the unattainable upper baseline.
+
+Knows the environment's conflict-ratio curve ``r̄(m)`` (measured offline by
+Monte Carlo) and jumps immediately to
+
+    μ = max { m : r̄(m) ≤ ρ }
+
+which is exactly the fixed point the adaptive controllers chase.  Settling
+metrics of real controllers are reported relative to this target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.control.base import Controller, clamp
+from repro.errors import ControllerError
+from repro.model.conflict_ratio import ConflictCurve
+
+__all__ = ["OracleController", "mu_from_curve"]
+
+
+def mu_from_curve(curve: ConflictCurve, rho: float, m_min: int = 2) -> int:
+    """``μ = max{m : r̄(m) ≤ ρ}`` from a sampled curve (grid + interpolation).
+
+    Scans the sampled grid for the last point at or below ρ, then refines
+    between neighbouring grid points by linear interpolation.
+    """
+    if not 0.0 < rho < 1.0:
+        raise ControllerError(f"target conflict ratio must be in (0,1), got {rho}")
+    ms = np.asarray(curve.ms, dtype=float)
+    rs = np.asarray(curve.ratios, dtype=float)
+    below = np.nonzero(rs <= rho)[0]
+    if below.size == 0:
+        return m_min
+    i = int(below[-1])
+    if i == len(ms) - 1:
+        return max(int(ms[-1]), m_min)
+    m_lo, m_hi = ms[i], ms[i + 1]
+    r_lo, r_hi = rs[i], rs[i + 1]
+    if r_hi <= r_lo:  # flat or noisy segment: stay at the safe end
+        return max(int(m_lo), m_min)
+    frac = (rho - r_lo) / (r_hi - r_lo)
+    return max(int(np.floor(m_lo + frac * (m_hi - m_lo))), m_min)
+
+
+class OracleController(Controller):
+    """Proposes the precomputed optimum ``μ`` from step one."""
+
+    def __init__(self, mu: int, m_min: int = 2, m_max: int = 1024):
+        super().__init__()
+        if mu < 1:
+            raise ControllerError(f"oracle target must be >= 1, got {mu}")
+        self.mu = clamp(mu, m_min, m_max)
+
+    @classmethod
+    def from_curve(
+        cls, curve: ConflictCurve, rho: float, m_min: int = 2, m_max: int = 1024
+    ) -> "OracleController":
+        """Build directly from a measured conflict-ratio curve."""
+        return cls(mu_from_curve(curve, rho, m_min=m_min), m_min=m_min, m_max=m_max)
+
+    def _next_m(self) -> int:
+        return self.mu

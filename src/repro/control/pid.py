@@ -1,0 +1,82 @@
+"""PI baseline controller in log-allocation space.
+
+A textbook proportional–integral loop on the error ``e = ρ − r``.  The
+plant gain is multiplicative (doubling ``m`` roughly doubles a small
+``r̄(m)``, per Fig. 2's initial linearity), so the natural actuation space
+is ``log m``::
+
+    log m ← log m + K_p·(e − e_prev) + K_i·e        (velocity form)
+
+The velocity form avoids integral wind-up at the clamps.  Included to show
+where a generic control-theory answer lands between the paper's
+purpose-built recurrences: with well-tuned gains it tracks acceptably but
+needs that tuning per workload, while Algorithm 1's gains come from the
+structure of ``r̄(m)`` itself.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.control.base import Controller, clamp
+from repro.errors import ControllerError
+
+__all__ = ["PIController"]
+
+
+class PIController(Controller):
+    """Windowed velocity-form PI loop on ``log m``."""
+
+    def __init__(
+        self,
+        rho: float,
+        m0: int = 2,
+        m_min: int = 2,
+        m_max: int = 1024,
+        period: int = 4,
+        kp: float = 2.0,
+        ki: float = 4.0,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < rho < 1.0:
+            raise ControllerError(f"target conflict ratio must be in (0,1), got {rho}")
+        if period < 1:
+            raise ControllerError(f"averaging period must be >= 1, got {period}")
+        if m_min < 1 or m_min > m_max:
+            raise ControllerError(f"bad allocation range [{m_min}, {m_max}]")
+        self.rho = float(rho)
+        self.m0 = int(m0)
+        self.m_min = int(m_min)
+        self.m_max = int(m_max)
+        self.period = int(period)
+        self.kp = float(kp)
+        self.ki = float(ki)
+        self._do_reset()
+
+    def _do_reset(self) -> None:
+        self._log_m = math.log(max(self.m0, 1))
+        self._m = clamp(self.m0, self.m_min, self.m_max)
+        self._acc = 0.0
+        self._count = 0
+        self._prev_error: float | None = None
+
+    def _next_m(self) -> int:
+        return self._m
+
+    def _ingest(self, r: float, launched: int) -> None:
+        self._acc += r
+        self._count += 1
+        if self._count < self.period:
+            return
+        avg = self._acc / self.period
+        self._acc = 0.0
+        self._count = 0
+        error = self.rho - avg
+        delta = self.ki * error
+        if self._prev_error is not None:
+            delta += self.kp * (error - self._prev_error)
+        self._prev_error = error
+        self._log_m += delta
+        # keep the latent state inside the actuator range (anti-windup)
+        self._log_m = min(max(self._log_m, math.log(self.m_min)), math.log(self.m_max))
+        self._m = clamp(math.exp(self._log_m), self.m_min, self.m_max)

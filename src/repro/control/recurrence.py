@@ -1,0 +1,114 @@
+"""The paper's two elementary recurrences (§4, Eq. 32–33).
+
+Both adjust the allocation every ``T`` steps from the conflict ratio
+averaged over that window (the paper's first implementation optimisation —
+per-step realisations ``r_t`` are far too noisy, especially at small ``m``):
+
+* **Recurrence A** (Eq. 32)::
+
+      m ← ⌈(1 − r + ρ) · m⌉
+
+  Multiplicative nudging by the distance between observation and target.
+  Slow (per window the growth factor is at most ``1 + ρ``) but robust to
+  noise: an error ``ε`` in ``r`` perturbs ``m`` by only ``ε·m``.
+
+* **Recurrence B** (Eq. 33)::
+
+      m ← ⌈(ρ / r) · m⌉
+
+  Assumes the conflict-ratio curve is initially linear through the origin
+  (the experimental fact of Fig. 2), so it jumps straight to the predicted
+  target.  Convergence is then essentially one window, but the division
+  amplifies noise when ``r`` is small — hence the ``r_min`` floor.
+
+The hybrid Algorithm 1 (:mod:`repro.control.hybrid`) switches between the
+two; these standalone controllers exist for the Fig. 3 comparison and the
+ablations.
+"""
+
+from __future__ import annotations
+
+from repro.control.base import Controller, clamp
+from repro.errors import ControllerError
+
+__all__ = ["WindowedController", "RecurrenceAController", "RecurrenceBController"]
+
+
+class WindowedController(Controller):
+    """Shared machinery: average ``r`` over ``T`` steps, then update ``m``.
+
+    Subclasses implement :meth:`_update` mapping the windowed average to a
+    new (unclamped) allocation.
+    """
+
+    def __init__(
+        self,
+        rho: float,
+        m0: int = 2,
+        m_min: int = 2,
+        m_max: int = 1024,
+        period: int = 4,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < rho < 1.0:
+            raise ControllerError(f"target conflict ratio must be in (0,1), got {rho}")
+        if period < 1:
+            raise ControllerError(f"averaging period must be >= 1, got {period}")
+        if m_min < 1:
+            raise ControllerError(f"m_min must be >= 1, got {m_min}")
+        if m_min > m_max:
+            raise ControllerError(f"empty allocation range [{m_min}, {m_max}]")
+        self.rho = float(rho)
+        self.m0 = int(m0)
+        self.m_min = int(m_min)
+        self.m_max = int(m_max)
+        self.period = int(period)
+        self._do_reset()
+
+    def _do_reset(self) -> None:
+        self._m = clamp(self.m0, self.m_min, self.m_max)
+        self._acc = 0.0
+        self._count = 0
+
+    def _next_m(self) -> int:
+        return self._m
+
+    def _ingest(self, r: float, launched: int) -> None:
+        self._acc += r
+        self._count += 1
+        if self._count == self.period:
+            avg = self._acc / self.period
+            self._m = clamp(self._update(avg), self.m_min, self.m_max)
+            self._acc = 0.0
+            self._count = 0
+
+    def _update(self, avg_r: float) -> float:  # pragma: no cover - abstract-ish
+        raise NotImplementedError
+
+
+class RecurrenceAController(WindowedController):
+    """Recurrence A only: ``m ← ⌈(1 − r + ρ)·m⌉`` every window."""
+
+    def _update(self, avg_r: float) -> float:
+        return (1.0 - avg_r + self.rho) * self._m
+
+
+class RecurrenceBController(WindowedController):
+    """Recurrence B only: ``m ← ⌈(ρ/max(r, r_min))·m⌉`` every window."""
+
+    def __init__(
+        self,
+        rho: float,
+        m0: int = 2,
+        m_min: int = 2,
+        m_max: int = 1024,
+        period: int = 4,
+        r_min: float = 0.03,
+    ) -> None:
+        if not 0.0 < r_min < 1.0:
+            raise ControllerError(f"r_min must be in (0,1), got {r_min}")
+        super().__init__(rho, m0=m0, m_min=m_min, m_max=m_max, period=period)
+        self.r_min = float(r_min)
+
+    def _update(self, avg_r: float) -> float:
+        return (self.rho / max(avg_r, self.r_min)) * self._m

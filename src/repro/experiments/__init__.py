@@ -1,0 +1,10 @@
+"""Experiment modules — one per paper figure/claim, plus ablations.
+
+See DESIGN.md §4 for the experiment index.  Run them via::
+
+    python -m repro.experiments <name> [--seed N] [--quick]
+"""
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["ExperimentResult"]

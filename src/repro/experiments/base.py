@@ -1,0 +1,118 @@
+"""Common output container for the experiment modules.
+
+Each experiment module produces an :class:`ExperimentResult`: named tables
+and series plus free-form notes, renderable as plain text (we run
+headless, so "figures" are emitted as tables + sparklines).  The benchmark
+harness and the CLI runner both consume this type.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.utils.svgplot import LinePlot
+from repro.utils.tables import format_series, format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Data produced by one experiment run."""
+
+    name: str
+    description: str
+    tables: list[tuple[str, Sequence[str], list[Sequence[object]]]] = field(
+        default_factory=list
+    )
+    series: list[tuple[str, Sequence[float], Sequence[float]]] = field(
+        default_factory=list
+    )
+    notes: list[str] = field(default_factory=list)
+    scalars: dict[str, float] = field(default_factory=dict)
+
+    def add_table(
+        self, title: str, headers: Sequence[str], rows: list[Sequence[object]]
+    ) -> None:
+        self.tables.append((title, headers, rows))
+
+    def add_series(self, name: str, xs: Sequence[float], ys: Sequence[float]) -> None:
+        self.series.append((name, xs, ys))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Human-readable report of the whole experiment."""
+        parts = [f"== {self.name} ==", self.description, ""]
+        for title, headers, rows in self.tables:
+            parts.append(format_table(headers, rows, title=title))
+            parts.append("")
+        for name, xs, ys in self.series:
+            parts.append(format_series(name, xs, ys))
+            parts.append("")
+        if self.scalars:
+            parts.append("scalars:")
+            for k, v in self.scalars.items():
+                parts.append(f"  {k} = {v:.6g}")
+            parts.append("")
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts).rstrip() + "\n"
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable dump of all tables/series/scalars."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "tables": [
+                {
+                    "title": title,
+                    "headers": list(headers),
+                    "rows": [list(row) for row in rows],
+                }
+                for title, headers, rows in self.tables
+            ],
+            "series": [
+                {"name": name, "x": list(map(float, xs)), "y": list(map(float, ys))}
+                for name, xs, ys in self.series
+            ],
+            "scalars": dict(self.scalars),
+            "notes": list(self.notes),
+        }
+
+    def save_json(self, path: "str | Path") -> None:
+        """Write :meth:`to_dict` as pretty-printed JSON."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True), encoding="utf-8"
+        )
+
+    def to_svg(
+        self,
+        path: "str | Path",
+        series: "Sequence[str] | None" = None,
+        xlabel: str = "",
+        ylabel: str = "",
+        log_x: bool = False,
+    ) -> None:
+        """Render (selected) series as one SVG line chart at *path*."""
+        chosen = [
+            (name, xs, ys)
+            for name, xs, ys in self.series
+            if series is None or name in series
+        ]
+        if not chosen:
+            raise ExperimentError(
+                f"no matching series to plot (asked for {series!r})"
+            )
+        plot = LinePlot(title=self.name, xlabel=xlabel, ylabel=ylabel, log_x=log_x)
+        for name, xs, ys in chosen:
+            plot.add_series(name, xs, ys)
+        plot.save(path)

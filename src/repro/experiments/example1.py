@@ -1,0 +1,71 @@
+"""EX1 — the clique-plus-isolated-nodes example (paper Example 1).
+
+``G = K_{n²} ∪ D_n``: a clique of ``n²`` nodes plus ``n`` isolated nodes.
+Every maximal independent set has size exactly ``n + 1`` (one clique node
+plus all isolated ones), yet drawing ``m = n + 1`` nodes uniformly at
+random yields **≈ 2** independent nodes in expectation: roughly one clique
+member (any sample almost surely hits the clique, and exactly one of those
+commits) plus ≈ ``(n+1)·n/(n²+n) = 1`` isolated node.
+
+The point of the example: maximal-IS size wildly overestimates the
+parallelism a *random* scheduler can exploit — the justification for
+analysing ``EM_m`` of random induced subgraphs instead (Thm. 2).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.graph.generators import clique_plus_isolated
+from repro.model.conflict_ratio import estimate_em, first_come_bound
+from repro.utils.rng import ensure_rng, spawn
+
+__all__ = ["expected_committed_exact", "run"]
+
+
+def expected_committed_exact(n: int) -> float:
+    """Closed-form E[#independent] when drawing ``n+1`` of ``K_{n²} ∪ D_n``.
+
+    Exactly: E = P[sample hits the clique] + E[#isolated drawn]
+             = (1 − Π_{i=0}^{n} (n − i)/(n² + n − i)) + (n+1)·n/(n²+n).
+
+    The clique contributes one committed node iff hit; each isolated node
+    is committed iff drawn.
+    """
+    total = n * n + n
+    m = n + 1
+    miss = 1.0
+    for i in range(m):
+        miss *= (n - i) / (total - i)
+    e_isolated = m * n / total
+    return (1.0 - miss) + e_isolated
+
+
+def run(sizes: tuple[int, ...] = (10, 20, 40), reps: int = 2000, seed=None) -> ExperimentResult:
+    """MC vs closed form vs the maximal-IS size ``n + 1``."""
+    rng = ensure_rng(seed)
+    result = ExperimentResult(
+        name="EX1 clique plus isolated nodes",
+        description=(
+            "K_{n²} ∪ D_n: maximal IS has size n+1, but a random (n+1)-sample "
+            "contains ≈2 independent nodes on average."
+        ),
+    )
+    rows = []
+    for n, child in zip(sizes, spawn(rng, len(sizes))):
+        g = clique_plus_isolated(n * n, n)
+        m = n + 1
+        mc = estimate_em(g, m, reps=reps, seed=child)
+        exact = expected_committed_exact(n)
+        bm = first_come_bound(g, m)
+        rows.append((n, n + 1, exact, mc.mean, mc.half_width, bm))
+        result.scalars[f"exact_n{n}"] = exact
+    result.add_table(
+        "expected independent nodes among a random (n+1)-sample",
+        ["n", "maximal IS", "exact E", "MC E", "±", "b_m bound"],
+        rows,
+    )
+    result.add_note(
+        "The committed expectation stays ≈2 while the maximal IS grows as n+1: "
+        "available ≠ exploitable parallelism."
+    )
+    return result

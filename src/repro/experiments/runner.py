@@ -1,0 +1,172 @@
+"""Experiment CLI: ``python -m repro.experiments <name> [options]``.
+
+Runs one or all experiments and prints their rendered reports.  Every
+experiment accepts ``--seed`` for reproducibility and ``--quick`` for a
+reduced-size run (used by the test suite; the benchmarks run full size).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+
+from repro.experiments import (
+    ablation,
+    adaptation,
+    apps_eval,
+    costs,
+    example1,
+    fig1,
+    fig2,
+    fig3,
+    ordered,
+    pareto,
+    theory,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+
+def _fig1(seed, quick: bool) -> ExperimentResult:
+    return fig1.run(seed=seed)  # tiny either way
+
+
+def _fig2(seed, quick: bool) -> ExperimentResult:
+    if quick:
+        return fig2.run(n=400, d=8, grid_size=10, reps=30, seed=seed)
+    return fig2.run(seed=seed)
+
+
+def _fig3(seed, quick: bool) -> ExperimentResult:
+    if quick:
+        return fig3.run(n=500, degrees=(8, 24), steps=80, seed=seed)
+    return fig3.run(seed=seed)
+
+
+def _example1(seed, quick: bool) -> ExperimentResult:
+    if quick:
+        return example1.run(sizes=(8, 16), reps=400, seed=seed)
+    return example1.run(seed=seed)
+
+
+def _theory(seed, quick: bool) -> ExperimentResult:
+    if quick:
+        return theory.run(n=170, d=16, reps=300, seed=seed)
+    return theory.run(seed=seed)
+
+
+def _adaptation(seed, quick: bool) -> ExperimentResult:
+    if quick:
+        return adaptation.run(profiles=("step",), total_tasks=600, seed=seed)
+    return adaptation.run(seed=seed)
+
+
+def _apps(seed, quick: bool) -> ExperimentResult:
+    if quick:
+        return apps_eval.run(
+            apps=("boruvka", "coloring"), scale=150, fixed_ms=(2, 16), seed=seed
+        )
+    return apps_eval.run(seed=seed)
+
+
+def _ablation(seed, quick: bool) -> ExperimentResult:
+    if quick:
+        return ablation.run(n=500, d=12, steps=80, replications=2, seed=seed)
+    return ablation.run(seed=seed)
+
+
+def _costs(seed, quick: bool) -> ExperimentResult:
+    if quick:
+        return costs.run(
+            n=400, d=10, abort_factors=(1.0, 4.0), rhos=(0.1, 0.3), replications=1, seed=seed
+        )
+    return costs.run(seed=seed)
+
+
+def _pareto(seed, quick: bool) -> ExperimentResult:
+    if quick:
+        return pareto.run(n=500, d=10, rhos=(0.1, 0.3), replications=1, seed=seed)
+    return pareto.run(seed=seed)
+
+
+def _ordered(seed, quick: bool) -> ExperimentResult:
+    if quick:
+        return ordered.run(
+            num_stations=12, num_jobs=15, end_time=12.0, fixed_ms=(1, 4, 16), seed=seed
+        )
+    return ordered.run(seed=seed)
+
+
+EXPERIMENTS: dict[str, Callable[[object, bool], ExperimentResult]] = {
+    "fig1": _fig1,
+    "fig2": _fig2,
+    "fig3": _fig3,
+    "example1": _example1,
+    "theory": _theory,
+    "adaptation": _adaptation,
+    "apps": _apps,
+    "ablation": _ablation,
+    "ordered": _ordered,
+    "pareto": _pareto,
+    "costs": _costs,
+}
+
+
+def run_experiment(name: str, seed=None, quick: bool = False) -> ExperimentResult:
+    """Run one experiment by registry name."""
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(seed, quick)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's figures/claims as text reports.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="all",
+        help=f"one of {sorted(EXPERIMENTS)} or 'all' (default)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed (default 0)")
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced problem sizes (CI-fast)"
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=None,
+        help="also save <name>.txt/.json (and .svg when the experiment has "
+        "series) into this directory",
+    )
+    args = parser.parse_args(argv)
+    out_dir = None
+    if args.output_dir is not None:
+        from pathlib import Path
+
+        out_dir = Path(args.output_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        try:
+            result = run_experiment(name, seed=args.seed, quick=args.quick)
+        except ValueError as exc:
+            parser.error(str(exc))
+        print(result.render())
+        if out_dir is not None:
+            (out_dir / f"{name}.txt").write_text(result.render(), encoding="utf-8")
+            result.save_json(out_dir / f"{name}.json")
+            if result.series:
+                result.to_svg(out_dir / f"{name}.svg")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

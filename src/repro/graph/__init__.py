@@ -1,0 +1,59 @@
+"""CC-graph substrate: dynamic conflict graphs, generators, morphs, I/O."""
+
+from repro.graph.ccgraph import CCGraph, GraphSnapshot
+from repro.graph.generators import (
+    clique_plus_isolated,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    gnm_random,
+    gnp_random,
+    grid_graph,
+    kdn_worst_case,
+    path_graph,
+    powerlaw_graph,
+    random_geometric,
+    random_regular,
+    union_of_cliques,
+)
+from repro.graph.io import (
+    dumps_dimacs,
+    dumps_edgelist,
+    loads_dimacs,
+    loads_edgelist,
+    read_dimacs,
+    read_edgelist,
+    write_dimacs,
+    write_edgelist,
+)
+from repro.graph.morph import attach_clique, boundary, contract_nodes, replace_cavity
+
+__all__ = [
+    "CCGraph",
+    "GraphSnapshot",
+    "clique_plus_isolated",
+    "complete_graph",
+    "cycle_graph",
+    "empty_graph",
+    "gnm_random",
+    "gnp_random",
+    "grid_graph",
+    "kdn_worst_case",
+    "path_graph",
+    "powerlaw_graph",
+    "random_geometric",
+    "random_regular",
+    "union_of_cliques",
+    "dumps_dimacs",
+    "dumps_edgelist",
+    "loads_dimacs",
+    "loads_edgelist",
+    "read_dimacs",
+    "read_edgelist",
+    "write_dimacs",
+    "write_edgelist",
+    "attach_clique",
+    "boundary",
+    "contract_nodes",
+    "replace_cavity",
+]

@@ -1,0 +1,146 @@
+"""Graph persistence: native edge lists and DIMACS.
+
+Two formats:
+
+* the native text format — a header ``# nodes <n>`` plus one ``u v`` pair
+  per line (0-based), node ids remapped to ``0..n-1`` on write so files
+  are stable regardless of the source graph's free-list history;
+* the **DIMACS edge format** used by the irregular-algorithms community's
+  benchmark inputs — ``p edge <n> <m>`` plus ``e <u> <v>`` lines
+  (1-based), comments on ``c`` lines.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.errors import GraphError
+from repro.graph.ccgraph import CCGraph
+
+__all__ = [
+    "write_edgelist",
+    "read_edgelist",
+    "dumps_edgelist",
+    "loads_edgelist",
+    "dumps_dimacs",
+    "loads_dimacs",
+    "write_dimacs",
+    "read_dimacs",
+]
+
+
+def dumps_edgelist(graph: CCGraph) -> str:
+    """Serialise *graph* to the edge-list text format."""
+    remap = {u: i for i, u in enumerate(graph.nodes())}
+    buf = io.StringIO()
+    buf.write(f"# nodes {graph.num_nodes}\n")
+    for u, v in sorted((remap[u], remap[v]) for u, v in graph.edges()):
+        buf.write(f"{u} {v}\n")
+    return buf.getvalue()
+
+
+def loads_edgelist(text: str) -> CCGraph:
+    """Parse the edge-list text format back into a :class:`CCGraph`."""
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith("# nodes "):
+        raise GraphError("edge-list input missing '# nodes <n>' header")
+    try:
+        n = int(lines[0].split()[2])
+    except (IndexError, ValueError) as exc:
+        raise GraphError(f"bad header line {lines[0]!r}") from exc
+    if n < 0:
+        raise GraphError(f"negative node count {n} in header")
+    g = CCGraph.from_edges(n, [])
+    for lineno, line in enumerate(lines[1:], start=2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise GraphError(f"line {lineno}: expected 'u v', got {line!r}")
+        try:
+            u, v = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise GraphError(f"line {lineno}: non-integer endpoint in {line!r}") from exc
+        if not (0 <= u < n and 0 <= v < n):
+            raise GraphError(f"line {lineno}: endpoint outside 0..{n - 1}")
+        g.add_edge(u, v)
+    return g
+
+
+def dumps_dimacs(graph: CCGraph, comment: str = "") -> str:
+    """Serialise *graph* in DIMACS edge format (1-based node ids)."""
+    remap = {u: i + 1 for i, u in enumerate(graph.nodes())}
+    buf = io.StringIO()
+    if comment:
+        for line in comment.splitlines():
+            buf.write(f"c {line}\n")
+    buf.write(f"p edge {graph.num_nodes} {graph.num_edges}\n")
+    for u, v in sorted((remap[u], remap[v]) for u, v in graph.edges()):
+        buf.write(f"e {u} {v}\n")
+    return buf.getvalue()
+
+
+def loads_dimacs(text: str) -> CCGraph:
+    """Parse DIMACS edge format into a :class:`CCGraph` (0-based ids)."""
+    g: CCGraph | None = None
+    declared_edges = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        parts = line.split()
+        if parts[0] == "p":
+            if g is not None:
+                raise GraphError(f"line {lineno}: duplicate problem line")
+            if len(parts) != 4 or parts[1] not in ("edge", "col"):
+                raise GraphError(f"line {lineno}: malformed problem line {line!r}")
+            try:
+                n, declared_edges = int(parts[2]), int(parts[3])
+            except ValueError as exc:
+                raise GraphError(f"line {lineno}: non-integer sizes") from exc
+            if n < 0 or declared_edges < 0:
+                raise GraphError(f"line {lineno}: negative sizes")
+            g = CCGraph.from_edges(n, [])
+        elif parts[0] == "e":
+            if g is None:
+                raise GraphError(f"line {lineno}: edge before problem line")
+            if len(parts) != 3:
+                raise GraphError(f"line {lineno}: malformed edge line {line!r}")
+            try:
+                u, v = int(parts[1]), int(parts[2])
+            except ValueError as exc:
+                raise GraphError(f"line {lineno}: non-integer endpoint") from exc
+            if not (1 <= u <= g.num_nodes and 1 <= v <= g.num_nodes):
+                raise GraphError(f"line {lineno}: endpoint outside 1..{g.num_nodes}")
+            g.add_edge(u - 1, v - 1)
+        else:
+            raise GraphError(f"line {lineno}: unknown record type {parts[0]!r}")
+    if g is None:
+        raise GraphError("DIMACS input has no problem line")
+    if g.num_edges != declared_edges:
+        raise GraphError(
+            f"problem line declared {declared_edges} edges, found {g.num_edges}"
+        )
+    return g
+
+
+def write_dimacs(graph: CCGraph, path: "str | Path", comment: str = "") -> None:
+    """Write *graph* to *path* in DIMACS edge format."""
+    Path(path).write_text(dumps_dimacs(graph, comment=comment), encoding="utf-8")
+
+
+def read_dimacs(path: "str | Path") -> CCGraph:
+    """Read a DIMACS edge-format graph from *path*."""
+    return loads_dimacs(Path(path).read_text(encoding="utf-8"))
+
+
+def write_edgelist(graph: CCGraph, path: "str | Path") -> None:
+    """Write *graph* to *path* in the edge-list text format."""
+    Path(path).write_text(dumps_edgelist(graph), encoding="utf-8")
+
+
+def read_edgelist(path: "str | Path") -> CCGraph:
+    """Read a :class:`CCGraph` from *path*."""
+    return loads_edgelist(Path(path).read_text(encoding="utf-8"))

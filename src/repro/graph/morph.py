@@ -1,0 +1,102 @@
+"""Graph-morphing helpers for dynamic CC graphs.
+
+Amorphous data-parallel operators do more than delete their own node: mesh
+refinement replaces a *cavity* of tasks with freshly created ones, Borůvka
+contracts components, clustering merges neighbourhoods.  These helpers
+express those rewrites on a :class:`~repro.graph.CCGraph` so applications
+and synthetic workloads share one vocabulary.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import GraphError, NodeNotFoundError
+from repro.graph.ccgraph import CCGraph
+
+__all__ = ["replace_cavity", "contract_nodes", "attach_clique", "boundary"]
+
+
+def boundary(graph: CCGraph, cavity: Iterable[int]) -> set[int]:
+    """Nodes outside *cavity* adjacent to at least one cavity node."""
+    cav = set(cavity)
+    out: set[int] = set()
+    for u in cav:
+        out |= graph.neighbors(u)
+    return out - cav
+
+
+def replace_cavity(
+    graph: CCGraph,
+    cavity: Iterable[int],
+    num_new: int,
+    connect_boundary: bool = True,
+    clique_new: bool = True,
+) -> list[int]:
+    """Delete *cavity* and insert ``num_new`` replacement tasks.
+
+    Mirrors Delaunay refinement: the retriangulated region spawns new
+    (possibly bad) triangles that conflict with each other (``clique_new``)
+    and with the tasks that surrounded the old cavity
+    (``connect_boundary``).  Returns the new node ids.
+    """
+    cav = list(dict.fromkeys(cavity))
+    if not cav:
+        raise GraphError("cavity must contain at least one node")
+    if num_new < 0:
+        raise GraphError(f"cannot create {num_new} nodes")
+    rim = boundary(graph, cav)
+    for u in cav:
+        graph.remove_node(u)
+    new_ids = [graph.add_node() for _ in range(num_new)]
+    if clique_new:
+        for i, u in enumerate(new_ids):
+            for v in new_ids[i + 1 :]:
+                graph.add_edge(u, v)
+    if connect_boundary:
+        for u in new_ids:
+            for v in rim:
+                graph.add_edge(u, v)
+    return new_ids
+
+
+def contract_nodes(graph: CCGraph, nodes: Iterable[int]) -> int:
+    """Merge *nodes* into a single fresh node inheriting their union
+    neighbourhood (Borůvka-style component contraction).
+
+    Returns the id of the merged node.
+    """
+    group = list(dict.fromkeys(nodes))
+    if not group:
+        raise GraphError("cannot contract an empty node set")
+    for u in group:
+        if u not in graph:
+            raise NodeNotFoundError(u)
+    rim = boundary(graph, group)
+    for u in group:
+        graph.remove_node(u)
+    merged = graph.add_node()
+    for v in rim:
+        graph.add_edge(merged, v)
+    return merged
+
+
+def attach_clique(graph: CCGraph, size: int, anchors: Iterable[int] = ()) -> list[int]:
+    """Insert a fresh ``size``-clique wired to every *anchor* node.
+
+    Used by synthetic workloads to inject a burst of mutually conflicting
+    tasks (a sudden drop in available parallelism).
+    """
+    if size < 0:
+        raise GraphError(f"cannot create {size} nodes")
+    anchor_list = list(dict.fromkeys(anchors))
+    for a in anchor_list:
+        if a not in graph:
+            raise NodeNotFoundError(a)
+    new_ids = [graph.add_node() for _ in range(size)]
+    for i, u in enumerate(new_ids):
+        for v in new_ids[i + 1 :]:
+            graph.add_edge(u, v)
+        for a in anchor_list:
+            graph.add_edge(u, a)
+    return new_ids

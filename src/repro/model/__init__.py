@@ -1,0 +1,89 @@
+"""Analytic model layer: conflict ratios, Turán bounds, seating, profiles."""
+
+from repro.model.conflict_ratio import (
+    ConflictCurve,
+    conflict_ratio_curve,
+    estimate_conflict_ratio,
+    estimate_em,
+    estimate_kbar,
+    exact_conflict_ratio,
+    exact_kbar,
+    first_come_bound,
+    first_come_probability,
+)
+from repro.model.noise import (
+    false_trigger_probability,
+    suggest_deadband,
+    suggest_period,
+    window_std,
+)
+from repro.model.parallelism import (
+    ParallelismProfile,
+    measure_profile,
+    profile_from_run,
+    profile_summary,
+)
+from repro.model.permutation import (
+    PrefixSampler,
+    committed_mask_csr,
+    committed_set,
+    conflict_count,
+    conflict_ratio_realization,
+)
+from repro.model.seating import (
+    cycle_expected_occupancy,
+    expected_mis,
+    path_expected_occupancy,
+    seating_density_limit,
+)
+from repro.model.turan import (
+    alpha_conflict_bound,
+    alpha_conflict_bound_limit,
+    em_disjoint_cliques,
+    em_kdn,
+    initial_derivative,
+    predict_mu_linear,
+    safe_initial_m,
+    turan_bound,
+    worst_case_conflict_ratio,
+    worst_case_conflict_ratio_approx,
+)
+
+__all__ = [
+    "ConflictCurve",
+    "conflict_ratio_curve",
+    "estimate_conflict_ratio",
+    "estimate_em",
+    "estimate_kbar",
+    "exact_conflict_ratio",
+    "exact_kbar",
+    "first_come_bound",
+    "first_come_probability",
+    "false_trigger_probability",
+    "suggest_deadband",
+    "suggest_period",
+    "window_std",
+    "ParallelismProfile",
+    "measure_profile",
+    "profile_from_run",
+    "profile_summary",
+    "PrefixSampler",
+    "committed_mask_csr",
+    "committed_set",
+    "conflict_count",
+    "conflict_ratio_realization",
+    "cycle_expected_occupancy",
+    "expected_mis",
+    "path_expected_occupancy",
+    "seating_density_limit",
+    "alpha_conflict_bound",
+    "alpha_conflict_bound_limit",
+    "em_disjoint_cliques",
+    "em_kdn",
+    "initial_derivative",
+    "predict_mu_linear",
+    "safe_initial_m",
+    "turan_bound",
+    "worst_case_conflict_ratio",
+    "worst_case_conflict_ratio_approx",
+]

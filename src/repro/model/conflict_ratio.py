@@ -1,0 +1,215 @@
+"""Estimators of the conflict ratio ``r̄(m)`` and its relatives (§2.1, §3).
+
+Quantities, in the paper's notation, for a static CC graph ``G`` with ``n``
+nodes:
+
+* ``k̄(m) = E[k(π_m)]`` — expected aborts over uniform ordered ``m``-prefixes
+  (Lemma 1: non-decreasing, convex).
+* ``r̄(m) = k̄(m)/m`` — the conflict ratio (Prop. 1: non-decreasing).
+* ``EM_m(G) = m − k̄(m)`` — expected size of the greedy maximal independent
+  set of the induced prefix subgraph (Thm. 2's quantity).
+* ``b_m(G)`` — expected size of the *first-come* independent set (a node
+  enters iff **no** neighbour precedes it, committed or not); Eq. (19–21)
+  give it in closed form from the degree sequence alone, and
+  ``b_m(G) ≤ EM_m(G)`` with equality on disjoint unions of cliques.
+
+Everything stochastic is Monte-Carlo over the vectorised commit kernel; the
+tiny-graph exact routine enumerates all ordered prefixes and is used to
+validate the MC machinery in the tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.graph.ccgraph import CCGraph, GraphSnapshot
+from repro.model.permutation import PrefixSampler, committed_set
+from repro.utils.rng import ensure_rng
+from repro.utils.stats import MeanCI, mean_ci
+
+__all__ = [
+    "ConflictCurve",
+    "estimate_conflict_ratio",
+    "estimate_kbar",
+    "estimate_em",
+    "conflict_ratio_curve",
+    "exact_conflict_ratio",
+    "exact_kbar",
+    "first_come_bound",
+    "first_come_probability",
+]
+
+
+@dataclass(frozen=True)
+class ConflictCurve:
+    """A sampled conflict-ratio curve ``m ↦ r̄(m)`` with uncertainty."""
+
+    ms: np.ndarray
+    ratios: np.ndarray
+    half_widths: np.ndarray
+    replications: int
+
+    def __post_init__(self) -> None:
+        if not (len(self.ms) == len(self.ratios) == len(self.half_widths)):
+            raise ModelError("curve arrays must have equal length")
+
+    def as_rows(self) -> list[tuple[int, float, float]]:
+        """``(m, r̄, ±)`` rows for table rendering."""
+        return [
+            (int(m), float(r), float(h))
+            for m, r, h in zip(self.ms, self.ratios, self.half_widths)
+        ]
+
+    def interpolate(self, m: float) -> float:
+        """Piecewise-linear interpolation of the sampled curve."""
+        return float(np.interp(m, self.ms, self.ratios))
+
+
+def _sample_commits(
+    snapshot: GraphSnapshot, m: int, reps: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``float[reps]`` committed counts over independent random prefixes."""
+    if reps < 1:
+        raise ModelError(f"need at least one replication, got {reps}")
+    sampler = PrefixSampler(snapshot, rng)
+    out = np.empty(reps, dtype=float)
+    for i in range(reps):
+        out[i] = float(sampler.committed(m).sum())
+    return out
+
+
+def estimate_kbar(
+    graph: "CCGraph | GraphSnapshot", m: int, reps: int = 200, seed=None
+) -> MeanCI:
+    """Monte-Carlo estimate of ``k̄(m)`` with a 99% CI."""
+    snapshot = graph.snapshot() if isinstance(graph, CCGraph) else graph
+    rng = ensure_rng(seed)
+    commits = _sample_commits(snapshot, m, reps, rng)
+    return mean_ci(m - commits)
+
+
+def estimate_em(
+    graph: "CCGraph | GraphSnapshot", m: int, reps: int = 200, seed=None
+) -> MeanCI:
+    """Monte-Carlo estimate of ``EM_m(G)`` (expected greedy-MIS size)."""
+    snapshot = graph.snapshot() if isinstance(graph, CCGraph) else graph
+    rng = ensure_rng(seed)
+    commits = _sample_commits(snapshot, m, reps, rng)
+    return mean_ci(commits)
+
+
+def estimate_conflict_ratio(
+    graph: "CCGraph | GraphSnapshot", m: int, reps: int = 200, seed=None
+) -> MeanCI:
+    """Monte-Carlo estimate of ``r̄(m)`` with a 99% CI."""
+    if m <= 0:
+        raise ModelError(f"conflict ratio needs m >= 1, got {m}")
+    snapshot = graph.snapshot() if isinstance(graph, CCGraph) else graph
+    rng = ensure_rng(seed)
+    commits = _sample_commits(snapshot, m, reps, rng)
+    return mean_ci((m - commits) / m)
+
+
+def conflict_ratio_curve(
+    graph: "CCGraph | GraphSnapshot",
+    ms: "np.ndarray | list[int]",
+    reps: int = 200,
+    seed=None,
+) -> ConflictCurve:
+    """Sample ``r̄(m)`` over a grid of prefix lengths *ms*."""
+    snapshot = graph.snapshot() if isinstance(graph, CCGraph) else graph
+    rng = ensure_rng(seed)
+    ms_arr = np.asarray(sorted(int(m) for m in ms), dtype=np.int64)
+    if ms_arr.size == 0:
+        raise ModelError("empty m-grid")
+    if ms_arr[0] < 1 or ms_arr[-1] > snapshot.num_nodes:
+        raise ModelError(
+            f"m-grid must lie in [1, {snapshot.num_nodes}], got "
+            f"[{ms_arr[0]}, {ms_arr[-1]}]"
+        )
+    ratios = np.empty(ms_arr.shape[0])
+    halves = np.empty(ms_arr.shape[0])
+    for i, m in enumerate(ms_arr):
+        ci = estimate_conflict_ratio(snapshot, int(m), reps=reps, seed=rng)
+        ratios[i] = ci.mean
+        halves[i] = ci.half_width
+    return ConflictCurve(ms=ms_arr, ratios=ratios, half_widths=halves, replications=reps)
+
+
+def exact_kbar(graph: CCGraph, m: int) -> float:
+    """Exact ``k̄(m)`` by enumerating all ordered prefixes (tiny graphs).
+
+    Cost is ``n!/(n−m)!`` commit walks; intended for ``n ≤ 8`` in tests.
+    """
+    nodes = graph.nodes()
+    n = len(nodes)
+    if not 0 <= m <= n:
+        raise ModelError(f"m={m} out of range [0, {n}]")
+    if math.perm(n, m) > 2_000_000:
+        raise ModelError(
+            f"refusing exact enumeration of {math.perm(n, m)} prefixes; "
+            "use the Monte-Carlo estimator"
+        )
+    total = 0
+    count = 0
+    for order in itertools.permutations(nodes, m):
+        total += m - len(committed_set(graph, order))
+        count += 1
+    return total / count if count else 0.0
+
+
+def exact_conflict_ratio(graph: CCGraph, m: int) -> float:
+    """Exact ``r̄(m)`` by enumeration (tiny graphs only)."""
+    if m <= 0:
+        raise ModelError(f"conflict ratio needs m >= 1, got {m}")
+    return exact_kbar(graph, m) / m
+
+
+def first_come_probability(n: int, degree: int, m: int) -> float:
+    """Eq. (19): P[v ∈ IS_m] for a degree-``degree`` node.
+
+    ``IS_m`` is the first-come independent set: ``v`` enters iff it lies in
+    the first ``m`` positions and none of its neighbours precedes it::
+
+        P = (1/n) Σ_{j=1}^{m} Π_{i=1}^{j-1} (n−i−d_v)/(n−i)
+    """
+    if n <= 0:
+        raise ModelError(f"need n >= 1, got {n}")
+    if not 0 <= degree < n:
+        raise ModelError(f"degree {degree} out of range [0, {n - 1}]")
+    if not 0 <= m <= n:
+        raise ModelError(f"m={m} out of range [0, {n}]")
+    total = 0.0
+    prod = 1.0
+    for j in range(1, m + 1):
+        total += prod
+        # extend the product with the i = j factor for the next term
+        num = n - j - degree
+        den = n - j
+        prod *= max(num, 0) / den if den else 0.0
+    return total / n
+
+
+def first_come_bound(graph: "CCGraph | GraphSnapshot", m: int) -> float:
+    """Eq. (20): ``b_m(G)`` from the degree sequence (exact, closed form).
+
+    ``b_m(G) ≤ EM_m(G)`` for every graph (Thm. 2's proof device) with
+    equality when ``G`` is a disjoint union of cliques.
+    """
+    if isinstance(graph, CCGraph):
+        snapshot = graph.snapshot()
+    else:
+        snapshot = graph
+    n = snapshot.num_nodes
+    degrees = snapshot.degrees
+    counts = np.bincount(degrees) if n else np.zeros(1, dtype=np.int64)
+    total = 0.0
+    for d, c in enumerate(counts):
+        if c:
+            total += int(c) * first_come_probability(n, d, m)
+    return total

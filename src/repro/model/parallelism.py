@@ -1,0 +1,118 @@
+"""Parallelism profiles of irregular algorithms (à la LonESTAR [15]).
+
+A *parallelism profile* records, for each temporal step of an execution,
+how many tasks could have run together — operationally, the (expected) size
+of a maximal independent set of the current CC graph.  The paper uses such
+profiles to argue the controller must adapt fast (Delaunay refinement goes
+from no parallelism to ~1000 parallel tasks within ~30 steps).
+
+This module measures profiles from any object exposing the
+:class:`WorkloadProtocol` below — in practice a runtime engine trace or a
+replayed synthetic profile — and provides summary statistics (peak, rise
+time, burstiness) used by the adaptation experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.graph.ccgraph import CCGraph
+from repro.model.seating import expected_mis
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "ParallelismProfile",
+    "measure_profile",
+    "profile_from_run",
+    "profile_summary",
+]
+
+
+@dataclass(frozen=True)
+class ParallelismProfile:
+    """Available parallelism per temporal step.
+
+    ``available[t]`` is the (estimated) expected maximal-independent-set
+    size of the CC graph at step ``t``; ``workset[t]`` the number of
+    pending tasks.
+    """
+
+    available: np.ndarray
+    workset: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.available) != len(self.workset):
+            raise ModelError("profile arrays must have equal length")
+
+    def __len__(self) -> int:
+        return int(len(self.available))
+
+    @property
+    def peak(self) -> float:
+        """Maximum available parallelism over the run."""
+        return float(self.available.max()) if len(self.available) else 0.0
+
+    def rise_time(self, fraction: float = 0.9) -> int:
+        """First step at which availability reaches *fraction* of peak."""
+        if not 0 < fraction <= 1:
+            raise ModelError(f"fraction must be in (0, 1], got {fraction}")
+        if len(self.available) == 0:
+            return 0
+        target = fraction * self.peak
+        hits = np.nonzero(self.available >= target)[0]
+        return int(hits[0]) if hits.size else len(self.available)
+
+
+def measure_profile(
+    graphs: Sequence[CCGraph], reps: int = 50, seed=None
+) -> ParallelismProfile:
+    """Estimate the parallelism profile of a sequence of CC-graph states.
+
+    *graphs* is the per-step CC graph (e.g. captured by an engine hook);
+    each entry costs ``reps`` greedy-MIS Monte-Carlo draws.
+    """
+    rng = ensure_rng(seed)
+    avail = np.empty(len(graphs))
+    pending = np.empty(len(graphs))
+    for t, g in enumerate(graphs):
+        pending[t] = g.num_nodes
+        avail[t] = expected_mis(g, reps=reps, seed=rng).mean if g.num_nodes else 0.0
+    return ParallelismProfile(available=avail, workset=pending)
+
+
+def profile_from_run(result) -> ParallelismProfile:
+    """Observed-parallelism profile of a finished engine run.
+
+    Uses committed counts as the per-step *exploited* parallelism — a
+    lower bound on availability that needs no extra simulation (the [15]
+    methodology applied to our own traces).  Pass a
+    :class:`~repro.runtime.stats.RunResult`.
+    """
+    return ParallelismProfile(
+        available=np.asarray(result.committed_trace, dtype=float),
+        workset=np.asarray(result.workset_trace, dtype=float),
+    )
+
+
+def profile_summary(profile: ParallelismProfile) -> dict[str, float]:
+    """Headline numbers for a profile: peak, mean, rise time, burstiness.
+
+    *Burstiness* is the coefficient of variation of the step-to-step
+    availability changes — near 0 for smooth profiles, large for spiky
+    ones (the regime where controller speed matters most).
+    """
+    if len(profile) == 0:
+        return {"peak": 0.0, "mean": 0.0, "rise_time": 0.0, "burstiness": 0.0}
+    diffs = np.diff(profile.available) if len(profile) > 1 else np.zeros(1)
+    scale = float(np.abs(diffs).mean())
+    burst = float(diffs.std() / scale) if scale > 0 else 0.0
+    return {
+        "peak": profile.peak,
+        "mean": float(profile.available.mean()),
+        "rise_time": float(profile.rise_time()),
+        "burstiness": burst,
+    }

@@ -1,0 +1,95 @@
+"""The unfriendly seating problem (§3, refs [7, 8, 11]).
+
+The expected size of a greedy maximal independent set over a random arrival
+order — people refuse to sit next to an occupied seat — is the paper's
+measure of available parallelism.  We provide:
+
+* :func:`path_expected_occupancy` — exact ``E[|IS|]`` on the path ``P_n``
+  via the Freedman–Shepp splitting recurrence (O(n) with prefix sums):
+  the first person sits at a uniform seat ``i``, splitting the row into
+  independent sub-rows of ``i−2`` and ``n−i−1`` seats.
+* :func:`cycle_expected_occupancy` — exact on the cycle ``C_n`` (rotational
+  symmetry reduces it to one path instance).
+* :func:`seating_density_limit` — the classic limit density
+  ``(1 − e^{−2})/2 ≈ 0.432…``.
+* :func:`expected_mis` — Monte-Carlo greedy-MIS expectation for arbitrary
+  graphs (``EM_n`` in the paper's notation, i.e. a full permutation).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.graph.ccgraph import CCGraph, GraphSnapshot
+from repro.model.conflict_ratio import estimate_em
+from repro.utils.stats import MeanCI
+
+__all__ = [
+    "path_expected_occupancy",
+    "cycle_expected_occupancy",
+    "seating_density_limit",
+    "expected_mis",
+]
+
+
+def path_expected_occupancy(n: int) -> float:
+    """Exact expected greedy-MIS size on the path ``P_n``.
+
+    Recurrence: ``E_0 = 0``, ``E_1 = 1`` and for ``n ≥ 2``::
+
+        E_n = 1 + (1/n) Σ_{i=1}^{n} (E_{i−2} + E_{n−i−1})
+            = 1 + (2/n) Σ_{j=0}^{n−2} E_j
+
+    (seat ``i`` blocks seats ``i−1`` and ``i+1``; the two sides are
+    independent sub-paths).
+    """
+    if n < 0:
+        raise ModelError(f"negative seat count {n}")
+    if n == 0:
+        return 0.0
+    e = np.zeros(n + 1)
+    e[1] = 1.0
+    running = e[0] + e[1]  # Σ_{j=0}^{k-1} E_j while computing e[k]
+    for k in range(2, n + 1):
+        sum_upto = running - e[k - 1]  # Σ_{j=0}^{k-2} E_j
+        e[k] = 1.0 + 2.0 * sum_upto / k
+        running += e[k]
+    return float(e[n])
+
+
+def cycle_expected_occupancy(n: int) -> float:
+    """Exact expected greedy-MIS size on the cycle ``C_n``.
+
+    For ``n ≥ 3`` the first person's seat is immaterial by symmetry and
+    blocks both neighbours, leaving a path of ``n − 3`` seats::
+
+        C_n = 1 + E_{n−3}
+    """
+    if n < 0:
+        raise ModelError(f"negative seat count {n}")
+    if n < 3:
+        return path_expected_occupancy(n)
+    return 1.0 + path_expected_occupancy(n - 3)
+
+
+def seating_density_limit() -> float:
+    """The limiting occupied fraction on long paths: ``(1 − e^{−2})/2``."""
+    return (1.0 - math.exp(-2.0)) / 2.0
+
+
+def expected_mis(
+    graph: "CCGraph | GraphSnapshot", reps: int = 200, seed=None
+) -> MeanCI:
+    """Monte-Carlo expected greedy-MIS size over full random permutations.
+
+    This is ``EM_n(G)`` — the paper's (and [15]'s) per-step measure of
+    available amorphous data-parallelism.
+    """
+    snapshot = graph.snapshot() if isinstance(graph, CCGraph) else graph
+    n = snapshot.num_nodes
+    if n == 0:
+        return MeanCI(0.0, 0.0, reps)
+    return estimate_em(snapshot, n, reps=reps, seed=seed)

@@ -1,0 +1,60 @@
+"""Optimistic parallelization runtime: tasks, work-sets, conflicts, engine."""
+
+from repro.runtime.conflict import (
+    BatchOutcome,
+    ConflictPolicy,
+    ExplicitGraphPolicy,
+    ItemLockPolicy,
+)
+from repro.runtime.costs import (
+    CostModel,
+    CostTotals,
+    ScaledAbortCostModel,
+    UnitCostModel,
+)
+from repro.runtime.engine import OptimisticEngine
+from repro.runtime.ordered import OrderedBatchOutcome, OrderedEngine, PriorityWorkset
+from repro.runtime.recording import RunRecorder, diff_runs, load_run, save_run
+from repro.runtime.stats import RunResult, StepStats
+from repro.runtime.task import CallbackOperator, Operator, Task
+from repro.runtime.threads import ThreadedSpeculativeExecutor
+from repro.runtime.workloads import (
+    ConsumingGraphWorkload,
+    GraphWorkloadBase,
+    RegeneratingGraphWorkload,
+    ReplayGraphWorkload,
+)
+from repro.runtime.workset import FifoWorkset, LifoWorkset, RandomWorkset, Workset
+
+__all__ = [
+    "CostModel",
+    "CostTotals",
+    "ScaledAbortCostModel",
+    "UnitCostModel",
+    "BatchOutcome",
+    "ConflictPolicy",
+    "ExplicitGraphPolicy",
+    "ItemLockPolicy",
+    "OptimisticEngine",
+    "OrderedBatchOutcome",
+    "OrderedEngine",
+    "PriorityWorkset",
+    "RunRecorder",
+    "diff_runs",
+    "load_run",
+    "save_run",
+    "RunResult",
+    "StepStats",
+    "CallbackOperator",
+    "Operator",
+    "Task",
+    "ThreadedSpeculativeExecutor",
+    "ConsumingGraphWorkload",
+    "GraphWorkloadBase",
+    "RegeneratingGraphWorkload",
+    "ReplayGraphWorkload",
+    "FifoWorkset",
+    "LifoWorkset",
+    "RandomWorkset",
+    "Workset",
+]

@@ -1,0 +1,127 @@
+"""Conflict-detection policies.
+
+Given a speculative batch in commit order, a policy decides who commits and
+who aborts under the paper's semantics: walking the batch in order, a task
+commits iff it does not conflict with any *already committed* task of the
+batch (an earlier task that itself aborted does not block later ones).
+
+Two policies cover the two ways conflicts are specified:
+
+* :class:`ItemLockPolicy` — Galois-style: tasks declare neighbourhoods of
+  abstract data items (via the operator); a task conflicts with another iff
+  their neighbourhoods intersect.  Commit-order lock acquisition realises
+  the greedy-independent-set semantics without ever materialising the CC
+  graph.
+* :class:`ExplicitGraphPolicy` — model-style: conflicts are the edges of an
+  explicit :class:`~repro.graph.CCGraph` whose nodes are the task payloads
+  (used by synthetic CC-graph workloads and by the analytic experiments).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+from repro.errors import ConflictDetectionError
+from repro.graph.ccgraph import CCGraph
+from repro.runtime.task import Operator, Task
+
+__all__ = ["ConflictPolicy", "ItemLockPolicy", "ExplicitGraphPolicy", "BatchOutcome"]
+
+
+class BatchOutcome:
+    """Result of conflict resolution for one speculative batch."""
+
+    __slots__ = ("committed", "aborted")
+
+    def __init__(self, committed: list[Task], aborted: list[Task]):
+        self.committed = committed
+        self.aborted = aborted
+
+    @property
+    def launched(self) -> int:
+        return len(self.committed) + len(self.aborted)
+
+    @property
+    def conflict_ratio(self) -> float:
+        """``r = aborts / launched`` (0 for an empty batch)."""
+        n = self.launched
+        return len(self.aborted) / n if n else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchOutcome(committed={len(self.committed)}, "
+            f"aborted={len(self.aborted)})"
+        )
+
+
+class ConflictPolicy(abc.ABC):
+    """Resolves one speculative batch into committed and aborted tasks."""
+
+    @abc.abstractmethod
+    def resolve(self, batch: Sequence[Task], operator: Operator) -> BatchOutcome:
+        """Partition *batch* (in commit order) into committed / aborted."""
+
+
+class ItemLockPolicy(ConflictPolicy):
+    """Commit-order acquisition of abstract data-item locks.
+
+    Walking the batch in order, each task attempts to mark every item of
+    its neighbourhood; if any item is already held by a *committed* task of
+    this batch, the task aborts and holds nothing.  Locks live only for the
+    duration of one batch (the paper's steps are synchronous rounds).
+    """
+
+    def resolve(self, batch: Sequence[Task], operator: Operator) -> BatchOutcome:
+        held: set = set()
+        committed: list[Task] = []
+        aborted: list[Task] = []
+        seen: set[int] = set()
+        for task in batch:
+            if task.uid in seen:
+                raise ConflictDetectionError(f"task {task.uid} appears twice in batch")
+            seen.add(task.uid)
+            items = set(operator.neighborhood(task))
+            if held.isdisjoint(items):
+                held |= items
+                committed.append(task)
+            else:
+                aborted.append(task)
+        return BatchOutcome(committed, aborted)
+
+
+class ExplicitGraphPolicy(ConflictPolicy):
+    """Conflicts given by edges of an explicit CC graph over payloads.
+
+    Task payloads must be node ids of *graph*.  A task commits iff none of
+    its graph neighbours belongs to an earlier committed task of the batch
+    — the definition of §2.1 verbatim.
+    """
+
+    def __init__(self, graph: CCGraph):
+        self._graph = graph
+
+    @property
+    def graph(self) -> CCGraph:
+        return self._graph
+
+    def resolve(self, batch: Sequence[Task], operator: Operator) -> BatchOutcome:
+        committed_nodes: set[int] = set()
+        committed: list[Task] = []
+        aborted: list[Task] = []
+        seen: set[int] = set()
+        for task in batch:
+            if task.uid in seen:
+                raise ConflictDetectionError(f"task {task.uid} appears twice in batch")
+            seen.add(task.uid)
+            node = task.payload
+            if not isinstance(node, int) or node not in self._graph:
+                raise ConflictDetectionError(
+                    f"task payload {node!r} is not a live node of the CC graph"
+                )
+            if committed_nodes.isdisjoint(self._graph.neighbors(node)):
+                committed_nodes.add(node)
+                committed.append(task)
+            else:
+                aborted.append(task)
+        return BatchOutcome(committed, aborted)

@@ -1,0 +1,83 @@
+"""Task cost models — relaxing the paper's unit-cost assumption.
+
+§2 assumes "the time taken to process conflicting and non-conflicting
+nodes is the same", while §2.1 concedes that "for some algorithms the
+roll-back work can be quite resource-consuming".  A :class:`CostModel`
+prices each commit and each abort; the engine accumulates the totals so
+the COSTS experiment can ask how the optimal target ρ* shifts when
+rollbacks stop being free.
+
+The temporal structure (one batch per step) is unchanged — costs are an
+accounting overlay, in units of "task executions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RuntimeEngineError
+from repro.runtime.task import Task
+
+__all__ = ["CostModel", "UnitCostModel", "ScaledAbortCostModel", "CostTotals"]
+
+
+@dataclass
+class CostTotals:
+    """Accumulated execution cost of a run, in task-execution units."""
+
+    commit_cost: float = 0.0
+    abort_cost: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.commit_cost + self.abort_cost
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Cost-weighted waste: abort cost over total cost."""
+        return self.abort_cost / self.total if self.total else 0.0
+
+
+class CostModel:
+    """Prices one committed / aborted execution of a task.
+
+    Subclass and override; both methods default to the paper's unit cost.
+    """
+
+    def commit_cost(self, task: Task) -> float:
+        """Cost of executing *task* to commit."""
+        return 1.0
+
+    def abort_cost(self, task: Task) -> float:
+        """Cost of executing *task* speculatively and rolling it back."""
+        return 1.0
+
+    def charge(self, totals: CostTotals, committed: list[Task], aborted: list[Task]) -> None:
+        """Accumulate one batch into *totals*."""
+        for task in committed:
+            totals.commit_cost += self.commit_cost(task)
+        for task in aborted:
+            totals.abort_cost += self.abort_cost(task)
+
+
+class UnitCostModel(CostModel):
+    """The paper's assumption: commits and aborts both cost 1."""
+
+
+class ScaledAbortCostModel(CostModel):
+    """Aborts cost ``abort_factor`` × a unit commit.
+
+    ``abort_factor > 1`` models expensive rollback (undo logs, cache
+    pollution); ``< 1`` models early conflict detection that kills
+    speculation before much work is done.
+    """
+
+    def __init__(self, abort_factor: float):
+        if abort_factor < 0:
+            raise RuntimeEngineError(
+                f"abort cost factor must be >= 0, got {abort_factor}"
+            )
+        self.abort_factor = float(abort_factor)
+
+    def abort_cost(self, task: Task) -> float:
+        return self.abort_factor

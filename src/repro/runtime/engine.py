@@ -1,0 +1,149 @@
+"""The optimistic parallelization engine.
+
+Discrete-time simulator of a Galois-style speculative runtime, following
+the paper's model (§2) exactly:
+
+1. the controller proposes an allocation ``m_t``;
+2. ``min(m_t, |workset|)`` tasks are drawn from the work-set (the draw
+   order is the commit order ``π_m``);
+3. the conflict policy partitions the batch into committed and aborted
+   tasks (greedy-independent-set semantics);
+4. committed tasks run their operator, possibly creating new tasks
+   (graph morphs); aborted tasks are rolled back into the work-set;
+5. the controller observes the realised conflict ratio ``r_t``.
+
+All tasks take unit time (the paper's assumption), so one loop iteration
+is one "temporal step" and ``m_t`` is the number of processors in use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import RuntimeEngineError
+
+if TYPE_CHECKING:  # avoid runtime<->control import cycle; engine only types it
+    from repro.control.base import Controller
+from repro.runtime.conflict import ConflictPolicy
+from repro.runtime.stats import RunResult, StepStats
+from repro.runtime.task import Operator, Task
+from repro.runtime.workset import Workset
+from repro.utils.rng import ensure_rng
+
+__all__ = ["OptimisticEngine"]
+
+
+class OptimisticEngine:
+    """Binds work-set, operator, conflict policy and controller.
+
+    Parameters
+    ----------
+    workset, operator, policy:
+        The workload: pending tasks, their semantics, and how conflicts
+        among a speculative batch are detected.
+    controller:
+        Decides ``m_t`` each step from past observations (any
+        :class:`~repro.control.base.Controller`).
+    seed:
+        RNG seed / generator for task selection.
+    step_hook:
+        Optional callable invoked as ``step_hook(engine, stats)`` after
+        every step — used by the experiments to capture CC-graph snapshots
+        or inject workload phase changes.
+    cost_model:
+        Optional :class:`~repro.runtime.costs.CostModel` pricing commits
+        and aborts; totals accumulate in :attr:`costs`.  Defaults to the
+        paper's unit costs.
+    """
+
+    def __init__(
+        self,
+        workset: Workset,
+        operator: Operator,
+        policy: ConflictPolicy,
+        controller: "Controller",
+        seed=None,
+        step_hook: "Callable[[OptimisticEngine, StepStats], None] | None" = None,
+        cost_model=None,
+    ) -> None:
+        from repro.runtime.costs import CostTotals, UnitCostModel
+
+        self.workset = workset
+        self.operator = operator
+        self.policy = policy
+        self.controller = controller
+        self.rng: np.random.Generator = ensure_rng(seed)
+        self.step_hook = step_hook
+        self.cost_model = cost_model or UnitCostModel()
+        self.costs = CostTotals()
+        self.result = RunResult()
+        # per-task abort counts: starvation diagnostics (optimistic
+        # runtimes can in principle retry one unlucky task forever)
+        self.retry_counts: dict[int, int] = {}
+        self._step = 0
+
+    # ------------------------------------------------------------------
+    def step(self) -> StepStats:
+        """Execute one temporal step; raises if the work-set is empty."""
+        before = len(self.workset)
+        if before == 0:
+            raise RuntimeEngineError("cannot step: work-set is empty")
+        requested = int(self.controller.propose())
+        if requested < 1:
+            raise RuntimeEngineError(
+                f"controller proposed m={requested}; allocations must be >= 1"
+            )
+        batch = self.workset.take(requested, self.rng)
+        outcome = self.policy.resolve(batch, self.operator)
+        for task in outcome.committed:
+            new_tasks = self.operator.apply(task)
+            if new_tasks:
+                self.workset.add_all(new_tasks)
+        for task in outcome.aborted:
+            self.operator.on_abort(task)
+            self.retry_counts[task.uid] = self.retry_counts.get(task.uid, 0) + 1
+            self.workset.add(task)  # rolled back, retried later
+        for task in outcome.committed:
+            self.retry_counts.pop(task.uid, None)  # made it; stop tracking
+        self.cost_model.charge(self.costs, outcome.committed, outcome.aborted)
+        stats = StepStats(
+            step=self._step,
+            requested=requested,
+            launched=outcome.launched,
+            committed=len(outcome.committed),
+            aborted=len(outcome.aborted),
+            workset_before=before,
+            workset_after=len(self.workset),
+        )
+        self._step += 1
+        self.controller.observe(stats.conflict_ratio, outcome.launched)
+        self.result.append(stats)
+        if self.step_hook is not None:
+            self.step_hook(self, stats)
+        return stats
+
+    def run(self, max_steps: int | None = None) -> RunResult:
+        """Step until the work-set drains (or *max_steps* is reached)."""
+        if max_steps is not None and max_steps < 0:
+            raise RuntimeEngineError(f"max_steps must be >= 0, got {max_steps}")
+        while len(self.workset) > 0:
+            if max_steps is not None and self._step >= max_steps:
+                break
+            self.step()
+        return self.result
+
+    @property
+    def steps_executed(self) -> int:
+        return self._step
+
+    def max_pending_retries(self) -> int:
+        """Largest abort count among tasks that have not yet committed.
+
+        A starvation indicator: with the random-permutation scheduler each
+        pending task eventually wins its conflicts w.p. 1, but heavy
+        contention shows up here long before it shows in the ratios.
+        """
+        return max(self.retry_counts.values(), default=0)

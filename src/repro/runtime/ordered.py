@@ -1,0 +1,229 @@
+"""Ordered optimistic execution (the paper's §5 future work).
+
+The paper restricts itself to *unordered* algorithms; it names ordered
+ones (discrete-event simulation: "events must commit chronologically") as
+the open problem.  This module implements the natural extension of the §2
+model to ordered work so the controller can be evaluated on it:
+
+* tasks carry **priorities** (virtual time); the scheduler speculates on
+  the ``m`` *earliest* pending tasks instead of random ones;
+* the batch is resolved in priority order with the same
+  greedy-independent-set conflict rule;
+* a committed task may **create new work in the past** of later committed
+  tasks of the same batch.  Those later commits would violate the order,
+  so they are rolled back too (*order violations*, Time-Warp style
+  cascades) — a second abort source that does not exist in the unordered
+  model.
+
+The observed conflict ratio therefore decomposes as
+``r = (conflict aborts + order aborts) / launched``; the ρ-targeting
+controllers need no change — they just see a steeper ``r̄(m)``, and the
+ordered experiment shows how much exploitable parallelism the ordering
+constraint destroys.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from itertools import count
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import RuntimeEngineError, WorksetEmptyError
+from repro.runtime.stats import RunResult, StepStats
+from repro.runtime.task import Operator, Task
+from repro.utils.rng import ensure_rng
+
+if TYPE_CHECKING:  # avoid runtime<->control import cycle
+    from repro.control.base import Controller
+
+__all__ = ["PriorityWorkset", "OrderedBatchOutcome", "OrderedEngine"]
+
+
+class PriorityWorkset:
+    """Min-heap of ``(priority, tie, task)`` — earliest work first."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Task]] = []
+        self._ties = count()
+
+    def add(self, task: Task, priority: float) -> None:
+        """Insert *task* at *priority* (smaller = earlier = more urgent)."""
+        heapq.heappush(self._heap, (float(priority), next(self._ties), task))
+
+    def take_earliest(self, m: int) -> list[tuple[float, Task]]:
+        """Remove the ``min(m, len)`` earliest tasks, in priority order."""
+        if not self._heap:
+            raise WorksetEmptyError("take from empty priority work-set")
+        if m < 0:
+            raise ValueError(f"cannot take {m} tasks")
+        out = []
+        for _ in range(min(m, len(self._heap))):
+            prio, _, task = heapq.heappop(self._heap)
+            out.append((prio, task))
+        return out
+
+    def peek_priority(self) -> float:
+        """Priority of the earliest pending task."""
+        if not self._heap:
+            raise WorksetEmptyError("peek into empty priority work-set")
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class OrderedBatchOutcome:
+    """Resolution of one ordered speculative batch."""
+
+    __slots__ = ("committed", "conflict_aborted", "order_aborted")
+
+    def __init__(
+        self,
+        committed: list[tuple[float, Task]],
+        conflict_aborted: list[tuple[float, Task]],
+        order_aborted: list[tuple[float, Task]],
+    ):
+        self.committed = committed
+        self.conflict_aborted = conflict_aborted
+        self.order_aborted = order_aborted
+
+    @property
+    def launched(self) -> int:
+        return len(self.committed) + len(self.conflict_aborted) + len(self.order_aborted)
+
+    @property
+    def conflict_ratio(self) -> float:
+        """Total abort fraction (conflicts + order violations)."""
+        n = self.launched
+        if not n:
+            return 0.0
+        return (len(self.conflict_aborted) + len(self.order_aborted)) / n
+
+
+class OrderedEngine:
+    """Speculative engine for priority-ordered work.
+
+    Parameters mirror :class:`~repro.runtime.engine.OptimisticEngine`; the
+    operator's ``apply`` must return ``list[(priority, Task)]`` pairs via
+    the *priority_of* callable: new tasks are enqueued at
+    ``priority_of(new_task)``.
+
+    Commit rule per step, with the batch sorted by priority:
+
+    1. walk the batch earliest-first; a task *conflict-aborts* if its
+       neighbourhood intersects an earlier committed task's neighbourhood;
+    2. the **barrier**: no survivor later than the earliest
+       conflict-aborted task may commit — that aborted task will re-execute
+       in a future step and may create work in their past (order-abort
+       instead of implementing Time-Warp anti-message cascades);
+    3. apply surviving tasks earliest-first; after each apply, any later
+       not-yet-applied survivor whose priority exceeds the earliest
+       priority just *created* is also **order-aborted**.
+
+    Rules 2+3 together give the strong invariant the tests rely on:
+    the global committed sequence is chronologically sorted, and equals
+    the sequential execution of the same workload.
+    """
+
+    def __init__(
+        self,
+        workset: PriorityWorkset,
+        operator: Operator,
+        controller: "Controller",
+        priority_of: Callable[[Task], float],
+        seed=None,
+    ) -> None:
+        self.workset = workset
+        self.operator = operator
+        self.controller = controller
+        self.priority_of = priority_of
+        self.rng: np.random.Generator = ensure_rng(seed)
+        self.result = RunResult()
+        self.order_aborts_total = 0
+        self.conflict_aborts_total = 0
+        self._step = 0
+
+    # ------------------------------------------------------------------
+    def _resolve(self, batch: list[tuple[float, Task]]) -> OrderedBatchOutcome:
+        held: set = set()
+        survivors: list[tuple[float, Task, set]] = []
+        conflict_aborted: list[tuple[float, Task]] = []
+        for prio, task in batch:  # batch is already earliest-first
+            items = set(self.operator.neighborhood(task))
+            if held.isdisjoint(items):
+                held |= items
+                survivors.append((prio, task, items))
+            else:
+                conflict_aborted.append((prio, task))
+        committed: list[tuple[float, Task]] = []
+        order_aborted: list[tuple[float, Task]] = []
+        # barrier: an aborted task re-executes later and creates work no
+        # earlier than its own priority — nothing beyond it may commit now
+        barrier = min((p for p, _ in conflict_aborted), default=float("inf"))
+        horizon = barrier  # earliest possible future work
+        for prio, task, _items in survivors:
+            if prio > horizon:
+                order_aborted.append((prio, task))
+                continue
+            new_work = self.operator.apply(task)
+            for new_task in new_work:
+                new_prio = float(self.priority_of(new_task))
+                if new_prio < prio:
+                    raise RuntimeEngineError(
+                        f"operator created work at priority {new_prio} before "
+                        f"its own task at {prio} (causality violation)"
+                    )
+                self.workset.add(new_task, new_prio)
+                horizon = min(horizon, new_prio)
+            committed.append((prio, task))
+        return OrderedBatchOutcome(committed, conflict_aborted, order_aborted)
+
+    def step(self) -> StepStats:
+        """Execute one ordered speculative step."""
+        before = len(self.workset)
+        if before == 0:
+            raise RuntimeEngineError("cannot step: work-set is empty")
+        requested = int(self.controller.propose())
+        if requested < 1:
+            raise RuntimeEngineError(
+                f"controller proposed m={requested}; allocations must be >= 1"
+            )
+        batch = self.workset.take_earliest(requested)
+        outcome = self._resolve(batch)
+        for prio, task in outcome.conflict_aborted:
+            self.operator.on_abort(task)
+            self.workset.add(task, prio)
+        for prio, task in outcome.order_aborted:
+            self.operator.on_abort(task)
+            self.workset.add(task, prio)
+        self.conflict_aborts_total += len(outcome.conflict_aborted)
+        self.order_aborts_total += len(outcome.order_aborted)
+        stats = StepStats(
+            step=self._step,
+            requested=requested,
+            launched=outcome.launched,
+            committed=len(outcome.committed),
+            aborted=outcome.launched - len(outcome.committed),
+            workset_before=before,
+            workset_after=len(self.workset),
+        )
+        self._step += 1
+        self.controller.observe(stats.conflict_ratio, outcome.launched)
+        self.result.append(stats)
+        return stats
+
+    def run(self, max_steps: int | None = None) -> RunResult:
+        """Step until the work-set drains (or *max_steps*)."""
+        if max_steps is not None and max_steps < 0:
+            raise RuntimeEngineError(f"max_steps must be >= 0, got {max_steps}")
+        while len(self.workset) > 0:
+            if max_steps is not None and self._step >= max_steps:
+                break
+            self.step()
+        return self.result

@@ -1,0 +1,107 @@
+"""Run recording: persist engine traces as JSONL, reload, and diff.
+
+A production runtime ships observability; ours records every temporal
+step of a run — allocations, commit/abort counts, work-set sizes, cost
+totals — as one JSON object per line, so long experiments can be archived
+and compared across code versions:
+
+* :class:`RunRecorder` — engine ``step_hook`` that appends records;
+* :func:`save_run` / :func:`load_run` — JSONL round trip, restoring a
+  :class:`~repro.runtime.stats.RunResult`;
+* :func:`diff_runs` — headline deltas between two runs (makespan, waste,
+  churn, settling against a target), the regression-check primitive used
+  by the tests.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import RuntimeEngineError
+from repro.runtime.stats import RunResult, StepStats
+
+__all__ = ["RunRecorder", "save_run", "load_run", "diff_runs"]
+
+_FIELDS = (
+    "step",
+    "requested",
+    "launched",
+    "committed",
+    "aborted",
+    "workset_before",
+    "workset_after",
+)
+
+
+class RunRecorder:
+    """Collects step records; attach via ``step_hook=recorder``."""
+
+    def __init__(self, metadata: dict | None = None):
+        self.metadata = dict(metadata or {})
+        self.records: list[dict] = []
+
+    def __call__(self, engine, stats: StepStats) -> None:
+        rec = {f: getattr(stats, f) for f in _FIELDS}
+        rec["conflict_ratio"] = stats.conflict_ratio
+        self.records.append(rec)
+
+    def save(self, path: "str | Path") -> None:
+        """Write metadata line + one JSON record per step."""
+        with Path(path).open("w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"metadata": self.metadata}) + "\n")
+            for rec in self.records:
+                fh.write(json.dumps(rec) + "\n")
+
+
+def save_run(result: RunResult, path: "str | Path", metadata: dict | None = None) -> None:
+    """Persist a finished :class:`RunResult` directly (no recorder needed)."""
+    rec = RunRecorder(metadata)
+    for s in result.steps:
+        rec(None, s)
+    rec.save(path)
+
+
+def load_run(path: "str | Path") -> tuple[RunResult, dict]:
+    """Reload a JSONL trace into ``(RunResult, metadata)``."""
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise RuntimeEngineError(f"{path}: empty trace file")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise RuntimeEngineError(f"{path}: bad header line") from exc
+    if "metadata" not in header:
+        raise RuntimeEngineError(f"{path}: first line is not a metadata header")
+    result = RunResult()
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+            result.append(StepStats(**{f: int(rec[f]) for f in _FIELDS}))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise RuntimeEngineError(f"{path}:{lineno}: malformed record") from exc
+    return result, header["metadata"]
+
+
+def diff_runs(
+    a: RunResult, b: RunResult, target: "float | None" = None
+) -> dict[str, float]:
+    """Headline metric deltas ``b − a`` (negative = b improved).
+
+    With *target* set, also compares settling steps against it.
+    """
+    out = {
+        "makespan": float(len(b) - len(a)),
+        "committed": float(b.total_committed - a.total_committed),
+        "wasted_fraction": b.wasted_fraction - a.wasted_fraction,
+        "mean_conflict_ratio": b.mean_conflict_ratio - a.mean_conflict_ratio,
+        "processor_steps": float(b.processor_steps() - a.processor_steps()),
+        "allocation_churn": b.allocation_churn() - a.allocation_churn(),
+    }
+    if target is not None:
+        out["settling_step"] = float(
+            b.settling_step(target) - a.settling_step(target)
+        )
+    return out

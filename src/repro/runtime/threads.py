@@ -1,0 +1,84 @@
+"""Real-thread speculative executor (demonstration only).
+
+The paper's runtime runs speculative tasks on real cores; under CPython's
+GIL a thread pool gives no true parallel speedup for compute-bound
+operators, so **all quantitative experiments use the discrete-time
+simulator** (see DESIGN.md §2).  This module exists to show that the same
+``Operator``/conflict semantics drive a genuinely concurrent executor: a
+batch of threads races to acquire per-item locks in hash order
+(deadlock-free global order), losers abort exactly like the model's
+aborted tasks, and the committed set is an independent set of the true
+conflict graph.
+
+Nondeterminism caveat: the committed set depends on thread interleaving,
+so unlike the simulator the commit order is *not* a uniform random
+permutation — another reason the experiments use the model executor.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Sequence
+
+from repro.errors import RuntimeEngineError
+from repro.runtime.conflict import BatchOutcome
+from repro.runtime.task import Operator, Task
+
+__all__ = ["ThreadedSpeculativeExecutor"]
+
+
+class ThreadedSpeculativeExecutor:
+    """Run one speculative batch on real threads with item locking."""
+
+    def __init__(self, operator: Operator, max_threads: int = 8):
+        if max_threads < 1:
+            raise RuntimeEngineError(f"need at least one thread, got {max_threads}")
+        self.operator = operator
+        self.max_threads = int(max_threads)
+
+    def execute_batch(self, batch: Sequence[Task]) -> tuple[BatchOutcome, list[Task]]:
+        """Speculatively run *batch*; returns (outcome, newly created tasks).
+
+        Each task's thread tries to claim every item of its neighbourhood
+        under a registry lock; claims are all-or-nothing, so the committed
+        set is independent.  Committed operators then run their ``apply``
+        sequentially under a commit lock (application state is not assumed
+        thread-safe — the speculation here is in the *conflict detection*,
+        matching the granularity the paper models).
+        """
+        registry_lock = threading.Lock()
+        owners: dict[object, int] = {}
+        commit_lock = threading.Lock()
+        committed: list[Task] = []
+        aborted: list[Task] = []
+        created: list[Task] = []
+        semaphore = threading.Semaphore(self.max_threads)
+
+        def worker(task: Task) -> None:
+            with semaphore:
+                items = sorted(
+                    set(self.operator.neighborhood(task)), key=lambda x: (hash(x), repr(x))
+                )
+                with registry_lock:
+                    if any(it in owners for it in items):
+                        win = False
+                    else:
+                        for it in items:
+                            owners[it] = task.uid
+                        win = True
+                if not win:
+                    self.operator.on_abort(task)
+                    with commit_lock:
+                        aborted.append(task)
+                    return
+                with commit_lock:
+                    new_tasks = self.operator.apply(task)
+                    committed.append(task)
+                    created.extend(new_tasks)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in batch]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return BatchOutcome(committed, aborted), created

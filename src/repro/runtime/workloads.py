@@ -1,0 +1,134 @@
+"""Ready-made CC-graph workloads for the engine.
+
+Three ways of turning a :class:`~repro.graph.CCGraph` into an engine
+workload, matching the evaluation setups of §4:
+
+* :class:`ReplayGraphWorkload` — **stationary**: tasks are drawn from the
+  full graph every step and always returned, so the environment's
+  ``r̄(m)`` never changes.  This is the §4.1 validation setup ("a random CC
+  graph of fixed average degree is taken and the controller runs on it"):
+  the controller faces a fixed unknown curve and must converge to ``μ``.
+* :class:`ConsumingGraphWorkload` — committed nodes leave the graph, so
+  parallelism grows as conflicts disappear (the draining end-game of a real
+  run).
+* :class:`RegeneratingGraphWorkload` — committed nodes are replaced by
+  fresh nodes wired to ``d`` random survivors; ``n`` and ``d`` stay roughly
+  constant, giving a *dynamic but statistically stationary* environment —
+  the closest synthetic analogue of a long-running irregular application
+  in steady state.
+
+Each workload exposes ``workset``, ``operator`` and ``policy`` and a
+:meth:`build_engine` convenience.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import RuntimeEngineError
+
+if TYPE_CHECKING:  # avoid runtime<->control import cycle
+    from repro.control.base import Controller
+from repro.graph.ccgraph import CCGraph
+from repro.runtime.conflict import ConflictPolicy, ExplicitGraphPolicy
+from repro.runtime.engine import OptimisticEngine
+from repro.runtime.task import Operator, Task
+from repro.runtime.workset import RandomWorkset, Workset
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "GraphWorkloadBase",
+    "ReplayGraphWorkload",
+    "ConsumingGraphWorkload",
+    "RegeneratingGraphWorkload",
+]
+
+
+class _GraphOperator(Operator):
+    """Operator whose commit effect is delegated to the owning workload."""
+
+    def __init__(self, workload: "GraphWorkloadBase"):
+        self._workload = workload
+
+    def neighborhood(self, task: Task):
+        return self._workload.graph.neighbors(task.payload)
+
+    def apply(self, task: Task) -> list[Task]:
+        return self._workload.on_commit(task)
+
+
+class GraphWorkloadBase:
+    """Common plumbing: graph, random work-set, explicit-graph policy."""
+
+    def __init__(self, graph: CCGraph):
+        self.graph = graph
+        self.operator: Operator = _GraphOperator(self)
+        self.policy: ConflictPolicy = ExplicitGraphPolicy(graph)
+        self.workset: Workset = RandomWorkset()
+        for node in graph.nodes():
+            self.workset.add(Task(payload=node))
+
+    def on_commit(self, task: Task) -> list[Task]:  # pragma: no cover - abstract-ish
+        raise NotImplementedError
+
+    def build_engine(
+        self, controller: "Controller", seed=None, step_hook=None, cost_model=None
+    ) -> OptimisticEngine:
+        """Wire this workload and *controller* into an engine."""
+        return OptimisticEngine(
+            workset=self.workset,
+            operator=self.operator,
+            policy=self.policy,
+            controller=controller,
+            seed=seed,
+            step_hook=step_hook,
+            cost_model=cost_model,
+        )
+
+
+class ReplayGraphWorkload(GraphWorkloadBase):
+    """Stationary workload: committed tasks are re-enqueued, graph untouched.
+
+    The engine never drains; cap runs with ``max_steps``.
+    """
+
+    def on_commit(self, task: Task) -> list[Task]:
+        return [task]  # straight back into the work-set
+
+
+class ConsumingGraphWorkload(GraphWorkloadBase):
+    """Draining workload: a committed node is removed from the CC graph."""
+
+    def on_commit(self, task: Task) -> list[Task]:
+        self.graph.remove_node(task.payload)
+        return []
+
+
+class RegeneratingGraphWorkload(GraphWorkloadBase):
+    """Steady-state workload: each commit is replaced by a fresh task.
+
+    The committed node is removed and a new node inserted with edges to
+    ``target_degree`` uniformly random survivors, so both ``n`` and the
+    average degree stay approximately constant while the topology churns.
+    """
+
+    def __init__(self, graph: CCGraph, target_degree: int, seed=None):
+        if target_degree < 0:
+            raise RuntimeEngineError(f"target degree must be >= 0, got {target_degree}")
+        super().__init__(graph)
+        self.target_degree = target_degree
+        self._rng: np.random.Generator = ensure_rng(seed)
+
+    def on_commit(self, task: Task) -> list[Task]:
+        g = self.graph
+        g.remove_node(task.payload)
+        new = g.add_node()
+        candidates = [u for u in g.nodes() if u != new]
+        if candidates:
+            k = min(self.target_degree, len(candidates))
+            picks = self._rng.choice(len(candidates), size=k, replace=False)
+            for i in picks:
+                g.add_edge(new, candidates[int(i)])
+        return [Task(payload=new)]

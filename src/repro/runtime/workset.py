@@ -1,0 +1,121 @@
+"""Unordered work-set implementations.
+
+The paper treats only *unordered* algorithms: any pending task may execute
+at any time, so the work-set is a bag.  The scheduler model picks active
+tasks **uniformly at random** (§2); :class:`RandomWorkset` implements that
+with O(1) swap-removal.  FIFO/LIFO variants are provided for scheduling-
+policy comparisons (they bias which conflicts materialise, a knob the
+ablation benchmarks exercise).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+
+import numpy as np
+
+from repro.errors import WorksetEmptyError
+from repro.runtime.task import Task
+
+__all__ = ["Workset", "RandomWorkset", "FifoWorkset", "LifoWorkset"]
+
+
+class Workset(abc.ABC):
+    """A bag of pending tasks supporting batched removal."""
+
+    @abc.abstractmethod
+    def add(self, task: Task) -> None:
+        """Insert one task."""
+
+    @abc.abstractmethod
+    def take(self, count: int, rng: np.random.Generator) -> list[Task]:
+        """Remove and return up to *count* tasks (policy-defined order).
+
+        The returned order is the speculative *commit order* of the batch.
+        Returns fewer than *count* tasks when the set is nearly empty and
+        raises :class:`WorksetEmptyError` when it is empty.
+        """
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of pending tasks."""
+
+    def add_all(self, tasks: "list[Task] | tuple[Task, ...]") -> None:
+        """Insert many tasks."""
+        for t in tasks:
+            self.add(t)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class RandomWorkset(Workset):
+    """Uniformly random batched removal (the paper's scheduler model).
+
+    Backing store is an array-backed list with swap-removal: removing a
+    random element is O(1) and the batch order is a uniform ordered sample
+    without replacement — exactly the ``π_m`` prefix distribution.
+    """
+
+    def __init__(self) -> None:
+        self._items: list[Task] = []
+
+    def add(self, task: Task) -> None:
+        self._items.append(task)
+
+    def take(self, count: int, rng: np.random.Generator) -> list[Task]:
+        if not self._items:
+            raise WorksetEmptyError("take() from empty work-set")
+        if count < 0:
+            raise ValueError(f"cannot take {count} tasks")
+        batch: list[Task] = []
+        items = self._items
+        for _ in range(min(count, len(items))):
+            j = int(rng.integers(0, len(items)))
+            items[j], items[-1] = items[-1], items[j]
+            batch.append(items.pop())
+        return batch
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class FifoWorkset(Workset):
+    """First-in-first-out removal (breadth-first-ish scheduling)."""
+
+    def __init__(self) -> None:
+        self._items: deque[Task] = deque()
+
+    def add(self, task: Task) -> None:
+        self._items.append(task)
+
+    def take(self, count: int, rng: np.random.Generator) -> list[Task]:
+        if not self._items:
+            raise WorksetEmptyError("take() from empty work-set")
+        if count < 0:
+            raise ValueError(f"cannot take {count} tasks")
+        return [self._items.popleft() for _ in range(min(count, len(self._items)))]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class LifoWorkset(Workset):
+    """Last-in-first-out removal (depth-first-ish, locality-friendly)."""
+
+    def __init__(self) -> None:
+        self._items: list[Task] = []
+
+    def add(self, task: Task) -> None:
+        self._items.append(task)
+
+    def take(self, count: int, rng: np.random.Generator) -> list[Task]:
+        if not self._items:
+            raise WorksetEmptyError("take() from empty work-set")
+        if count < 0:
+            raise ValueError(f"cannot take {count} tasks")
+        return [self._items.pop() for _ in range(min(count, len(self._items)))]
+
+    def __len__(self) -> int:
+        return len(self._items)

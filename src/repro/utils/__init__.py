@@ -1,0 +1,36 @@
+"""Shared utilities: RNG plumbing, finite differences, statistics, rendering."""
+
+from repro.utils.finite_diff import (
+    binomial_difference,
+    forward_difference,
+    forward_difference_array,
+    is_convex,
+    is_nondecreasing,
+)
+from repro.utils.rng import ensure_rng, random_permutation, random_prefix, spawn
+from repro.utils.stats import MeanCI, RunningStats, hypergeom_miss_probability, mean_ci
+from repro.utils.svgplot import LinePlot
+from repro.utils.tables import format_series, format_table, sparkline
+from repro.utils.timing import StageTimer, Timer
+
+__all__ = [
+    "binomial_difference",
+    "forward_difference",
+    "forward_difference_array",
+    "is_convex",
+    "is_nondecreasing",
+    "ensure_rng",
+    "random_permutation",
+    "random_prefix",
+    "spawn",
+    "MeanCI",
+    "RunningStats",
+    "hypergeom_miss_probability",
+    "mean_ci",
+    "LinePlot",
+    "format_series",
+    "format_table",
+    "sparkline",
+    "StageTimer",
+    "Timer",
+]

@@ -1,0 +1,77 @@
+"""Reproducible random-number-generator plumbing.
+
+All stochastic code in :mod:`repro` draws from :class:`numpy.random.Generator`
+instances that are threaded explicitly through the call tree (never module
+globals), so that every simulation, Monte-Carlo estimate and controller run is
+reproducible from a single integer seed.  This module centralises the few
+idioms we need:
+
+* :func:`ensure_rng` — accept ``None`` / int seed / existing ``Generator``.
+* :func:`spawn` — derive ``n`` statistically independent child generators,
+  used to give each Monte-Carlo replica or parallel worker its own stream.
+* :func:`random_prefix` — sample a uniform random ``m``-prefix of a
+  permutation of ``n`` items, the core sampling primitive of the paper's
+  scheduler model (§2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn", "random_prefix", "random_permutation"]
+
+RngLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def ensure_rng(seed: "int | np.random.Generator | np.random.SeedSequence | None" = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    ``Generator`` instances are passed through unchanged so callers can share
+    a stream; anything else is fed to :func:`numpy.random.default_rng`.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive *n* independent child generators from *rng*.
+
+    Uses the generator's underlying bit generator ``spawn`` support (PCG64
+    etc.), falling back to seeding children from fresh 64-bit draws when the
+    bit generator cannot spawn (e.g. legacy generators).
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    try:
+        return [np.random.Generator(bg) for bg in rng.bit_generator.spawn(n)]
+    except (AttributeError, TypeError):  # pragma: no cover - legacy numpy
+        seeds = rng.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def random_permutation(items: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Return a uniform random permutation of *items* as an int64 array."""
+    arr = np.asarray(items, dtype=np.int64)
+    return rng.permutation(arr)
+
+
+def random_prefix(items: Sequence[int], m: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample a uniformly random ordered ``m``-prefix of a permutation.
+
+    This realises the paper's ``π_m``: the scheduler draws ``m`` distinct
+    nodes uniformly at random and the order of the draw is the commit order.
+    Equivalent to taking the first ``m`` entries of a uniform permutation of
+    *items*, but only O(m) memory is touched beyond the input copy.
+    """
+    arr = np.asarray(items, dtype=np.int64)
+    n = arr.shape[0]
+    if not 0 <= m <= n:
+        raise ValueError(f"prefix length m={m} out of range [0, {n}]")
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+    # choice without replacement preserves draw order uniformity.
+    idx = rng.choice(n, size=m, replace=False)
+    return arr[idx]

@@ -1,0 +1,171 @@
+"""Streaming statistics and confidence intervals for Monte-Carlo estimation.
+
+Monte-Carlo estimates of the conflict ratio and of expected maximal
+independent-set sizes drive both the analytic validation and the experiment
+harness, so we need numerically stable streaming moments (Welford) and
+normal-approximation confidence intervals with sane behaviour at tiny sample
+counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RunningStats", "MeanCI", "mean_ci", "hypergeom_miss_probability"]
+
+
+class RunningStats:
+    """Welford streaming mean/variance accumulator.
+
+    Supports scalar pushes and bulk array pushes; merging two accumulators
+    (parallel reduction) uses the Chan et al. pairwise-update formula.
+    """
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def push(self, x: float) -> None:
+        """Add one observation."""
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def push_many(self, xs: np.ndarray) -> None:
+        """Add a batch of observations (vectorised via merge)."""
+        arr = np.asarray(xs, dtype=float).ravel()
+        if arr.size == 0:
+            return
+        other = RunningStats()
+        other.count = int(arr.size)
+        other._mean = float(arr.mean())
+        other._m2 = float(((arr - other._mean) ** 2).sum())
+        other.min = float(arr.min())
+        other.max = float(arr.max())
+        self.merge(other)
+
+    def merge(self, other: "RunningStats") -> None:
+        """Fold *other* into this accumulator."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._mean += delta * other.count / total
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.count = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (NaN when empty)."""
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (NaN below two observations)."""
+        return self._m2 / (self.count - 1) if self.count > 1 else math.nan
+
+    @property
+    def std(self) -> float:
+        """Unbiased sample standard deviation."""
+        v = self.variance
+        return math.sqrt(v) if v == v else math.nan  # NaN-propagating
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        s = self.std
+        return s / math.sqrt(self.count) if s == s and self.count else math.nan
+
+    def __repr__(self) -> str:
+        return (
+            f"RunningStats(count={self.count}, mean={self.mean:.6g}, "
+            f"std={self.std:.6g})"
+        )
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """A mean with a symmetric normal-approximation confidence interval."""
+
+    mean: float
+    half_width: float
+    count: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """True when *value* falls inside the interval."""
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.mean:.5g} ± {self.half_width:.3g} (n={self.count})"
+
+
+def mean_ci(samples: np.ndarray, z: float = 2.576) -> MeanCI:
+    """Mean with ``z``-sigma CI (default z≈99% normal quantile).
+
+    With fewer than two samples the half-width is infinite, which makes
+    accidental under-sampling loudly visible in assertions rather than
+    silently passing.
+    """
+    arr = np.asarray(samples, dtype=float).ravel()
+    n = arr.size
+    if n == 0:
+        return MeanCI(math.nan, math.inf, 0)
+    if n == 1:
+        return MeanCI(float(arr[0]), math.inf, 1)
+    sem = float(arr.std(ddof=1)) / math.sqrt(n)
+    return MeanCI(float(arr.mean()), z * sem, n)
+
+
+def hypergeom_miss_probability(n: int, block: int, m: int) -> float:
+    """P[a fixed block of ``block`` nodes is untouched by an m-sample].
+
+    Drawing ``m`` nodes without replacement from ``n``, the probability that
+    none land in a distinguished block of size ``block`` is the hypergeometric
+    tail the paper evaluates in Thm. 3 (Eq. 26)::
+
+        Π_{i=1}^{m} (n - block + 1 - i) / (n + 1 - i)
+
+    Computed in log space to stay finite for large ``n``.
+    """
+    if not 0 <= block <= n:
+        raise ValueError(f"block size {block} out of range [0, {n}]")
+    if not 0 <= m <= n:
+        raise ValueError(f"sample size {m} out of range [0, {n}]")
+    if m > n - block:
+        return 0.0
+    if m == 0 or block == 0:
+        return 1.0
+    i = np.arange(1, m + 1, dtype=float)
+    num = n - block + 1.0 - i
+    den = n + 1.0 - i
+    return float(np.exp(np.log(num).sum() - np.log(den).sum()))

@@ -1,0 +1,91 @@
+"""Plain-text rendering of experiment output (tables and line series).
+
+The benchmark harness regenerates each figure of the paper as data; since we
+run headless, figures are emitted as aligned ASCII tables plus a coarse
+unicode sparkline so the *shape* of each curve is visible directly in test
+and benchmark logs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def _fmt_cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_fmt: str = ".4g",
+) -> str:
+    """Render rows as a fixed-width table with a separator under the header."""
+    str_rows = [[_fmt_cell(c, float_fmt) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Map a numeric series onto unicode block characters (8 levels)."""
+    vals = [v for v in values if not math.isnan(v)]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    out = []
+    for v in values:
+        if math.isnan(v):
+            out.append(" ")
+            continue
+        level = 0 if span == 0 else int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[level])
+    return "".join(out)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    max_points: int = 24,
+    float_fmt: str = ".4g",
+) -> str:
+    """Render one named curve: sparkline plus a subsampled (x, y) listing."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series '{name}': {len(xs)} x-values vs {len(ys)} y-values")
+    if not xs:
+        return f"{name}: (empty)"
+    stride = max(1, math.ceil(len(xs) / max_points))
+    idx = list(range(0, len(xs), stride))
+    if idx[-1] != len(xs) - 1:
+        idx.append(len(xs) - 1)
+    pts = ", ".join(
+        f"({_fmt_cell(float(xs[i]), float_fmt)}, {_fmt_cell(float(ys[i]), float_fmt)})"
+        for i in idx
+    )
+    return f"{name}: {sparkline(list(ys))}\n  {pts}"

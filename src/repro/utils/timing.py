@@ -1,0 +1,55 @@
+"""Lightweight wall-clock timing helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "StageTimer"]
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch; ``elapsed`` holds seconds after exit."""
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+class StageTimer:
+    """Accumulate named stage durations across a multi-phase run."""
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time one execution of stage *name* (re-entrant across calls)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + dt
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Total seconds spent in *name* so far."""
+        return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Number of completed executions of *name*."""
+        return self._counts.get(name, 0)
+
+    def report(self) -> dict[str, float]:
+        """Snapshot of stage totals, sorted by descending cost."""
+        return dict(sorted(self._totals.items(), key=lambda kv: -kv[1]))

@@ -1,0 +1,205 @@
+"""Tests for repro.apps.delaunay.triangulation — Bowyer–Watson."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.delaunay.triangulation import Triangulation
+from repro.errors import GeometryError
+
+
+class TestConstruction:
+    def test_empty_has_one_ghost_triangle(self):
+        tri = Triangulation((0, 0, 1, 1))
+        assert len(tri.triangle_ids(include_ghost=True)) == 1
+        assert tri.triangle_ids() == []
+
+    def test_degenerate_bbox_raises(self):
+        with pytest.raises(GeometryError):
+            Triangulation((0, 0, 0, 1))
+
+    def test_single_insert_creates_three_triangles(self):
+        tri = Triangulation((0, 0, 1, 1))
+        new = tri.insert((0.5, 0.5))
+        assert len(new) == 3
+        assert all(tri.is_ghost_triangle(t) for t in new)
+
+    def test_from_points_requires_points(self):
+        with pytest.raises(GeometryError):
+            Triangulation.from_points([])
+
+
+class TestStructuralInvariants:
+    def test_euler_formula_real_mesh(self):
+        """With the 3 ghost vertices, V − E + F = 2 (planar triangulation)."""
+        rng = np.random.default_rng(0)
+        tri = Triangulation.from_points(rng.random((80, 2)).tolist())
+        v = tri.num_vertices
+        faces = len(tri.triangle_ids(include_ghost=True)) + 1  # outer face
+        edges = len(tri._edge_tris)
+        assert v - edges + faces == 2
+
+    def test_consistency_after_random_inserts(self):
+        rng = np.random.default_rng(1)
+        tri = Triangulation.from_points(rng.random((60, 2)).tolist())
+        assert tri.check_consistency()
+
+    def test_delaunay_property_random(self):
+        rng = np.random.default_rng(2)
+        tri = Triangulation.from_points(rng.random((60, 2)).tolist())
+        assert tri.check_delaunay()
+
+    def test_area_covers_convex_hull(self):
+        # grid points: hull is the square, real triangles tile ~the square
+        pts = [(x / 5.0 + 0.001 * ((x * 7 + y) % 3), y / 5.0) for x in range(6) for y in range(6)]
+        tri = Triangulation.from_points(pts)
+        assert tri.total_area() == pytest.approx(1.0, abs=0.05)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(3, 40), st.integers(0, 10**6))
+    def test_invariants_property_based(self, n, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((n, 2)) + rng.normal(scale=1e-9, size=(n, 2))
+        tri = Triangulation.from_points(pts.tolist())
+        assert tri.check_consistency()
+        assert tri.num_vertices == n + 3
+        # each internal edge has exactly 2 owners, hull edges of the ghost
+        # super-triangle have 1
+        owners = [len(s) for s in tri._edge_tris.values()]
+        assert set(owners) <= {1, 2}
+
+
+class TestLocate:
+    def test_locates_containing_triangle(self):
+        rng = np.random.default_rng(3)
+        tri = Triangulation.from_points(rng.random((40, 2)).tolist())
+        from repro.apps.delaunay.geometry import point_in_triangle
+
+        for _ in range(25):
+            p = tuple(rng.random(2))
+            tid = tri.locate(p)
+            pa, pb, pc = tri.triangle_points(tid)
+            assert point_in_triangle(pa, pb, pc, p)
+
+    def test_outside_hull_raises(self):
+        tri = Triangulation((0, 0, 1, 1))
+        with pytest.raises(GeometryError):
+            tri.locate((1e9, 1e9))
+
+    def test_hint_accelerates_but_agrees(self):
+        rng = np.random.default_rng(4)
+        tri = Triangulation.from_points(rng.random((40, 2)).tolist())
+        p = (0.5, 0.5)
+        t_no_hint = tri.locate(p)
+        some_tri = tri.triangle_ids()[0]
+        t_hint = tri.locate(p, hint=some_tri)
+        # both must contain p (they may be the same or share an edge if p on edge)
+        from repro.apps.delaunay.geometry import point_in_triangle
+
+        for t in (t_no_hint, t_hint):
+            assert point_in_triangle(*tri.triangle_points(t), p)
+
+
+class TestCavity:
+    def test_cavity_contains_locating_triangle(self):
+        rng = np.random.default_rng(5)
+        tri = Triangulation.from_points(rng.random((30, 2)).tolist())
+        p = (0.4, 0.6)
+        cav = tri.cavity(p)
+        assert tri.locate(p) in cav
+
+    def test_cavity_triangles_circumcircle_contains_point(self):
+        from repro.apps.delaunay.geometry import in_circle
+
+        rng = np.random.default_rng(6)
+        tri = Triangulation.from_points(rng.random((30, 2)).tolist())
+        p = (0.5, 0.5)
+        for tid in tri.cavity(p):
+            assert in_circle(*tri.triangle_points(tid), p)
+
+    def test_cavity_is_read_only(self):
+        rng = np.random.default_rng(7)
+        tri = Triangulation.from_points(rng.random((20, 2)).tolist())
+        before = sorted(tri.triangle_ids(include_ghost=True))
+        tri.cavity((0.5, 0.5))
+        assert sorted(tri.triangle_ids(include_ghost=True)) == before
+
+    def test_insert_with_stale_cavity_raises(self):
+        rng = np.random.default_rng(8)
+        tri = Triangulation.from_points(rng.random((20, 2)).tolist())
+        cav = tri.cavity((0.5, 0.5))
+        tri.insert((0.5, 0.5))  # invalidates cav
+        with pytest.raises(GeometryError):
+            tri.insert_with_cavity((0.51, 0.51), cav)
+
+
+class TestSvgRendering:
+    def test_renders_valid_svg(self, tmp_path):
+        import xml.etree.ElementTree as ET
+
+        rng = np.random.default_rng(10)
+        tri = Triangulation.from_points(rng.random((30, 2)).tolist())
+        out = tmp_path / "mesh.svg"
+        tri.to_svg(out)
+        root = ET.parse(out).getroot()
+        polys = root.findall(".//{http://www.w3.org/2000/svg}polygon")
+        assert len(polys) == len(tri.triangle_ids())
+
+    def test_highlight_fills_triangles(self, tmp_path):
+        rng = np.random.default_rng(11)
+        tri = Triangulation.from_points(rng.random((20, 2)).tolist())
+        bad = set(tri.triangle_ids()[:3])
+        out = tmp_path / "mesh.svg"
+        tri.to_svg(out, highlight=bad)
+        text = out.read_text()
+        assert text.count('fill="#D55E00"') == 3
+
+    def test_empty_mesh_raises(self, tmp_path):
+        tri = Triangulation((0, 0, 1, 1))
+        with pytest.raises(GeometryError):
+            tri.to_svg(tmp_path / "x.svg")
+
+
+class TestDuplicateRejection:
+    def test_exact_duplicate_rejected(self):
+        tri = Triangulation((0, 0, 1, 1))
+        tri.insert((0.5, 0.5))
+        with pytest.raises(GeometryError):
+            tri.insert((0.5, 0.5))
+
+    def test_triangulation_unchanged_after_rejection(self):
+        tri = Triangulation((0, 0, 1, 1))
+        tri.insert((0.5, 0.5))
+        before = sorted(tri.triangle_ids(include_ghost=True))
+        with pytest.raises(GeometryError):
+            tri.insert((0.5, 0.5))
+        assert sorted(tri.triangle_ids(include_ghost=True)) == before
+        assert tri.check_consistency()
+
+    def test_nearby_but_distinct_accepted(self):
+        tri = Triangulation((0, 0, 1, 1))
+        tri.insert((0.5, 0.5))
+        tri.insert((0.5 + 1e-6, 0.5))
+        assert tri.check_consistency()
+
+
+class TestQueries:
+    def test_dead_triangle_raises(self):
+        tri = Triangulation((0, 0, 1, 1))
+        tri.insert((0.5, 0.5))
+        with pytest.raises(GeometryError):
+            tri.triangle_vertices(0)  # the original ghost triangle is gone
+
+    def test_neighbors_share_edge(self):
+        rng = np.random.default_rng(9)
+        tri = Triangulation.from_points(rng.random((25, 2)).tolist())
+        tid = tri.triangle_ids()[0]
+        verts = set(tri.triangle_vertices(tid))
+        for nb in tri.neighbors(tid):
+            shared = verts & set(tri.triangle_vertices(nb))
+            assert len(shared) == 2
+
+    def test_repr(self):
+        tri = Triangulation((0, 0, 1, 1))
+        assert "vertices=3" in repr(tri)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.ccgraph import CCGraph
+from repro.graph.generators import gnm_random
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator; tests needing other streams spawn from it."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_graph() -> CCGraph:
+    """A fixed 6-node graph with known structure (two triangles + bridge).
+
+    Nodes 0-1-2 form a triangle, 3-4-5 form a triangle, edge 2-3 bridges.
+    """
+    return CCGraph.from_edges(
+        6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+    )
+
+
+@pytest.fixture
+def medium_random_graph() -> CCGraph:
+    """A 300-node random graph with average degree 8 (seeded)."""
+    return gnm_random(300, 8, seed=777)

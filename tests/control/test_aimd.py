@@ -1,0 +1,67 @@
+"""Tests for repro.control.aimd."""
+
+import pytest
+
+from repro.control.aimd import AIMDController
+from repro.errors import ControllerError
+
+
+def run_plant(controller, plant, steps):
+    ms = []
+    for _ in range(steps):
+        m = controller.propose()
+        ms.append(m)
+        controller.observe(plant(m), m)
+    return ms
+
+
+class TestAIMD:
+    def test_additive_increase(self):
+        c = AIMDController(0.2, m0=10, period=1, increase=4)
+        run_plant(c, lambda m: 0.0, 1)
+        assert c.propose() == 14
+
+    def test_multiplicative_decrease(self):
+        c = AIMDController(0.2, m0=100, period=1, decrease=0.5)
+        run_plant(c, lambda m: 0.9, 1)
+        assert c.propose() == 50
+
+    def test_deadband_holds(self):
+        c = AIMDController(0.2, m0=40, period=1, deadband=0.1)
+        run_plant(c, lambda m: 0.21, 1)  # within ±10% of rho
+        assert c.propose() == 40
+
+    def test_oscillates_around_target(self):
+        c = AIMDController(0.2, m0=2, period=1, increase=8)
+        ms = run_plant(c, lambda m: min(m / 500.0, 1.0), 120)
+        tail = ms[-40:]
+        assert 60 <= sum(tail) / len(tail) <= 140  # around mu=100, sawtooth
+
+    def test_linear_climb_is_slow(self):
+        """AIMD needs ~mu/increase windows from a cold start."""
+        c = AIMDController(0.2, m0=2, period=1, increase=4)
+        ms = run_plant(c, lambda m: min(m / 2000.0, 1.0), 30)
+        assert ms[-1] < 200  # far from mu=400 even after 30 windows
+
+    def test_clamps(self):
+        c = AIMDController(0.2, m0=2, m_max=16, period=1, increase=50)
+        run_plant(c, lambda m: 0.0, 2)
+        assert c.propose() == 16
+
+    def test_validation(self):
+        with pytest.raises(ControllerError):
+            AIMDController(0.0)
+        with pytest.raises(ControllerError):
+            AIMDController(0.2, increase=0)
+        with pytest.raises(ControllerError):
+            AIMDController(0.2, decrease=1.0)
+        with pytest.raises(ControllerError):
+            AIMDController(0.2, deadband=-0.1)
+        with pytest.raises(ControllerError):
+            AIMDController(0.2, period=0)
+
+    def test_reset(self):
+        c = AIMDController(0.2, m0=2, period=1)
+        run_plant(c, lambda m: 0.0, 5)
+        c.reset()
+        assert c.propose() == 2

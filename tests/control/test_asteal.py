@@ -1,0 +1,74 @@
+"""Tests for repro.control.asteal — the A-Steal-inspired MIMD baseline."""
+
+import pytest
+
+from repro.control.asteal import AStealController
+from repro.errors import ControllerError
+
+
+def run_plant(controller, plant, steps):
+    ms = []
+    for _ in range(steps):
+        m = controller.propose()
+        ms.append(m)
+        controller.observe(plant(m), m)
+    return ms
+
+
+class TestAStealDynamics:
+    def test_geometric_cold_start(self):
+        """Efficient windows double the desire — log-time climb like B."""
+        c = AStealController(0.2, m0=2, period=1, growth=2.0)
+        ms = run_plant(c, lambda m: 0.0, 8)
+        assert ms == [2, 4, 8, 16, 32, 64, 128, 256]
+
+    def test_backoff_when_inefficient(self):
+        c = AStealController(0.2, m0=128, period=1, growth=2.0)
+        ms = run_plant(c, lambda m: 0.9, 3)
+        assert ms == [128, 64, 32]
+
+    def test_oscillates_around_optimum(self):
+        """MIMD has no dead-band: steady state ping-pongs across μ."""
+        c = AStealController(0.2, period=1, growth=2.0)
+        ms = run_plant(c, lambda m: min(m / 500.0, 1.0), 60)
+        tail = ms[-12:]
+        assert min(tail) < 100 <= max(tail)  # straddles mu = 100
+        assert len(set(tail)) >= 2  # never settles on one value
+
+    def test_mean_lands_near_optimum(self):
+        c = AStealController(0.2, period=1, growth=2.0)
+        ms = run_plant(c, lambda m: min(m / 500.0, 1.0), 200)
+        mean_tail = sum(ms[-100:]) / 100
+        assert 40 <= mean_tail <= 220  # right decade around mu=100
+
+    def test_clamps(self):
+        c = AStealController(0.2, m0=2, m_max=32, period=1)
+        ms = run_plant(c, lambda m: 0.0, 10)
+        assert max(ms) == 32
+        c2 = AStealController(0.2, m0=32, m_min=2, m_max=64, period=1)
+        ms2 = run_plant(c2, lambda m: 1.0, 10)
+        assert min(ms2) == 2
+
+    def test_windowing(self):
+        c = AStealController(0.2, m0=4, period=3)
+        ms = run_plant(c, lambda m: 0.0, 6)
+        assert ms[:3] == [4, 4, 4]
+        assert ms[3] == 8
+
+    def test_reset(self):
+        c = AStealController(0.2, m0=2, period=1)
+        run_plant(c, lambda m: 0.0, 5)
+        c.reset()
+        assert c.propose() == 2
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ControllerError):
+            AStealController(0.0)
+        with pytest.raises(ControllerError):
+            AStealController(0.2, period=0)
+        with pytest.raises(ControllerError):
+            AStealController(0.2, growth=1.0)
+        with pytest.raises(ControllerError):
+            AStealController(0.2, m_min=5, m_max=2)

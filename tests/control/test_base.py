@@ -1,0 +1,82 @@
+"""Tests for repro.control.base — the propose/observe contract."""
+
+import pytest
+
+from repro.control.base import Controller, clamp
+from repro.control.fixed import FixedController
+from repro.errors import ControllerError
+
+
+class TestClamp:
+    def test_ceiling(self):
+        assert clamp(3.1, 1, 100) == 4
+
+    def test_clamps_low_and_high(self):
+        assert clamp(0.2, 2, 10) == 2
+        assert clamp(99.5, 2, 10) == 10
+
+    def test_integer_passthrough(self):
+        assert clamp(5, 1, 10) == 5
+
+    def test_empty_range_raises(self):
+        with pytest.raises(ControllerError):
+            clamp(5, 10, 2)
+
+
+class TestContract:
+    def test_propose_records_trace(self):
+        c = FixedController(3)
+        assert c.propose() == 3
+        c.observe(0.1, 3)
+        assert c.trace.proposals == [3]
+        assert c.trace.observations == [0.1]
+        assert c.trace.launched == [3]
+        assert len(c.trace) == 1
+
+    def test_observe_without_propose_raises(self):
+        c = FixedController(3)
+        with pytest.raises(ControllerError):
+            c.observe(0.1, 3)
+
+    def test_double_observe_raises(self):
+        c = FixedController(3)
+        c.propose()
+        c.observe(0.0, 3)
+        with pytest.raises(ControllerError):
+            c.observe(0.0, 3)
+
+    def test_ratio_out_of_range_raises(self):
+        c = FixedController(3)
+        c.propose()
+        with pytest.raises(ControllerError):
+            c.observe(1.5, 3)
+
+    def test_negative_launched_raises(self):
+        c = FixedController(3)
+        c.propose()
+        with pytest.raises(ControllerError):
+            c.observe(0.5, -1)
+
+    def test_reset_clears_trace(self):
+        c = FixedController(3)
+        c.propose()
+        c.observe(0.2, 3)
+        c.reset()
+        assert len(c.trace) == 0
+        assert c.propose() == 3  # usable again
+
+    def test_subclass_must_return_positive_m(self):
+        class Bad(Controller):
+            def _next_m(self) -> int:
+                return 0
+
+        with pytest.raises(ControllerError):
+            Bad().propose()
+
+    def test_trace_arrays(self):
+        c = FixedController(2)
+        for _ in range(3):
+            c.propose()
+            c.observe(0.5, 2)
+        assert c.trace.m_trace.tolist() == [2, 2, 2]
+        assert c.trace.r_trace.tolist() == [0.5, 0.5, 0.5]

@@ -1,0 +1,66 @@
+"""Tests for repro.control.bisection."""
+
+import pytest
+
+from repro.control.bisection import BisectionController
+from repro.errors import ControllerError
+
+
+def run_plant(controller, plant, steps):
+    ms = []
+    for _ in range(steps):
+        m = controller.propose()
+        ms.append(m)
+        controller.observe(plant(m), m)
+    return ms
+
+
+class TestBisection:
+    def test_converges_on_monotone_plant(self):
+        # r̄(m) = m/1000, rho=0.2 -> mu=200
+        c = BisectionController(0.2, m_max=1024, period=1)
+        ms = run_plant(c, lambda m: min(m / 1000.0, 1.0), 40)
+        assert ms[-1] == pytest.approx(200, rel=0.15)
+
+    def test_logarithmic_window_count(self):
+        c = BisectionController(0.2, m_max=1024, period=1, slack=0.0)
+        ms = run_plant(c, lambda m: min(m / 1000.0, 1.0), 40)
+        # bracket halves every step at period=1: within ~12 probes
+        assert abs(ms[14] - 200) <= 20
+
+    def test_reopens_bracket_on_drift(self):
+        # plant shifts: mu goes 200 -> 50
+        c = BisectionController(0.2, m_max=1024, period=1)
+        plant_a = lambda m: min(m / 1000.0, 1.0)
+        plant_b = lambda m: min(m / 250.0, 1.0)
+        run_plant(c, plant_a, 30)
+        ms = run_plant(c, plant_b, 50)
+        assert ms[-1] == pytest.approx(50, rel=0.3)
+
+    def test_respects_bounds(self):
+        c = BisectionController(0.2, m_min=2, m_max=64, period=1)
+        ms = run_plant(c, lambda m: 0.0, 30)
+        assert all(2 <= m <= 64 for m in ms)
+        assert ms[-1] == 64  # saturates when never above target
+
+    def test_slack_band_freezes_probe(self):
+        c = BisectionController(0.2, period=1, slack=0.05)
+        # plant always inside the slack band -> probe stabilises quickly
+        ms = run_plant(c, lambda m: 0.2, 10)
+        assert ms[-1] == ms[-2]
+
+    def test_validation(self):
+        with pytest.raises(ControllerError):
+            BisectionController(0.0)
+        with pytest.raises(ControllerError):
+            BisectionController(0.2, period=0)
+        with pytest.raises(ControllerError):
+            BisectionController(0.2, m_min=5, m_max=2)
+        with pytest.raises(ControllerError):
+            BisectionController(0.2, slack=-0.1)
+
+    def test_reset(self):
+        c = BisectionController(0.2, period=1)
+        run_plant(c, lambda m: 0.5, 10)
+        c.reset()
+        assert c.propose() == c.m_min

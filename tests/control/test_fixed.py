@@ -1,0 +1,26 @@
+"""Tests for repro.control.fixed."""
+
+import pytest
+
+from repro.control.fixed import FixedController
+from repro.errors import ControllerError
+
+
+class TestFixedController:
+    def test_constant_allocation(self):
+        c = FixedController(7)
+        for _ in range(5):
+            assert c.propose() == 7
+            c.observe(0.9, 7)
+
+    def test_ignores_observations(self):
+        c = FixedController(4)
+        c.propose()
+        c.observe(1.0, 4)
+        assert c.propose() == 4
+
+    def test_invalid_m_raises(self):
+        with pytest.raises(ControllerError):
+            FixedController(0)
+        with pytest.raises(ControllerError):
+            FixedController(-3)

@@ -1,0 +1,190 @@
+"""Tests for repro.control.hybrid — Algorithm 1, rule by rule."""
+
+import math
+
+import pytest
+
+from repro.control.hybrid import HybridController, HybridParams
+from repro.errors import ControllerError
+
+
+def drive(controller, r_values):
+    out = []
+    for r in r_values:
+        m = controller.propose()
+        controller.observe(r, m)
+        out.append(m)
+    return out
+
+
+def one_window(controller, r):
+    """Run exactly one averaging window at constant realisation r."""
+    p = controller.params if controller.small_params is None else controller._active_params()
+    drive(controller, [r] * p.period)
+
+
+class TestPaperDefaults:
+    def test_default_parameters_match_pseudocode(self):
+        c = HybridController(0.25)
+        assert c.m0 == 2 and c.m_min == 2 and c.m_max == 1024
+        assert c.params.period == 4
+        assert c.params.r_min == pytest.approx(0.03)
+        assert c.params.alpha0 == pytest.approx(0.25)
+        assert c.params.alpha1 == pytest.approx(0.06)
+
+    def test_initial_m_is_m0(self):
+        assert HybridController(0.2).propose() == 2
+
+
+class TestRuleSelection:
+    def test_far_from_target_uses_recurrence_b(self):
+        # r = 0 -> alpha = 1 > alpha0 -> B with r floored at r_min
+        c = HybridController(0.2, m0=10, small_params=None)
+        drive(c, [0.0] * 4)
+        assert c.current_m == math.ceil(0.2 / 0.03 * 10)
+        assert c.updates[-1][1] == "B"
+
+    def test_b_uses_measured_r_when_above_floor(self):
+        c = HybridController(0.2, m0=10, small_params=None)
+        drive(c, [0.1] * 4)  # alpha = 0.5 > alpha0
+        assert c.current_m == math.ceil(0.2 / 0.1 * 10)
+
+    def test_moderate_error_uses_recurrence_a(self):
+        # r = 0.17, rho = 0.2: alpha = 0.15 in (alpha1, alpha0] -> A
+        c = HybridController(0.2, m0=100, small_params=None)
+        drive(c, [0.17] * 4)
+        assert c.updates[-1][1] == "A"
+        assert c.current_m == math.ceil((1 - 0.17 + 0.2) * 100)
+
+    def test_dead_band_holds(self):
+        # r = 0.21: alpha = 0.05 < alpha1 = 0.06 -> hold
+        c = HybridController(0.2, m0=50, small_params=None)
+        drive(c, [0.21] * 4)
+        assert c.updates[-1][1] == "hold"
+        assert c.current_m == 50
+
+    def test_b_shrinks_when_overloaded(self):
+        # r = 0.8 >> rho -> B scales down by rho/r
+        c = HybridController(0.2, m0=100, small_params=None)
+        drive(c, [0.8] * 4)
+        assert c.current_m == math.ceil(0.2 / 0.8 * 100)
+
+
+class TestWindowing:
+    def test_no_update_mid_window(self):
+        c = HybridController(0.2, m0=10, small_params=None)
+        drive(c, [0.0] * 3)
+        assert c.current_m == 10
+        assert c.updates == []
+
+    def test_accumulator_resets_each_window(self):
+        c = HybridController(0.2, m0=10, small_params=None)
+        drive(c, [0.0] * 4)
+        first = c.current_m
+        drive(c, [0.2] * 4)  # exactly on target -> hold
+        assert c.updates[-1][1] == "hold"
+        assert c.current_m == first
+
+
+class TestClamps:
+    def test_m_max_clamp(self):
+        c = HybridController(0.5, m0=800, m_max=1024, small_params=None)
+        drive(c, [0.03] * 4)  # B wants ~13000
+        assert c.current_m == 1024
+
+    def test_m_min_clamp(self):
+        c = HybridController(0.2, m0=2, m_min=2, small_params=None)
+        drive(c, [1.0] * 4)
+        assert c.current_m == 2
+
+    def test_remark1_m_at_least_two(self):
+        """Remark 1: keep m ≥ 2 so parallelism stays discoverable."""
+        c = HybridController(0.2)
+        drive(c, [1.0] * 40)
+        assert c.current_m >= 2
+
+
+class TestSmallMSplit:
+    def test_small_regime_parameters_used(self):
+        small = HybridParams(period=8, r_min=0.05, alpha0=0.4, alpha1=0.2)
+        c = HybridController(0.2, m0=5, small_params=small, small_m_threshold=20)
+        # below threshold: window is 8 steps, not 4
+        drive(c, [0.0] * 4)
+        assert c.updates == []
+        drive(c, [0.0] * 4)
+        assert len(c.updates) == 1
+
+    def test_normal_regime_above_threshold(self):
+        small = HybridParams(period=8)
+        c = HybridController(0.2, m0=50, small_params=small, small_m_threshold=20)
+        drive(c, [0.0] * 4)
+        assert len(c.updates) == 1  # normal window of 4 applied
+
+
+class TestSmartStart:
+    def test_smart_start_uses_cor3(self):
+        c = HybridController.smart_start(0.213, n=2000, avg_degree=16.0)
+        assert c.propose() == pytest.approx(2000 / (2 * 17), rel=0.2)
+
+    def test_smart_start_safe_for_small_rho(self):
+        c = HybridController.smart_start(0.01, n=1000, avg_degree=10.0)
+        assert c.propose() >= 2
+
+
+class TestValidation:
+    def test_rho_range(self):
+        with pytest.raises(ControllerError):
+            HybridController(0.0)
+        with pytest.raises(ControllerError):
+            HybridController(1.0)
+
+    def test_param_validation(self):
+        with pytest.raises(ControllerError):
+            HybridParams(period=0).validate()
+        with pytest.raises(ControllerError):
+            HybridParams(r_min=0.0).validate()
+        with pytest.raises(ControllerError):
+            HybridParams(alpha0=0.05, alpha1=0.1).validate()
+
+    def test_bad_threshold(self):
+        with pytest.raises(ControllerError):
+            HybridController(0.2, small_params=HybridParams(), small_m_threshold=0)
+
+    def test_bad_range(self):
+        with pytest.raises(ControllerError):
+            HybridController(0.2, m_min=0)
+        with pytest.raises(ControllerError):
+            HybridController(0.2, m_min=5, m_max=4)
+
+    def test_reset_restores_initial_state(self):
+        c = HybridController(0.2, m0=10, small_params=None)
+        drive(c, [0.0] * 8)
+        assert c.current_m != 10
+        c.reset()
+        assert c.current_m == 10
+        assert c.updates == []
+
+
+class TestClosedLoopConvergence:
+    def test_converges_on_linear_plant(self):
+        """m/1000 plant, rho=0.2 -> mu=200; hybrid reaches it quickly."""
+        c = HybridController(0.2, small_params=None)
+        plant = lambda m: min(m / 1000.0, 1.0)
+        ms = []
+        for _ in range(60):
+            m = c.propose()
+            ms.append(m)
+            c.observe(plant(m), m)
+        assert ms[-1] == pytest.approx(200, rel=0.15)
+        # reached the 30% band within ~5 windows (20 steps)
+        inside = [i for i, m in enumerate(ms) if abs(m - 200) <= 60]
+        assert inside and inside[0] <= 20
+
+    def test_tracks_downward_shift(self):
+        """Plant gain doubles mid-run; hybrid must come back down."""
+        c = HybridController(0.2, small_params=None)
+        for t in range(120):
+            m = c.propose()
+            gain = 1000.0 if t < 60 else 250.0
+            c.observe(min(m / gain, 1.0), m)
+        assert c.current_m == pytest.approx(50, rel=0.3)

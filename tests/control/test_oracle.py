@@ -1,0 +1,63 @@
+"""Tests for repro.control.oracle."""
+
+import numpy as np
+import pytest
+
+from repro.control.oracle import OracleController, mu_from_curve
+from repro.errors import ControllerError
+from repro.model.conflict_ratio import ConflictCurve
+
+
+def curve(ms, rs):
+    return ConflictCurve(
+        ms=np.asarray(ms, dtype=np.int64),
+        ratios=np.asarray(rs, dtype=float),
+        half_widths=np.zeros(len(ms)),
+        replications=1,
+    )
+
+
+class TestMuFromCurve:
+    def test_interpolates_between_grid_points(self):
+        c = curve([10, 100], [0.1, 0.4])
+        # rho=0.2 is 1/3 of the way: mu ≈ 40
+        assert mu_from_curve(c, 0.2) == 40
+
+    def test_all_below_target_returns_last(self):
+        c = curve([10, 50], [0.05, 0.1])
+        assert mu_from_curve(c, 0.5) == 50
+
+    def test_all_above_target_returns_min(self):
+        c = curve([10, 50], [0.4, 0.8])
+        assert mu_from_curve(c, 0.2, m_min=2) == 2
+
+    def test_exact_grid_hit(self):
+        c = curve([10, 20, 40], [0.1, 0.2, 0.5])
+        assert 20 <= mu_from_curve(c, 0.2) <= 26
+
+    def test_flat_segment_stays_safe(self):
+        c = curve([10, 20], [0.1, 0.1])
+        assert mu_from_curve(c, 0.2) == 20
+
+    def test_rho_validation(self):
+        with pytest.raises(ControllerError):
+            mu_from_curve(curve([1], [0.1]), 1.5)
+
+
+class TestOracleController:
+    def test_constant_mu(self):
+        c = OracleController(37)
+        for _ in range(3):
+            assert c.propose() == 37
+            c.observe(0.5, 37)
+
+    def test_clamped_to_range(self):
+        assert OracleController(5000, m_max=100).propose() == 100
+
+    def test_from_curve(self):
+        c = OracleController.from_curve(curve([10, 100], [0.1, 0.4]), 0.2)
+        assert c.propose() == 40
+
+    def test_invalid_mu(self):
+        with pytest.raises(ControllerError):
+            OracleController(0)

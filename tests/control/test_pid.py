@@ -1,0 +1,61 @@
+"""Tests for repro.control.pid."""
+
+import pytest
+
+from repro.control.pid import PIController
+from repro.errors import ControllerError
+
+
+def run_plant(controller, plant, steps):
+    ms = []
+    for _ in range(steps):
+        m = controller.propose()
+        ms.append(m)
+        controller.observe(plant(m), m)
+    return ms
+
+
+class TestPI:
+    def test_grows_when_under_target(self):
+        c = PIController(0.2, m0=10, period=1)
+        ms = run_plant(c, lambda m: 0.0, 5)
+        assert ms[-1] > ms[0]
+
+    def test_shrinks_when_over_target(self):
+        c = PIController(0.2, m0=100, period=1)
+        ms = run_plant(c, lambda m: 0.9, 5)
+        assert ms[-1] < ms[0]
+
+    def test_converges_on_linear_plant(self):
+        c = PIController(0.2, period=1)
+        ms = run_plant(c, lambda m: min(m / 1000.0, 1.0), 150)
+        tail = ms[-20:]
+        assert sum(tail) / len(tail) == pytest.approx(200, rel=0.25)
+
+    def test_anti_windup_at_clamp(self):
+        """Long saturation must not cause a huge overshoot on release."""
+        c = PIController(0.2, m0=2, m_max=32, period=1)
+        run_plant(c, lambda m: 0.0, 50)  # saturates at 32
+        assert c.propose() == 32
+        # now plant suddenly reports heavy conflicts; recovery is immediate
+        ms = run_plant(c, lambda m: 0.9, 5)
+        assert ms[-1] < 32
+
+    def test_clamps(self):
+        c = PIController(0.2, m0=2, m_min=2, m_max=64, period=1)
+        ms = run_plant(c, lambda m: 0.0, 60)
+        assert all(2 <= m <= 64 for m in ms)
+
+    def test_validation(self):
+        with pytest.raises(ControllerError):
+            PIController(0.0)
+        with pytest.raises(ControllerError):
+            PIController(0.2, period=0)
+        with pytest.raises(ControllerError):
+            PIController(0.2, m_min=10, m_max=5)
+
+    def test_reset(self):
+        c = PIController(0.2, m0=4, period=1)
+        run_plant(c, lambda m: 0.0, 10)
+        c.reset()
+        assert c.propose() == 4

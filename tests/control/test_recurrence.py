@@ -1,0 +1,130 @@
+"""Tests for repro.control.recurrence — Recurrences A and B (Eq. 32–33)."""
+
+import math
+
+import pytest
+
+from repro.control.recurrence import RecurrenceAController, RecurrenceBController
+from repro.errors import ControllerError
+
+
+def drive(controller, r_values):
+    """Feed a sequence of conflict ratios; return the m after each step."""
+    out = []
+    for r in r_values:
+        m = controller.propose()
+        controller.observe(r, m)
+        out.append(m)
+    return out
+
+
+class TestWindowing:
+    def test_updates_only_every_period(self):
+        c = RecurrenceAController(0.2, period=4)
+        ms = drive(c, [0.0] * 8)
+        assert ms[:4] == [2, 2, 2, 2]  # unchanged within window
+        assert ms[4] > 2  # updated after the first window
+
+    def test_period_one_updates_each_step(self):
+        c = RecurrenceAController(0.2, period=1)
+        ms = drive(c, [0.0, 0.0])
+        assert ms[1] > ms[0]
+
+    def test_average_is_used(self):
+        # window [0, 0.4]: average 0.2 == rho -> A multiplies by exactly 1
+        c = RecurrenceAController(0.2, m0=10, period=2)
+        drive(c, [0.0, 0.4])
+        assert c.propose() == 10
+
+
+class TestRecurrenceA:
+    def test_update_formula(self):
+        # avg r = 0 -> m <- ceil((1 + rho) m)
+        c = RecurrenceAController(0.25, m0=8, period=1)
+        drive(c, [0.0])
+        assert c.propose() == math.ceil(1.25 * 8)
+
+    def test_decreases_when_over_target(self):
+        c = RecurrenceAController(0.2, m0=100, period=1)
+        drive(c, [0.8])
+        assert c.propose() == math.ceil((1 - 0.8 + 0.2) * 100)
+
+    def test_growth_bounded_by_one_plus_rho(self):
+        """A's fundamental slowness: per-window growth ≤ 1 + ρ."""
+        c = RecurrenceAController(0.2, m0=2, period=1)
+        prev = 2
+        for _ in range(20):
+            m = c.propose()
+            assert m <= math.ceil((1 + 0.2) * prev) + 1
+            prev = m
+            c.observe(0.0, m)
+
+    def test_clamps(self):
+        c = RecurrenceAController(0.3, m0=1000, m_max=64, period=1)
+        assert c.propose() == 64
+
+    def test_reset(self):
+        c = RecurrenceAController(0.2, m0=2, period=1)
+        drive(c, [0.0] * 10)
+        c.reset()
+        assert c.propose() == 2
+
+
+class TestRecurrenceB:
+    def test_update_formula(self):
+        c = RecurrenceBController(0.2, m0=10, period=1)
+        drive(c, [0.05])
+        assert c.propose() == math.ceil(0.2 / 0.05 * 10)
+
+    def test_rmin_floor_prevents_explosion(self):
+        c = RecurrenceBController(0.2, m0=10, period=1, r_min=0.03)
+        drive(c, [0.0])
+        # without the floor this would divide by zero; with it: 0.2/0.03
+        assert c.propose() == math.ceil(0.2 / 0.03 * 10)
+
+    def test_geometric_convergence_on_linear_plant(self):
+        """On a linear r̄(m) = m/500 plant, B lands in one window."""
+        c = RecurrenceBController(0.2, m0=2, period=1)
+        m = c.propose()
+        for _ in range(6):
+            r = min(m / 500.0, 1.0)
+            c.observe(r, m)
+            m = c.propose()
+        assert m == pytest.approx(100, rel=0.1)  # mu = 0.2*500
+
+    def test_faster_than_a_from_cold_start(self):
+        plant = lambda m: min(m / 500.0, 1.0)
+        a = RecurrenceAController(0.2, m0=2, period=1)
+        b = RecurrenceBController(0.2, m0=2, period=1)
+        for ctrl in (a, b):
+            for _ in range(8):
+                m = ctrl.propose()
+                ctrl.observe(plant(m), m)
+        assert b.propose() > a.propose()
+
+    def test_validation(self):
+        with pytest.raises(ControllerError):
+            RecurrenceBController(0.2, r_min=0.0)
+        with pytest.raises(ControllerError):
+            RecurrenceBController(0.2, r_min=1.0)
+
+
+class TestSharedValidation:
+    def test_rho_bounds(self):
+        for bad in (0.0, 1.0, -0.1):
+            with pytest.raises(ControllerError):
+                RecurrenceAController(bad)
+
+    def test_period_bounds(self):
+        with pytest.raises(ControllerError):
+            RecurrenceAController(0.2, period=0)
+
+    def test_range_bounds(self):
+        with pytest.raises(ControllerError):
+            RecurrenceAController(0.2, m_min=0)
+        with pytest.raises(ControllerError):
+            RecurrenceAController(0.2, m_min=10, m_max=5)
+
+    def test_m0_clamped_into_range(self):
+        c = RecurrenceAController(0.2, m0=1, m_min=2)
+        assert c.propose() == 2

@@ -1,0 +1,63 @@
+"""Tests for the experiment CLI runner."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main, run_experiment
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig1",
+            "fig2",
+            "fig3",
+            "example1",
+            "theory",
+            "adaptation",
+            "apps",
+            "ablation",
+            "ordered",
+            "pareto",
+            "costs",
+        }
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            run_experiment("nope")
+
+    def test_quick_run_returns_result(self):
+        res = run_experiment("example1", seed=0, quick=True)
+        assert res.name.startswith("EX1")
+
+
+class TestCli:
+    def test_single_experiment(self, capsys):
+        assert main(["example1", "--quick", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "EX1" in out
+
+    def test_unknown_experiment_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+    def test_output_dir_writes_artifacts(self, capsys, tmp_path):
+        out = tmp_path / "artifacts"
+        assert main(["example1", "--quick", "--output-dir", str(out)]) == 0
+        capsys.readouterr()
+        assert (out / "example1.txt").exists()
+        assert (out / "example1.json").exists()
+        # example1 has no series, so no SVG
+        assert not (out / "example1.svg").exists()
+
+    def test_output_dir_svg_for_series_experiments(self, capsys, tmp_path):
+        out = tmp_path / "artifacts"
+        assert main(["fig3", "--quick", "--output-dir", str(out)]) == 0
+        capsys.readouterr()
+        assert (out / "fig3.svg").exists()
+
+    def test_seed_changes_nothing_in_exact_values(self, capsys):
+        main(["example1", "--quick", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["example1", "--quick", "--seed", "1"])
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,233 @@
+"""Tests for repro.graph.ccgraph."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graph.ccgraph import CCGraph
+
+
+class TestBasicOperations:
+    def test_add_nodes_sequential_ids(self):
+        g = CCGraph()
+        assert [g.add_node() for _ in range(3)] == [0, 1, 2]
+        assert g.num_nodes == 3
+
+    def test_node_ids_never_reused(self):
+        g = CCGraph()
+        g.add_node()
+        g.remove_node(0)
+        assert g.add_node() == 1
+
+    def test_add_edge_and_query(self, small_graph):
+        assert small_graph.has_edge(0, 1)
+        assert small_graph.has_edge(1, 0)
+        assert not small_graph.has_edge(0, 4)
+
+    def test_add_edge_idempotent(self):
+        g = CCGraph.from_edges(2, [(0, 1)])
+        g.add_edge(0, 1)
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = CCGraph.from_edges(1, [])
+        with pytest.raises(GraphError):
+            g.add_edge(0, 0)
+
+    def test_edge_to_missing_node_raises(self):
+        g = CCGraph.from_edges(2, [])
+        with pytest.raises(NodeNotFoundError):
+            g.add_edge(0, 9)
+
+    def test_remove_edge(self):
+        g = CCGraph.from_edges(3, [(0, 1), (1, 2)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 1
+
+    def test_remove_missing_edge_raises(self):
+        g = CCGraph.from_edges(2, [])
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(0, 1)
+
+    def test_remove_node_cleans_edges(self, small_graph):
+        small_graph.remove_node(2)
+        assert 2 not in small_graph
+        assert small_graph.num_edges == 4  # 0-1, 3-4, 4-5, 3-5
+        assert not small_graph.has_edge(0, 2)
+
+    def test_remove_missing_node_raises(self):
+        g = CCGraph()
+        with pytest.raises(NodeNotFoundError):
+            g.remove_node(0)
+
+    def test_degree_and_neighbors(self, small_graph):
+        assert small_graph.degree(2) == 3
+        assert small_graph.neighbors(2) == frozenset({0, 1, 3})
+        with pytest.raises(NodeNotFoundError):
+            small_graph.degree(99)
+
+    def test_average_degree(self, small_graph):
+        assert small_graph.average_degree == pytest.approx(14 / 6)
+        assert CCGraph().average_degree == 0.0
+
+    def test_len_iter_contains(self, small_graph):
+        assert len(small_graph) == 6
+        assert set(small_graph) == set(range(6))
+        assert 3 in small_graph and 17 not in small_graph
+
+    def test_edges_reported_once(self, small_graph):
+        edges = small_graph.edges()
+        assert len(edges) == 7
+        assert all(u < v for u, v in edges)
+
+
+class TestPayloads:
+    def test_data_roundtrip(self):
+        g = CCGraph()
+        nid = g.add_node(data={"x": 1})
+        assert g.get_data(nid) == {"x": 1}
+        g.set_data(nid, "other")
+        assert g.get_data(nid) == "other"
+
+    def test_data_none_by_default(self):
+        g = CCGraph.from_edges(1, [])
+        assert g.get_data(0) is None
+
+    def test_data_on_missing_node_raises(self):
+        g = CCGraph()
+        with pytest.raises(NodeNotFoundError):
+            g.get_data(0)
+        with pytest.raises(NodeNotFoundError):
+            g.set_data(0, 1)
+
+    def test_data_removed_with_node(self):
+        g = CCGraph()
+        nid = g.add_node(data=42)
+        g.remove_node(nid)
+        nid2 = g.add_node()
+        assert g.get_data(nid2) is None
+
+
+class TestDerivedStructures:
+    def test_copy_is_independent(self, small_graph):
+        clone = small_graph.copy()
+        clone.remove_node(0)
+        assert 0 in small_graph
+        assert small_graph.num_edges == 7
+
+    def test_copy_preserves_next_id(self, small_graph):
+        clone = small_graph.copy()
+        assert clone.add_node() == small_graph.add_node()
+
+    def test_induced_subgraph(self, small_graph):
+        sub = small_graph.induced_subgraph([0, 1, 2, 3])
+        assert sub.num_nodes == 4
+        assert sub.num_edges == 4  # 0-1, 0-2, 1-2, 2-3
+        assert not sub.has_edge(3, 4) if 4 in sub else True
+
+    def test_induced_subgraph_missing_node_raises(self, small_graph):
+        with pytest.raises(NodeNotFoundError):
+            small_graph.induced_subgraph([0, 99])
+
+    def test_snapshot_matches_graph(self, medium_random_graph):
+        g = medium_random_graph
+        snap = g.snapshot()
+        assert snap.num_nodes == g.num_nodes
+        assert snap.num_edges == g.num_edges
+        assert snap.average_degree == pytest.approx(g.average_degree)
+        # spot-check adjacency round trip
+        index_of = {int(n): i for i, n in enumerate(snap.node_ids)}
+        for u in list(g)[:20]:
+            neigh = {int(snap.node_ids[j]) for j in snap.neighbors(index_of[u])}
+            assert neigh == set(g.neighbors(u))
+
+    def test_snapshot_degrees(self, small_graph):
+        snap = small_graph.snapshot()
+        degs = {int(n): int(d) for n, d in zip(snap.node_ids, snap.degrees)}
+        assert degs[2] == 3 and degs[0] == 2
+
+    def test_to_networkx(self, small_graph):
+        nxg = small_graph.to_networkx()
+        assert nxg.number_of_nodes() == 6
+        assert nxg.number_of_edges() == 7
+
+    def test_from_networkx_roundtrip(self, small_graph):
+        back = CCGraph.from_networkx(small_graph.to_networkx())
+        assert back.num_nodes == small_graph.num_nodes
+        assert sorted(back.edges()) == sorted(small_graph.edges())
+
+    def test_from_networkx_arbitrary_labels(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_edge("alpha", "beta")
+        nxg.add_edge("beta", "gamma")
+        nxg.add_edge("alpha", "alpha")  # self-loop must be dropped
+        g = CCGraph.from_networkx(nxg)
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_from_networkx_deterministic(self):
+        import networkx as nx
+
+        nxg = nx.gnm_random_graph(20, 40, seed=3)
+        a = CCGraph.from_networkx(nxg)
+        b = CCGraph.from_networkx(nxg)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_repr(self, small_graph):
+        assert "n=6" in repr(small_graph)
+
+
+@st.composite
+def graph_operations(draw):
+    """A random sequence of graph mutations."""
+    ops = draw(
+        st.lists(
+            st.tuples(st.sampled_from(["add_node", "add_edge", "remove_node"]),
+                      st.integers(0, 30), st.integers(0, 30)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    return ops
+
+
+class TestInvariantsPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(graph_operations())
+    def test_edge_count_always_consistent(self, ops):
+        g = CCGraph()
+        for op, a, b in ops:
+            if op == "add_node":
+                g.add_node()
+            elif op == "add_edge" and a in g and b in g and a != b:
+                g.add_edge(a, b)
+            elif op == "remove_node" and a in g:
+                g.remove_node(a)
+        # invariant: num_edges equals the recount and adjacency is symmetric
+        assert g.num_edges == len(g.edges())
+        for u in g:
+            for v in g.neighbors(u):
+                assert u in g.neighbors(v)
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_operations())
+    def test_snapshot_roundtrip_any_graph(self, ops):
+        g = CCGraph()
+        for op, a, b in ops:
+            if op == "add_node":
+                g.add_node()
+            elif op == "add_edge" and a in g and b in g and a != b:
+                g.add_edge(a, b)
+            elif op == "remove_node" and a in g:
+                g.remove_node(a)
+        snap = g.snapshot()
+        assert snap.num_nodes == g.num_nodes
+        assert snap.num_edges == g.num_edges
+        assert int(snap.indptr[-1]) == snap.indices.shape[0]
+        if snap.num_nodes:
+            assert np.array_equal(np.sort(np.diff(snap.indptr)), np.sort(snap.degrees))

@@ -1,0 +1,136 @@
+"""Tests for repro.graph.io."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import gnm_random
+from repro.graph.io import (
+    dumps_dimacs,
+    dumps_edgelist,
+    loads_dimacs,
+    loads_edgelist,
+    read_dimacs,
+    read_edgelist,
+    write_dimacs,
+    write_edgelist,
+)
+
+
+class TestRoundTrip:
+    def test_dumps_loads_identity(self, small_graph):
+        text = dumps_edgelist(small_graph)
+        g2 = loads_edgelist(text)
+        assert g2.num_nodes == small_graph.num_nodes
+        assert sorted(g2.edges()) == sorted(small_graph.edges())
+
+    def test_file_roundtrip(self, tmp_path, medium_random_graph):
+        path = tmp_path / "g.edges"
+        write_edgelist(medium_random_graph, path)
+        g2 = read_edgelist(path)
+        assert g2.num_edges == medium_random_graph.num_edges
+        assert g2.num_nodes == medium_random_graph.num_nodes
+
+    def test_remapping_after_removals(self):
+        g = gnm_random(20, 4, seed=0)
+        g.remove_node(3)
+        g.remove_node(17)
+        text = dumps_edgelist(g)
+        g2 = loads_edgelist(text)
+        assert g2.num_nodes == 18
+        assert g2.num_edges == g.num_edges
+
+    def test_empty_graph(self):
+        from repro.graph.ccgraph import CCGraph
+
+        text = dumps_edgelist(CCGraph())
+        assert loads_edgelist(text).num_nodes == 0
+
+
+class TestDimacs:
+    def test_roundtrip(self, small_graph):
+        g2 = loads_dimacs(dumps_dimacs(small_graph))
+        assert g2.num_nodes == small_graph.num_nodes
+        assert sorted(g2.edges()) == sorted(small_graph.edges())
+
+    def test_file_roundtrip(self, tmp_path, medium_random_graph):
+        path = tmp_path / "g.dimacs"
+        write_dimacs(medium_random_graph, path, comment="test graph")
+        g2 = read_dimacs(path)
+        assert g2.num_edges == medium_random_graph.num_edges
+        assert path.read_text().startswith("c test graph")
+
+    def test_problem_line_format(self, small_graph):
+        text = dumps_dimacs(small_graph)
+        assert "p edge 6 7" in text
+
+    def test_one_based_indices(self):
+        g = loads_dimacs("p edge 2 1\ne 1 2\n")
+        assert g.has_edge(0, 1)
+
+    def test_comments_skipped(self):
+        g = loads_dimacs("c hello\np edge 3 1\nc mid\ne 1 3\n")
+        assert g.has_edge(0, 2)
+
+    def test_col_variant_accepted(self):
+        g = loads_dimacs("p col 2 1\ne 1 2\n")
+        assert g.num_edges == 1
+
+    def test_missing_problem_line(self):
+        with pytest.raises(GraphError):
+            loads_dimacs("e 1 2\n")
+        with pytest.raises(GraphError):
+            loads_dimacs("")
+
+    def test_duplicate_problem_line(self):
+        with pytest.raises(GraphError):
+            loads_dimacs("p edge 2 0\np edge 2 0\n")
+
+    def test_edge_count_mismatch(self):
+        with pytest.raises(GraphError):
+            loads_dimacs("p edge 3 2\ne 1 2\n")
+
+    def test_out_of_range_endpoint(self):
+        with pytest.raises(GraphError):
+            loads_dimacs("p edge 2 1\ne 1 3\n")
+        with pytest.raises(GraphError):
+            loads_dimacs("p edge 2 1\ne 0 1\n")
+
+    def test_unknown_record(self):
+        with pytest.raises(GraphError):
+            loads_dimacs("p edge 2 1\nx 1 2\n")
+
+    def test_malformed_lines(self):
+        with pytest.raises(GraphError):
+            loads_dimacs("p edge two 1\ne 1 2\n")
+        with pytest.raises(GraphError):
+            loads_dimacs("p edge 2 1\ne 1\n")
+
+
+class TestParsing:
+    def test_missing_header_raises(self):
+        with pytest.raises(GraphError):
+            loads_edgelist("0 1\n")
+
+    def test_bad_header_raises(self):
+        with pytest.raises(GraphError):
+            loads_edgelist("# nodes abc\n")
+
+    def test_negative_node_count_raises(self):
+        with pytest.raises(GraphError):
+            loads_edgelist("# nodes -3\n")
+
+    def test_comments_and_blank_lines_skipped(self):
+        g = loads_edgelist("# nodes 3\n\n# a comment\n0 1\n")
+        assert g.num_edges == 1
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(GraphError):
+            loads_edgelist("# nodes 3\n0 1 2\n")
+
+    def test_non_integer_endpoint_raises(self):
+        with pytest.raises(GraphError):
+            loads_edgelist("# nodes 3\n0 x\n")
+
+    def test_out_of_range_endpoint_raises(self):
+        with pytest.raises(GraphError):
+            loads_edgelist("# nodes 3\n0 3\n")

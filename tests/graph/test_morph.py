@@ -1,0 +1,98 @@
+"""Tests for repro.graph.morph."""
+
+import pytest
+
+from repro.errors import GraphError, NodeNotFoundError
+from repro.graph.ccgraph import CCGraph
+from repro.graph.morph import attach_clique, boundary, contract_nodes, replace_cavity
+
+
+class TestBoundary:
+    def test_boundary_of_inner_node(self, small_graph):
+        assert boundary(small_graph, [2]) == {0, 1, 3}
+
+    def test_boundary_excludes_cavity(self, small_graph):
+        assert boundary(small_graph, [0, 1, 2]) == {3}
+
+    def test_boundary_of_everything_is_empty(self, small_graph):
+        assert boundary(small_graph, range(6)) == set()
+
+
+class TestReplaceCavity:
+    def test_basic_replacement(self, small_graph):
+        new = replace_cavity(small_graph, [0, 1], num_new=3)
+        assert len(new) == 3
+        assert 0 not in small_graph and 1 not in small_graph
+        # new nodes form a clique and attach to the old boundary {2}
+        for u in new:
+            assert small_graph.has_edge(u, 2)
+            for v in new:
+                if u != v:
+                    assert small_graph.has_edge(u, v)
+
+    def test_no_boundary_connection(self, small_graph):
+        new = replace_cavity(small_graph, [0], num_new=2, connect_boundary=False)
+        for u in new:
+            assert small_graph.degree(u) == 1  # only each other
+
+    def test_independent_new_nodes(self, small_graph):
+        new = replace_cavity(small_graph, [0], num_new=2, clique_new=False)
+        assert not small_graph.has_edge(new[0], new[1])
+
+    def test_zero_new_nodes(self, small_graph):
+        assert replace_cavity(small_graph, [5], num_new=0) == []
+        assert 5 not in small_graph
+
+    def test_empty_cavity_raises(self, small_graph):
+        with pytest.raises(GraphError):
+            replace_cavity(small_graph, [], num_new=1)
+
+    def test_duplicate_cavity_nodes_deduped(self, small_graph):
+        new = replace_cavity(small_graph, [0, 0, 1], num_new=1)
+        assert len(new) == 1
+
+    def test_node_count_accounting(self, small_graph):
+        before = small_graph.num_nodes
+        replace_cavity(small_graph, [0, 1], num_new=5)
+        assert small_graph.num_nodes == before - 2 + 5
+
+
+class TestContractNodes:
+    def test_contract_triangle(self, small_graph):
+        merged = contract_nodes(small_graph, [0, 1, 2])
+        assert small_graph.neighbors(merged) == frozenset({3})
+        assert small_graph.num_nodes == 4
+
+    def test_contract_single_node(self, small_graph):
+        merged = contract_nodes(small_graph, [2])
+        assert small_graph.neighbors(merged) == frozenset({0, 1, 3})
+
+    def test_contract_missing_raises(self, small_graph):
+        with pytest.raises(NodeNotFoundError):
+            contract_nodes(small_graph, [0, 99])
+
+    def test_contract_empty_raises(self, small_graph):
+        with pytest.raises(GraphError):
+            contract_nodes(small_graph, [])
+
+
+class TestAttachClique:
+    def test_burst_injection(self, small_graph):
+        new = attach_clique(small_graph, 4, anchors=[5])
+        assert len(new) == 4
+        for u in new:
+            assert small_graph.has_edge(u, 5)
+        assert small_graph.has_edge(new[0], new[3])
+
+    def test_no_anchors(self):
+        g = CCGraph()
+        new = attach_clique(g, 3)
+        assert g.num_nodes == 3 and g.num_edges == 3
+
+    def test_missing_anchor_raises(self, small_graph):
+        with pytest.raises(NodeNotFoundError):
+            attach_clique(small_graph, 2, anchors=[99])
+
+    def test_negative_size_raises(self, small_graph):
+        with pytest.raises(GraphError):
+            attach_clique(small_graph, -1)

@@ -1,0 +1,74 @@
+"""Tests for repro.model.seating — unfriendly seating expectations."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.graph.generators import cycle_graph, path_graph
+from repro.model.seating import (
+    cycle_expected_occupancy,
+    expected_mis,
+    path_expected_occupancy,
+    seating_density_limit,
+)
+
+
+class TestPathExact:
+    def test_base_cases(self):
+        assert path_expected_occupancy(0) == 0.0
+        assert path_expected_occupancy(1) == 1.0
+        assert path_expected_occupancy(2) == 1.0
+
+    def test_three_seats_hand_computed(self):
+        # seats 1..3: first sits 1 or 3 -> 2 total; sits 2 -> 1 total
+        assert path_expected_occupancy(3) == pytest.approx(5 / 3)
+
+    def test_four_seats_hand_computed(self):
+        # E_4 = 1 + (2/4)(E_0 + E_1 + E_2) = 1 + (0+1+1)/2 = 2
+        assert path_expected_occupancy(4) == pytest.approx(2.0)
+
+    def test_density_converges_to_limit(self):
+        limit = seating_density_limit()
+        assert path_expected_occupancy(2000) / 2000 == pytest.approx(limit, abs=1e-3)
+
+    def test_limit_value(self):
+        assert seating_density_limit() == pytest.approx(0.43233235, abs=1e-8)
+
+    def test_negative_raises(self):
+        with pytest.raises(ModelError):
+            path_expected_occupancy(-1)
+
+    def test_monotone_in_n(self):
+        vals = [path_expected_occupancy(n) for n in range(30)]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+
+class TestCycleExact:
+    def test_small_cycles(self):
+        assert cycle_expected_occupancy(3) == 1.0  # any seat blocks both others
+        assert cycle_expected_occupancy(4) == pytest.approx(1.0 + path_expected_occupancy(1))
+
+    def test_below_three_degenerates(self):
+        assert cycle_expected_occupancy(2) == 1.0
+        assert cycle_expected_occupancy(0) == 0.0
+
+    def test_cycle_density_same_limit(self):
+        assert cycle_expected_occupancy(2000) / 2000 == pytest.approx(
+            seating_density_limit(), abs=1e-3
+        )
+
+
+class TestAgainstSimulation:
+    def test_path_mc_matches_exact(self):
+        n = 60
+        mc = expected_mis(path_graph(n), reps=2500, seed=0)
+        assert abs(mc.mean - path_expected_occupancy(n)) <= 3 * mc.half_width
+
+    def test_cycle_mc_matches_exact(self):
+        n = 40
+        mc = expected_mis(cycle_graph(n), reps=2500, seed=1)
+        assert abs(mc.mean - cycle_expected_occupancy(n)) <= 3 * mc.half_width
+
+    def test_empty_graph(self):
+        from repro.graph.ccgraph import CCGraph
+
+        assert expected_mis(CCGraph(), reps=10).mean == 0.0

@@ -1,0 +1,268 @@
+"""Tests for repro.model.turan — Thm. 1/2/3, Cor. 2/3, Prop. 2."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.graph.generators import gnm_random, kdn_worst_case, random_regular
+from repro.model.conflict_ratio import estimate_conflict_ratio, estimate_em
+from repro.model.seating import expected_mis
+from repro.model.turan import (
+    alpha_conflict_bound,
+    alpha_conflict_bound_limit,
+    em_disjoint_cliques,
+    em_kdn,
+    initial_derivative,
+    safe_initial_m,
+    turan_bound,
+    worst_case_conflict_ratio,
+    worst_case_conflict_ratio_approx,
+)
+
+
+class TestTuranBound:
+    def test_value(self):
+        assert turan_bound(100, 4) == pytest.approx(20.0)
+
+    def test_holds_on_random_graphs(self):
+        """Thm. 1: E[greedy MIS] >= n/(d+1)."""
+        for seed in range(3):
+            g = gnm_random(150, 6, seed=seed)
+            mis = expected_mis(g, reps=300, seed=seed)
+            assert mis.mean + mis.half_width >= turan_bound(150, g.average_degree)
+
+    def test_tight_on_cliques(self):
+        """Remark 2: K_d^n achieves the bound exactly."""
+        g = kdn_worst_case(60, 5)
+        mis = expected_mis(g, reps=400, seed=0)
+        assert mis.mean == pytest.approx(turan_bound(60, 5), abs=3 * mis.half_width + 1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            turan_bound(0, 1)
+        with pytest.raises(ModelError):
+            turan_bound(5, 5)
+
+
+class TestEmKdn:
+    def test_m_zero_and_full(self):
+        assert em_kdn(20, 4, 0) == 0.0
+        assert em_kdn(20, 4, 20) == pytest.approx(4.0)  # s = 4 cliques
+
+    def test_monotone_in_m(self):
+        vals = [em_kdn(60, 5, m) for m in range(61)]
+        assert all(b >= a - 1e-12 for a, b in zip(vals, vals[1:]))
+
+    def test_against_simulation(self):
+        g = kdn_worst_case(84, 6)
+        for m in (3, 12, 40):
+            mc = estimate_em(g, m, reps=2500, seed=m)
+            assert abs(mc.mean - em_kdn(84, 6, m)) <= 3 * mc.half_width + 1e-9
+
+    def test_divisibility_required(self):
+        with pytest.raises(ModelError):
+            em_kdn(10, 3, 3)
+
+    def test_m_range_checked(self):
+        with pytest.raises(ModelError):
+            em_kdn(20, 4, 21)
+
+
+class TestEmDisjointCliques:
+    def test_reduces_to_em_kdn_on_equal_cliques(self):
+        for m in (0, 5, 20, 60):
+            assert em_disjoint_cliques([5] * 12, m) == pytest.approx(em_kdn(60, 4, m))
+
+    def test_example1_closed_form(self):
+        """K_{n²} ∪ D_n at m = n+1 gives exactly 2 (Example 1)."""
+        n = 12
+        sizes = [n * n] + [1] * n
+        assert em_disjoint_cliques(sizes, n + 1) == pytest.approx(2.0)
+
+    def test_matches_simulation_on_mixed_sizes(self):
+        from repro.graph.ccgraph import CCGraph
+        from repro.model.conflict_ratio import estimate_em
+
+        sizes = [1, 2, 3, 5, 8, 13]
+        g = CCGraph()
+        for s in sizes:
+            ids = [g.add_node() for _ in range(s)]
+            for i, u in enumerate(ids):
+                for v in ids[i + 1 :]:
+                    g.add_edge(u, v)
+        for m in (3, 10, 25):
+            mc = estimate_em(g, m, reps=4000, seed=m)
+            assert abs(mc.mean - em_disjoint_cliques(sizes, m)) <= 3 * mc.half_width
+
+    def test_full_sample_counts_cliques(self):
+        assert em_disjoint_cliques([3, 1, 7], 11) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            em_disjoint_cliques([0, 2], 1)
+        with pytest.raises(ModelError):
+            em_disjoint_cliques([2, 2], 5)
+
+
+class TestWorstCaseBound:
+    def test_exact_vs_approx_converge(self):
+        n, d = 2040, 16
+        for m in (10, 100, 1000):
+            exact = worst_case_conflict_ratio(n, d, m)
+            approx = worst_case_conflict_ratio_approx(n, d, m)
+            assert approx == pytest.approx(exact, abs=0.02)
+
+    def test_thm2_dominance_random(self):
+        """Every same-(n,d) graph's r̄ is below the worst-case bound."""
+        n, d = 170, 16
+        g = gnm_random(n, d, seed=1)
+        for m in (10, 40, 120):
+            mc = estimate_conflict_ratio(g, m, reps=800, seed=m)
+            assert mc.mean - mc.half_width <= worst_case_conflict_ratio(n, d, m) + 1e-9
+
+    def test_thm2_dominance_regular(self):
+        n, d = 170, 16
+        g = random_regular(n, d, seed=2)
+        for m in (20, 80):
+            mc = estimate_conflict_ratio(g, m, reps=800, seed=m)
+            assert mc.mean - mc.half_width <= worst_case_conflict_ratio(n, d, m) + 1e-9
+
+    def test_kdn_achieves_bound(self):
+        """K_d^n itself sits exactly on the bound."""
+        n, d = 102, 16
+        g = kdn_worst_case(n, d)
+        for m in (5, 30, 102):
+            mc = estimate_conflict_ratio(g, m, reps=3000, seed=m)
+            assert mc.mean == pytest.approx(
+                worst_case_conflict_ratio(n, d, m), abs=3 * mc.half_width + 1e-9
+            )
+
+    def test_m_validation(self):
+        with pytest.raises(ModelError):
+            worst_case_conflict_ratio(20, 4, 0)
+        with pytest.raises(ModelError):
+            worst_case_conflict_ratio_approx(20, 4, 21)
+
+
+class TestCor3:
+    def test_limit_at_half_is_paper_value(self):
+        """§4: m = n/2(d+1) guarantees conflict ratio ≤ 21.3%."""
+        assert alpha_conflict_bound_limit(0.5) == pytest.approx(0.213, abs=5e-4)
+
+    def test_finite_d_below_limit(self):
+        for alpha in (0.25, 0.5, 1.0):
+            assert alpha_conflict_bound(alpha, 16) <= alpha_conflict_bound_limit(alpha) + 1e-12
+
+    def test_finite_d_converges_to_limit(self):
+        assert alpha_conflict_bound(0.7, 10**6) == pytest.approx(
+            alpha_conflict_bound_limit(0.7), abs=1e-5
+        )
+
+    @given(st.floats(0.01, 3.0))
+    def test_limit_monotone_in_alpha(self, alpha):
+        assert alpha_conflict_bound_limit(alpha) <= alpha_conflict_bound_limit(alpha + 0.1) + 1e-12
+
+    def test_limit_vanishes_at_zero(self):
+        assert alpha_conflict_bound_limit(1e-6) == pytest.approx(0.0, abs=1e-5)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            alpha_conflict_bound_limit(0.0)
+        with pytest.raises(ModelError):
+            alpha_conflict_bound(5.0, 2.0)
+
+
+class TestProp2:
+    def test_formula(self):
+        assert initial_derivative(2000, 16) == pytest.approx(16 / (2 * 1999))
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(20, 100), st.floats(1.0, 8.0), st.data())
+    def test_matches_r2_measurement(self, n, d, data):
+        """Δr̄(1) = r̄(2) since r̄(1) = 0; must equal d/2(n−1) for any graph."""
+        d = min(d, n - 1.0)
+        g = gnm_random(n, d, seed=data.draw(st.integers(0, 100)))
+        mc = estimate_conflict_ratio(g, 2, reps=20000, seed=0)
+        formula = initial_derivative(n, g.average_degree)
+        assert abs(mc.mean - formula) <= 3 * mc.half_width + 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            initial_derivative(1, 0)
+
+
+class TestPredictMuLinear:
+    def test_closed_form(self):
+        from repro.model.turan import predict_mu_linear
+
+        assert predict_mu_linear(2001, 16.0, 0.2) == round(2 * 0.2 * 2000 / 16)
+
+    def test_close_to_oracle_on_random_graphs(self):
+        from repro.control.tuning import oracle_mu
+        from repro.model.turan import predict_mu_linear
+
+        g = gnm_random(1200, 16, seed=5)
+        mu_hat = predict_mu_linear(1200, 16.0, 0.2)
+        mu = oracle_mu(g, 0.2, reps=120, seed=6)
+        assert mu_hat == pytest.approx(mu, rel=0.5)
+
+    def test_predictor_ordering(self):
+        """linear ≤ worst-case-safe: the linear extrapolation overestimates
+        r̄ (every curve is sub-linear past the origin), so it underestimates
+        μ even relative to the worst-case inversion."""
+        from repro.model.turan import predict_mu_linear
+
+        for d in (4, 16, 48):
+            n = 2040 - 2040 % (d + 1)
+            assert predict_mu_linear(n, float(d), 0.2) <= safe_initial_m(
+                n, float(d), 0.2
+            )
+
+    def test_conflict_free_uses_everything(self):
+        from repro.model.turan import predict_mu_linear
+
+        assert predict_mu_linear(50, 0.0, 0.2) == 50
+
+    def test_validation(self):
+        from repro.model.turan import predict_mu_linear
+
+        with pytest.raises(ModelError):
+            predict_mu_linear(100, 5.0, 0.0)
+        with pytest.raises(ModelError):
+            predict_mu_linear(100, 5.0, 0.2, m_min=0)
+
+
+class TestSafeInitialM:
+    def test_bound_respected(self):
+        n, d, rho = 2000, 16.0, 0.2
+        m = safe_initial_m(n, d, rho)
+        assert worst_case_conflict_ratio_approx(n, d, m) <= rho + 1e-12
+        if m < n:
+            assert worst_case_conflict_ratio_approx(n, d, m + 1) > rho
+
+    def test_smart_start_near_paper_value(self):
+        """§4: m = n/2(d+1) has bound ≈ 21.3%, so safe m at ρ=0.213 ≈ that."""
+        n, d = 2000, 16
+        m = safe_initial_m(n, d, 0.213)
+        assert m == pytest.approx(n / (2 * (d + 1)), rel=0.15)
+
+    def test_m_min_floor(self):
+        assert safe_initial_m(100, 50.0, 0.001, m_min=2) == 2
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            safe_initial_m(100, 5, 0.0)
+        with pytest.raises(ModelError):
+            safe_initial_m(100, 5, 0.5, m_min=0)
+
+
+def test_nan_free_across_grid():
+    """The bound functions stay finite over a wide parameter grid."""
+    for n in (10, 100, 5000):
+        for d in (0, 1, 8):
+            for m in (1, n // 2, n):
+                assert math.isfinite(worst_case_conflict_ratio_approx(n, float(d), m))

@@ -1,0 +1,110 @@
+"""Tests for repro.runtime.stats."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.stats import RunResult, StepStats
+
+
+def make_result(ms, rs=None, committed=None):
+    """Build a RunResult from an m-trace (and optional r-trace)."""
+    res = RunResult()
+    for t, m in enumerate(ms):
+        launched = m
+        aborted = int(round((rs[t] if rs else 0.0) * launched))
+        res.append(
+            StepStats(
+                step=t,
+                requested=m,
+                launched=launched,
+                committed=launched - aborted,
+                aborted=aborted,
+                workset_before=100,
+                workset_after=100,
+            )
+        )
+    return res
+
+
+class TestStepStats:
+    def test_conflict_ratio(self):
+        s = StepStats(0, 10, 10, 7, 3, 50, 47)
+        assert s.conflict_ratio == pytest.approx(0.3)
+
+    def test_zero_launched(self):
+        s = StepStats(0, 1, 0, 0, 0, 0, 0)
+        assert s.conflict_ratio == 0.0
+
+
+class TestRunResultTotals:
+    def test_traces(self):
+        res = make_result([2, 4, 8], rs=[0.0, 0.5, 0.25])
+        assert res.m_trace.tolist() == [2, 4, 8]
+        assert res.r_trace.tolist() == [0.0, 0.5, 0.25]
+        assert res.committed_trace.tolist() == [2, 2, 6]
+        assert res.total_launched == 14
+        assert res.total_committed == 10
+        assert res.total_aborted == 4
+        assert res.wasted_fraction == pytest.approx(4 / 14)
+        assert res.processor_steps() == 14
+
+    def test_speedup(self):
+        res = make_result([4, 4])
+        assert res.speedup_vs_serial() == pytest.approx(4.0)
+
+    def test_empty_result(self):
+        res = RunResult()
+        assert len(res) == 0
+        assert res.wasted_fraction == 0.0
+        assert res.mean_conflict_ratio == 0.0
+        assert res.speedup_vs_serial() == 0.0
+
+    def test_repr(self):
+        assert "steps=1" in repr(make_result([2]))
+
+
+class TestAllocationChurn:
+    def test_constant_allocation_no_churn(self):
+        assert make_result([5, 5, 5, 5]).allocation_churn() == 0.0
+
+    def test_churn_value(self):
+        assert make_result([2, 4, 4, 10]).allocation_churn() == pytest.approx(8 / 3)
+
+    def test_short_traces(self):
+        assert make_result([7]).allocation_churn() == 0.0
+        assert RunResult().allocation_churn() == 0.0
+
+
+class TestSettlingStep:
+    def test_simple_convergence(self):
+        res = make_result([2, 4, 10, 10, 10, 10])
+        assert res.settling_step(10, band=0.3) == 2
+
+    def test_never_settles(self):
+        res = make_result([1, 1, 1, 1])
+        assert res.settling_step(100, band=0.3) == 4
+
+    def test_outlier_forgiveness(self):
+        # one excursion among 12 settled steps is forgiven at 10%
+        ms = [2, 10, 10, 10, 10, 10, 25, 10, 10, 10, 10, 10, 10]
+        res = make_result(ms)
+        assert res.settling_step(10, band=0.3, outlier_fraction=0.1) == 1
+        # but with zero tolerance settling starts after the excursion
+        assert res.settling_step(10, band=0.3, outlier_fraction=0.0) == 7
+
+    def test_settling_requires_inside_start(self):
+        res = make_result([50, 10, 10, 10])
+        t = res.settling_step(10, band=0.3)
+        assert t == 1
+
+    def test_validation(self):
+        res = make_result([1])
+        with pytest.raises(ValueError):
+            res.settling_step(0)
+        with pytest.raises(ValueError):
+            res.settling_step(10, band=0)
+        with pytest.raises(ValueError):
+            res.settling_step(10, outlier_fraction=1.0)
+
+    def test_empty_trace(self):
+        assert RunResult().settling_step(10) == 0

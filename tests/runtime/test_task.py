@@ -1,0 +1,38 @@
+"""Tests for repro.runtime.task."""
+
+from repro.runtime.task import CallbackOperator, Task
+
+
+class TestTask:
+    def test_uids_unique_and_increasing(self):
+        a, b = Task(payload=1), Task(payload=1)
+        assert a.uid != b.uid
+        assert b.uid > a.uid
+
+    def test_payload_opaque(self):
+        t = Task(payload={"anything": [1, 2]})
+        assert t.payload == {"anything": [1, 2]}
+
+    def test_repr(self):
+        t = Task(payload="x")
+        assert "x" in repr(t) and str(t.uid) in repr(t)
+
+
+class TestCallbackOperator:
+    def test_delegation(self):
+        calls = []
+        op = CallbackOperator(
+            neighborhood=lambda t: {t.payload},
+            apply=lambda t: [Task(payload=t.payload + 1)],
+            on_abort=lambda t: calls.append(t.uid),
+        )
+        t = Task(payload=5)
+        assert set(op.neighborhood(t)) == {5}
+        out = op.apply(t)
+        assert len(out) == 1 and out[0].payload == 6
+        op.on_abort(t)
+        assert calls == [t.uid]
+
+    def test_on_abort_default_noop(self):
+        op = CallbackOperator(neighborhood=lambda t: (), apply=lambda t: [])
+        op.on_abort(Task(payload=None))  # must not raise

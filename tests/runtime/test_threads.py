@@ -1,0 +1,60 @@
+"""Tests for repro.runtime.threads — the demo concurrent executor."""
+
+import pytest
+
+from repro.errors import RuntimeEngineError
+from repro.graph.generators import gnm_random
+from repro.runtime.task import CallbackOperator, Task
+from repro.runtime.threads import ThreadedSpeculativeExecutor
+
+
+class TestThreadedExecutor:
+    def test_disjoint_batch_all_commits(self):
+        op = CallbackOperator(neighborhood=lambda t: {t.payload}, apply=lambda t: [])
+        ex = ThreadedSpeculativeExecutor(op, max_threads=4)
+        out, created = ex.execute_batch([Task(payload=i) for i in range(8)])
+        assert len(out.committed) == 8 and not out.aborted and not created
+
+    def test_total_conflict_one_commits(self):
+        op = CallbackOperator(neighborhood=lambda t: {"shared"}, apply=lambda t: [])
+        ex = ThreadedSpeculativeExecutor(op, max_threads=4)
+        out, _ = ex.execute_batch([Task(payload=i) for i in range(6)])
+        assert len(out.committed) == 1 and len(out.aborted) == 5
+
+    def test_committed_set_is_independent(self):
+        g = gnm_random(60, 6, seed=0)
+        op = CallbackOperator(
+            neighborhood=lambda t: {t.payload} | set(g.neighbors(t.payload)),
+            apply=lambda t: [],
+        )
+        ex = ThreadedSpeculativeExecutor(op, max_threads=8)
+        out, _ = ex.execute_batch([Task(payload=u) for u in g.nodes()[:30]])
+        cset = {t.payload for t in out.committed}
+        for u in cset:
+            assert cset.isdisjoint(g.neighbors(u))
+        assert len(out.committed) + len(out.aborted) == 30
+
+    def test_created_tasks_collected(self):
+        op = CallbackOperator(
+            neighborhood=lambda t: {t.payload},
+            apply=lambda t: [Task(payload=("child", t.payload))],
+        )
+        ex = ThreadedSpeculativeExecutor(op, max_threads=2)
+        out, created = ex.execute_batch([Task(payload=i) for i in range(5)])
+        assert len(created) == len(out.committed) == 5
+
+    def test_abort_hook_called(self):
+        aborted = []
+        op = CallbackOperator(
+            neighborhood=lambda t: {"x"},
+            apply=lambda t: [],
+            on_abort=lambda t: aborted.append(t.uid),
+        )
+        ex = ThreadedSpeculativeExecutor(op, max_threads=3)
+        out, _ = ex.execute_batch([Task(payload=i) for i in range(4)])
+        assert len(aborted) == len(out.aborted) == 3
+
+    def test_invalid_thread_count(self):
+        op = CallbackOperator(neighborhood=lambda t: (), apply=lambda t: [])
+        with pytest.raises(RuntimeEngineError):
+            ThreadedSpeculativeExecutor(op, max_threads=0)

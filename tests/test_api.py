@@ -1,0 +1,94 @@
+"""Tests for the repro.api facade."""
+
+import pytest
+
+from repro.api import for_each, for_each_ordered, solve_graph
+from repro.control import FixedController
+from repro.errors import ReproError
+from repro.graph.generators import gnm_random
+from repro.runtime.task import CallbackOperator, Task
+
+
+class TestForEach:
+    def test_basic_loop(self):
+        seen = []
+        op = CallbackOperator(
+            neighborhood=lambda t: {t.payload % 5},
+            apply=lambda t: seen.append(t.payload) or [],
+        )
+        result = for_each(range(50), op, rho=0.25, seed=0)
+        assert sorted(seen) == list(range(50))
+        assert result.total_committed == 50
+
+    def test_task_payloads_pass_through(self):
+        op = CallbackOperator(neighborhood=lambda t: (), apply=lambda t: [])
+        tasks = [Task(payload="x")]
+        result = for_each(tasks, op, seed=1)
+        assert result.total_committed == 1
+
+    def test_spawned_work_processed(self):
+        op = CallbackOperator(
+            neighborhood=lambda t: (),
+            apply=lambda t: [Task(payload=t.payload - 1)] if t.payload > 0 else [],
+        )
+        result = for_each([3], op, seed=2)
+        assert result.total_committed == 4  # 3, 2, 1, 0
+
+    def test_explicit_controller(self):
+        op = CallbackOperator(neighborhood=lambda t: (), apply=lambda t: [])
+        result = for_each(range(10), op, controller=FixedController(10), seed=3)
+        assert len(result) == 1
+
+    def test_empty_input_raises(self):
+        op = CallbackOperator(neighborhood=lambda t: (), apply=lambda t: [])
+        with pytest.raises(ReproError):
+            for_each([], op)
+
+
+class TestForEachOrdered:
+    def test_commits_chronologically(self):
+        order = []
+        op = CallbackOperator(
+            neighborhood=lambda t: {"shared"},  # full mutual conflict
+            apply=lambda t: order.append(t.payload) or [],
+        )
+        result = for_each_ordered(
+            [(3.0, "c"), (1.0, "a"), (2.0, "b")],
+            op,
+            priority_of=lambda t: 0.0,
+            seed=4,
+        )
+        assert order == ["a", "b", "c"]
+        assert result.total_committed == 3
+
+    def test_empty_input_raises(self):
+        op = CallbackOperator(neighborhood=lambda t: (), apply=lambda t: [])
+        with pytest.raises(ReproError):
+            for_each_ordered([], op, priority_of=lambda t: 0.0)
+
+
+class TestSolveGraph:
+    def test_consuming_drains(self):
+        g = gnm_random(100, 6, seed=5)
+        result = solve_graph(g, rho=0.25, seed=6)
+        assert result.total_committed == 100
+        assert g.num_nodes == 0
+
+    def test_replay_requires_max_steps(self):
+        g = gnm_random(20, 2, seed=7)
+        with pytest.raises(ReproError):
+            solve_graph(g, consuming=False)
+
+    def test_replay_runs_capped(self):
+        g = gnm_random(50, 4, seed=8)
+        result = solve_graph(g, consuming=False, max_steps=15, seed=9)
+        assert len(result) == 15
+        assert g.num_nodes == 50
+
+
+def test_top_level_exports():
+    import repro
+
+    assert repro.for_each is for_each
+    assert repro.solve_graph is solve_graph
+    assert repro.for_each_ordered is for_each_ordered

@@ -1,0 +1,144 @@
+"""Cross-cutting property-based fuzz tests.
+
+Hammer the controllers, engines and analytic kernels with adversarial
+random inputs and check only the *invariants* — the statements that must
+hold regardless of what the environment throws at them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control import (
+    AIMDController,
+    BisectionController,
+    HybridController,
+    NoiseAdaptiveHybridController,
+    PIController,
+    ProbingHybridController,
+    RecurrenceAController,
+    RecurrenceBController,
+)
+from repro.graph.generators import gnm_random
+from repro.runtime.ordered import OrderedEngine, PriorityWorkset
+from repro.runtime.task import CallbackOperator, Task
+from repro.control.fixed import FixedController
+
+
+CONTROLLER_FACTORIES = [
+    lambda: HybridController(0.2, m_max=64),
+    lambda: HybridController(0.2, m_max=64, small_params=None),
+    lambda: RecurrenceAController(0.2, m_max=64),
+    lambda: RecurrenceBController(0.2, m_max=64),
+    lambda: AIMDController(0.2, m_max=64),
+    lambda: PIController(0.2, m_max=64),
+    lambda: BisectionController(0.2, m_max=64),
+    lambda: NoiseAdaptiveHybridController(0.2, m_max=64),
+    lambda: ProbingHybridController(0.2, n=100, m_max=64),
+]
+
+
+class TestControllerInvariantsUnderArbitrarySignals:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(0, len(CONTROLLER_FACTORIES) - 1),
+        st.lists(st.floats(0.0, 1.0), min_size=1, max_size=120),
+    )
+    def test_allocations_always_in_range(self, which, signal):
+        """No r-sequence, however adversarial, drives m outside [m_min, m_max]."""
+        ctrl = CONTROLLER_FACTORIES[which]()
+        for r in signal:
+            m = ctrl.propose()
+            assert 2 <= m <= 64
+            ctrl.observe(r, m)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(0, len(CONTROLLER_FACTORIES) - 1),
+        st.lists(st.floats(0.0, 1.0), min_size=1, max_size=60),
+    )
+    def test_reset_restores_determinism(self, which, signal):
+        """reset() returns the controller to a state equivalent to fresh."""
+        ctrl = CONTROLLER_FACTORIES[which]()
+        fresh = CONTROLLER_FACTORIES[which]()
+        for r in signal:
+            m = ctrl.propose()
+            ctrl.observe(r, m)
+        ctrl.reset()
+        for r in signal:
+            m_reset = ctrl.propose()
+            m_fresh = fresh.propose()
+            assert m_reset == m_fresh
+            ctrl.observe(r, m_reset)
+            fresh.observe(r, m_fresh)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(0.0, 1.0), min_size=4, max_size=200))
+    def test_hybrid_trace_lengths_consistent(self, signal):
+        ctrl = HybridController(0.25)
+        for r in signal:
+            m = ctrl.propose()
+            ctrl.observe(r, m)
+        assert len(ctrl.trace.proposals) == len(signal)
+        assert len(ctrl.trace.observations) == len(signal)
+
+
+class TestOrderedEngineChronology:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.0, 100.0), st.integers(0, 5)),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(1, 16),
+        st.integers(0, 1000),
+    )
+    def test_commits_always_chronological(self, spec, m, seed):
+        """Arbitrary priorities + overlapping item sets: the committed
+        sequence must be globally sorted by priority."""
+        committed_order: list[float] = []
+        prios: dict[int, float] = {}
+        ws = PriorityWorkset()
+        for i, (prio, item) in enumerate(spec):
+            t = Task(payload=(i, item))
+            prios[t.uid] = prio
+            ws.add(t, prio)
+
+        def apply(task):
+            committed_order.append(prios[task.uid])
+            return []
+
+        op = CallbackOperator(neighborhood=lambda t: {t.payload[1]}, apply=apply)
+        eng = OrderedEngine(
+            workset=ws,
+            operator=op,
+            controller=FixedController(m),
+            priority_of=lambda t: prios[t.uid],
+            seed=seed,
+        )
+        eng.run(max_steps=10_000)
+        assert committed_order == sorted(committed_order)
+        assert len(committed_order) == len(spec)
+
+
+class TestAnalyticKernelStability:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 50), st.floats(0.0, 5.0), st.integers(0, 10**6))
+    def test_conflict_curve_bounded(self, n, d, seed):
+        from repro.model.conflict_ratio import estimate_conflict_ratio
+
+        g = gnm_random(n, min(d, n - 1), seed=seed)
+        ci = estimate_conflict_ratio(g, max(n // 2, 1), reps=30, seed=seed)
+        assert 0.0 <= ci.mean <= 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 200), st.integers(0, 30), st.data())
+    def test_first_come_probability_in_unit_interval(self, n, degree, data):
+        from repro.model.conflict_ratio import first_come_probability
+
+        degree = min(degree, n - 1)
+        m = data.draw(st.integers(0, n))
+        p = first_come_probability(n, degree, m)
+        assert 0.0 <= p <= 1.0

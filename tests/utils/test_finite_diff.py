@@ -1,0 +1,88 @@
+"""Tests for repro.utils.finite_diff."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.finite_diff import (
+    binomial_difference,
+    forward_difference,
+    forward_difference_array,
+    is_convex,
+    is_nondecreasing,
+)
+
+
+def square(k: int) -> float:
+    return float(k * k)
+
+
+class TestForwardDifference:
+    def test_order_zero_is_identity(self):
+        assert forward_difference(square, 3, order=0) == 9.0
+
+    def test_first_difference_of_square(self):
+        # Δ(k²) = 2k + 1
+        assert forward_difference(square, 4) == 9.0
+
+    def test_second_difference_of_square_is_constant(self):
+        for k in range(5):
+            assert forward_difference(square, k, order=2) == 2.0
+
+    def test_third_difference_of_square_is_zero(self):
+        assert forward_difference(square, 1, order=3) == 0.0
+
+    def test_negative_order_raises(self):
+        with pytest.raises(ValueError):
+            forward_difference(square, 0, order=-1)
+
+    @given(st.integers(-20, 20), st.integers(0, 5))
+    def test_matches_binomial_expansion(self, k, order):
+        def f(x: int) -> float:
+            return float(x**3 - 2 * x + 1)
+
+        rec = forward_difference(f, k, order)
+        binom = binomial_difference(f, k, order)
+        assert rec == pytest.approx(binom, abs=1e-9)
+
+
+class TestForwardDifferenceArray:
+    def test_matches_pointwise(self):
+        vals = np.array([square(k) for k in range(10)])
+        diffs = forward_difference_array(vals, 1)
+        assert np.array_equal(diffs, np.array([2 * k + 1 for k in range(9)]))
+
+    def test_order_zero_copies(self):
+        vals = np.arange(4.0)
+        out = forward_difference_array(vals, 0)
+        out[0] = 99
+        assert vals[0] == 0.0
+
+    def test_too_few_samples_gives_empty(self):
+        assert forward_difference_array(np.array([1.0]), 2).shape == (0,)
+
+    def test_negative_order_raises(self):
+        with pytest.raises(ValueError):
+            forward_difference_array(np.array([1.0, 2.0]), -1)
+
+
+class TestPredicates:
+    def test_nondecreasing_true(self):
+        assert is_nondecreasing(np.array([1.0, 1.0, 2.0, 5.0]))
+
+    def test_nondecreasing_false(self):
+        assert not is_nondecreasing(np.array([1.0, 0.5]))
+
+    def test_nondecreasing_tolerance(self):
+        assert is_nondecreasing(np.array([1.0, 1.0 - 1e-12]), atol=1e-9)
+
+    def test_convex_square(self):
+        assert is_convex(np.array([square(k) for k in range(8)], dtype=float))
+
+    def test_concave_not_convex(self):
+        assert not is_convex(np.array([0.0, 3.0, 4.0, 4.5]))
+
+    def test_short_sequences_trivially_convex(self):
+        assert is_convex(np.array([1.0, 2.0]))
+        assert is_nondecreasing(np.array([]))

@@ -1,0 +1,94 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import ensure_rng, random_permutation, random_prefix, spawn
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1 << 30, size=5)
+        b = ensure_rng(7).integers(0, 1 << 30, size=5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert ensure_rng(g) is g
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 1 << 30, size=8)
+        b = ensure_rng(2).integers(0, 1 << 30, size=8)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        children = spawn(ensure_rng(0), 5)
+        assert len(children) == 5
+
+    def test_spawn_zero(self):
+        assert spawn(ensure_rng(0), 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(0), -1)
+
+    def test_children_are_independent_streams(self):
+        a, b = spawn(ensure_rng(0), 2)
+        xa = a.integers(0, 1 << 30, size=16)
+        xb = b.integers(0, 1 << 30, size=16)
+        assert not np.array_equal(xa, xb)
+
+    def test_spawn_deterministic_from_seed(self):
+        xa = spawn(ensure_rng(3), 2)[0].integers(0, 1 << 30, size=4)
+        xb = spawn(ensure_rng(3), 2)[0].integers(0, 1 << 30, size=4)
+        assert np.array_equal(xa, xb)
+
+
+class TestRandomPrefix:
+    def test_prefix_length_and_membership(self):
+        items = list(range(50))
+        pre = random_prefix(items, 10, ensure_rng(0))
+        assert pre.shape == (10,)
+        assert set(pre.tolist()) <= set(items)
+        assert len(set(pre.tolist())) == 10  # distinct
+
+    def test_full_prefix_is_permutation(self):
+        items = list(range(20))
+        pre = random_prefix(items, 20, ensure_rng(1))
+        assert sorted(pre.tolist()) == items
+
+    def test_empty_prefix(self):
+        assert random_prefix([1, 2, 3], 0, ensure_rng(0)).shape == (0,)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            random_prefix([1, 2], 3, ensure_rng(0))
+        with pytest.raises(ValueError):
+            random_prefix([1, 2], -1, ensure_rng(0))
+
+    def test_uniformity_of_first_element(self):
+        # each item should lead the prefix ~uniformly
+        rng = ensure_rng(0)
+        counts = np.zeros(4)
+        for _ in range(4000):
+            counts[random_prefix([0, 1, 2, 3], 2, rng)[0]] += 1
+        assert counts.min() > 800  # expected 1000 each
+
+    @given(st.integers(1, 30), st.data())
+    def test_prefix_always_distinct(self, n, data):
+        m = data.draw(st.integers(0, n))
+        pre = random_prefix(list(range(n)), m, ensure_rng(0))
+        assert len(set(pre.tolist())) == m
+
+
+class TestRandomPermutation:
+    def test_is_permutation(self):
+        perm = random_permutation(list(range(31)), ensure_rng(5))
+        assert sorted(perm.tolist()) == list(range(31))

@@ -1,0 +1,136 @@
+"""Tests for repro.utils.stats."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from scipy.stats import hypergeom
+
+from repro.utils.stats import (
+    MeanCI,
+    RunningStats,
+    hypergeom_miss_probability,
+    mean_ci,
+)
+
+
+class TestRunningStats:
+    def test_matches_numpy(self, rng):
+        xs = rng.normal(size=500)
+        rs = RunningStats()
+        for x in xs:
+            rs.push(float(x))
+        assert rs.count == 500
+        assert rs.mean == pytest.approx(xs.mean())
+        assert rs.variance == pytest.approx(xs.var(ddof=1))
+        assert rs.min == pytest.approx(xs.min())
+        assert rs.max == pytest.approx(xs.max())
+
+    def test_push_many_equals_push(self, rng):
+        xs = rng.normal(size=200)
+        a, b = RunningStats(), RunningStats()
+        for x in xs:
+            a.push(float(x))
+        b.push_many(xs)
+        assert b.mean == pytest.approx(a.mean)
+        assert b.variance == pytest.approx(a.variance)
+
+    def test_merge_equals_sequential(self, rng):
+        xs = rng.normal(size=100)
+        ys = rng.normal(size=57)
+        a = RunningStats()
+        a.push_many(xs)
+        b = RunningStats()
+        b.push_many(ys)
+        a.merge(b)
+        ref = RunningStats()
+        ref.push_many(np.concatenate([xs, ys]))
+        assert a.count == ref.count
+        assert a.mean == pytest.approx(ref.mean)
+        assert a.variance == pytest.approx(ref.variance)
+
+    def test_merge_into_empty(self):
+        a = RunningStats()
+        b = RunningStats()
+        b.push(3.0)
+        a.merge(b)
+        assert a.count == 1 and a.mean == 3.0
+
+    def test_empty_stats_are_nan(self):
+        rs = RunningStats()
+        assert math.isnan(rs.mean)
+        assert math.isnan(rs.variance)
+
+    def test_single_observation_variance_nan(self):
+        rs = RunningStats()
+        rs.push(1.0)
+        assert math.isnan(rs.variance)
+        assert math.isnan(rs.sem)
+
+    def test_sem_scaling(self, rng):
+        xs = rng.normal(size=400)
+        rs = RunningStats()
+        rs.push_many(xs)
+        assert rs.sem == pytest.approx(xs.std(ddof=1) / 20.0)
+
+
+class TestMeanCI:
+    def test_interval_contains_mean(self):
+        ci = mean_ci(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert ci.low < ci.mean < ci.high
+        assert ci.contains(2.5)
+
+    def test_empty_is_nan_inf(self):
+        ci = mean_ci(np.array([]))
+        assert math.isnan(ci.mean) and math.isinf(ci.half_width)
+
+    def test_single_sample_infinite_width(self):
+        ci = mean_ci(np.array([5.0]))
+        assert ci.mean == 5.0 and math.isinf(ci.half_width)
+        assert ci.contains(1e9)
+
+    def test_width_shrinks_with_samples(self, rng):
+        small = mean_ci(rng.normal(size=50))
+        large = mean_ci(rng.normal(size=5000))
+        assert large.half_width < small.half_width
+
+    def test_z_scales_width(self):
+        xs = np.array([0.0, 1.0, 2.0, 3.0])
+        assert mean_ci(xs, z=2.0).half_width == pytest.approx(
+            2 * mean_ci(xs, z=1.0).half_width
+        )
+
+    def test_str_contains_numbers(self):
+        assert "n=4" in str(mean_ci(np.arange(4.0)))
+
+    def test_meanci_direct(self):
+        ci = MeanCI(1.0, 0.5, 10)
+        assert ci.low == 0.5 and ci.high == 1.5
+
+
+class TestHypergeomMiss:
+    @given(st.integers(1, 60), st.data())
+    def test_matches_scipy(self, n, data):
+        block = data.draw(st.integers(0, n))
+        m = data.draw(st.integers(0, n))
+        ours = hypergeom_miss_probability(n, block, m)
+        # P[X = 0] for X ~ Hypergeom(n, block, m)
+        ref = float(hypergeom.pmf(0, n, block, m))
+        assert ours == pytest.approx(ref, abs=1e-12)
+
+    def test_zero_sample(self):
+        assert hypergeom_miss_probability(10, 3, 0) == 1.0
+
+    def test_zero_block(self):
+        assert hypergeom_miss_probability(10, 0, 5) == 1.0
+
+    def test_impossible_miss(self):
+        assert hypergeom_miss_probability(10, 3, 8) == 0.0
+
+    def test_bad_args_raise(self):
+        with pytest.raises(ValueError):
+            hypergeom_miss_probability(10, 11, 2)
+        with pytest.raises(ValueError):
+            hypergeom_miss_probability(10, 2, 11)

@@ -1,0 +1,69 @@
+"""Tests for repro.utils.tables."""
+
+import math
+
+import pytest
+
+from repro.utils.tables import format_series, format_table, sparkline
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.25]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "--" in lines[1]
+        assert len(lines) == 4
+
+    def test_title_is_first_line(self):
+        out = format_table(["x"], [[1]], title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456789]], float_fmt=".2f")
+        assert "0.12" in out
+
+    def test_nan_rendering(self):
+        assert "nan" in format_table(["v"], [[float("nan")]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert len(out.splitlines()) == 2
+
+
+class TestSparkline:
+    def test_monotone_shape(self):
+        s = sparkline([0, 1, 2, 3])
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_nan_becomes_space(self):
+        assert sparkline([0.0, math.nan, 1.0])[1] == " "
+
+
+class TestFormatSeries:
+    def test_contains_name_and_points(self):
+        out = format_series("curve", [0, 1, 2], [5.0, 6.0, 7.0])
+        assert out.startswith("curve:")
+        assert "(0, 5)" in out and "(2, 7)" in out
+
+    def test_subsampling_keeps_last_point(self):
+        xs = list(range(100))
+        out = format_series("s", xs, [float(x) for x in xs], max_points=5)
+        assert "(99, 99)" in out
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [1.0, 2.0])
+
+    def test_empty_series(self):
+        assert "empty" in format_series("s", [], [])

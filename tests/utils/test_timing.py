@@ -1,0 +1,54 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+from repro.utils.timing import StageTimer, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= first
+
+
+class TestStageTimer:
+    def test_accumulates_per_stage(self):
+        st = StageTimer()
+        with st.stage("a"):
+            time.sleep(0.005)
+        with st.stage("a"):
+            time.sleep(0.005)
+        with st.stage("b"):
+            pass
+        assert st.count("a") == 2
+        assert st.count("b") == 1
+        assert st.total("a") >= 0.009
+        assert st.total("missing") == 0.0
+
+    def test_report_sorted_desc(self):
+        st = StageTimer()
+        with st.stage("slow"):
+            time.sleep(0.01)
+        with st.stage("fast"):
+            pass
+        keys = list(st.report())
+        assert keys[0] == "slow"
+
+    def test_exception_still_recorded(self):
+        st = StageTimer()
+        try:
+            with st.stage("x"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert st.count("x") == 1
