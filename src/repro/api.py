@@ -48,13 +48,17 @@ def for_each(
     m_max: int = 1024,
     max_steps: int | None = None,
     seed=None,
+    recorder=None,
+    metrics=None,
 ) -> RunResult:
     """Run an unordered amorphous data-parallel loop to completion.
 
     *initial* seeds the work-set (plain payloads are wrapped into
     :class:`Task`); *operator* supplies neighbourhoods and commit
     behaviour; processor allocation adapts via Algorithm 1 targeting
-    *rho* unless an explicit *controller* is given.
+    *rho* unless an explicit *controller* is given.  *recorder* /
+    *metrics* attach an observability sink (see :mod:`repro.obs`); by
+    default the process-wide active ones are used if set.
     """
     tasks = _wrap_tasks(initial)
     if not tasks:
@@ -67,6 +71,8 @@ def for_each(
         policy=ItemLockPolicy(),
         controller=controller or _default_controller(rho, m_max),
         seed=seed,
+        recorder=recorder,
+        metrics=metrics,
     )
     return engine.run(max_steps=max_steps)
 
@@ -80,6 +86,8 @@ def for_each_ordered(
     m_max: int = 1024,
     max_steps: int | None = None,
     seed=None,
+    recorder=None,
+    metrics=None,
 ) -> RunResult:
     """Run an ordered loop: *initial* is ``(priority, payload)`` pairs.
 
@@ -100,6 +108,8 @@ def for_each_ordered(
         controller=controller or _default_controller(rho, m_max),
         priority_of=priority_of,
         seed=seed,
+        recorder=recorder,
+        metrics=metrics,
     )
     return engine.run(max_steps=max_steps)
 
@@ -112,6 +122,8 @@ def solve_graph(
     m_max: int = 1024,
     max_steps: int | None = None,
     seed=None,
+    recorder=None,
+    metrics=None,
 ) -> RunResult:
     """Run the controller directly over an explicit CC graph.
 
@@ -126,6 +138,9 @@ def solve_graph(
             raise ReproError("replay workloads never drain; pass max_steps")
         workload = ReplayGraphWorkload(graph)
     engine = workload.build_engine(
-        controller or _default_controller(rho, m_max), seed=seed
+        controller or _default_controller(rho, m_max),
+        seed=seed,
+        recorder=recorder,
+        metrics=metrics,
     )
     return engine.run(max_steps=max_steps)

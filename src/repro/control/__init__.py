@@ -5,7 +5,13 @@ from repro.control.aimd import AIMDController
 from repro.control.asteal import AStealController
 from repro.control.base import Controller, ControlTrace, clamp
 from repro.control.bisection import BisectionController
-from repro.control.diagnostics import HybridDiagnostics, RuleUsage, diagnose_hybrid
+from repro.control.diagnostics import (
+    HybridDiagnostics,
+    RuleUsage,
+    TraceDiagnostics,
+    diagnose_hybrid,
+    diagnose_trace,
+)
 from repro.control.fixed import FixedController
 from repro.control.hybrid import HybridController, HybridParams
 from repro.control.oracle import OracleController, mu_from_curve
@@ -34,7 +40,9 @@ __all__ = [
     "BisectionController",
     "HybridDiagnostics",
     "RuleUsage",
+    "TraceDiagnostics",
     "diagnose_hybrid",
+    "diagnose_trace",
     "FixedController",
     "HybridController",
     "HybridParams",

@@ -109,10 +109,42 @@ class NoiseAdaptiveHybridController(Controller):
         alpha = abs(1.0 - avg / self.rho)
         if alpha > alpha0:
             effective = max(avg, self.r_min)
-            self._m = clamp((self.rho / effective) * self._m, self.m_min, self.m_max)
+            new_m, rule = self._clamped(
+                (self.rho / effective) * self._m, self.m_min, self.m_max
+            ), "B"
         elif alpha > alpha1:
-            self._m = clamp((1.0 - avg + self.rho) * self._m, self.m_min, self.m_max)
+            new_m, rule = self._clamped(
+                (1.0 - avg + self.rho) * self._m, self.m_min, self.m_max
+            ), "A"
+        else:
+            new_m, rule = self._m, "hold"
+        self._note_decision(
+            rule,
+            avg,
+            self._m,
+            new_m,
+            alpha=alpha,
+            alpha0=alpha0,
+            alpha1=alpha1,
+            period=self._period,
+        )
+        self._m = new_m
         self._period = self._current_period()
+
+    def describe(self) -> dict:
+        return {
+            "type": type(self).__name__,
+            "rho": self.rho,
+            "m0": self.m0,
+            "m_min": self.m_min,
+            "m_max": self.m_max,
+            "r_min": self.r_min,
+            "alpha0_base": self.alpha0_base,
+            "alpha1_floor": self.alpha1_floor,
+            "trigger_rate": self.trigger_rate,
+            "max_deadband": self.max_deadband,
+            "base_period": self.base_period,
+        }
 
     @property
     def current_m(self) -> int:

@@ -72,6 +72,27 @@ class AIMDController(Controller):
         self._acc = 0.0
         self._count = 0
         if avg > self.rho * (1.0 + self.deadband):
-            self._m = clamp(self._m * self.decrease, self.m_min, self.m_max)
+            new_m, rule = self._clamped(
+                self._m * self.decrease, self.m_min, self.m_max
+            ), "decrease"
         elif avg < self.rho * (1.0 - self.deadband):
-            self._m = clamp(self._m + self.increase, self.m_min, self.m_max)
+            new_m, rule = self._clamped(
+                self._m + self.increase, self.m_min, self.m_max
+            ), "increase"
+        else:
+            new_m, rule = self._m, "hold"
+        self._note_decision(rule, avg, self._m, new_m, deadband=self.deadband)
+        self._m = new_m
+
+    def describe(self) -> dict:
+        return {
+            "type": type(self).__name__,
+            "rho": self.rho,
+            "m0": self.m0,
+            "m_min": self.m_min,
+            "m_max": self.m_max,
+            "period": self.period,
+            "increase": self.increase,
+            "decrease": self.decrease,
+            "deadband": self.deadband,
+        }

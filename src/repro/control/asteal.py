@@ -73,8 +73,25 @@ class AStealController(Controller):
         avg = self._acc / self.period
         self._acc = 0.0
         self._count = 0
+        old_m = clamp(self._desire, self.m_min, self.m_max)
         if 1.0 - avg >= self.efficiency_threshold:
+            rule = "grow"
             self._desire *= self.growth  # efficient: ask for more
         else:
+            rule = "shrink"
             self._desire /= self.growth  # inefficient: back off
-        self._desire = float(clamp(self._desire, self.m_min, self.m_max))
+        self._desire = float(self._clamped(self._desire, self.m_min, self.m_max))
+        self._note_decision(
+            rule, avg, old_m, int(self._desire), utilisation=1.0 - avg
+        )
+
+    def describe(self) -> dict:
+        return {
+            "type": type(self).__name__,
+            "rho": self.rho,
+            "m0": self.m0,
+            "m_min": self.m_min,
+            "m_max": self.m_max,
+            "period": self.period,
+            "growth": self.growth,
+        }

@@ -8,6 +8,14 @@ conflict ratio ``r_t``.  The engine guarantees the call order
 Controllers are deliberately *environment-blind*: they see only the
 ``(r_t, m_t)`` history, exactly the information available to the paper's
 recurrences (Eq. 31).
+
+Observability: the engine may bind an event sink and a metrics scope via
+:meth:`Controller.bind_observability`.  The base class then reports the
+raw observation stream and clamp hits; subclasses report their *decisions*
+(which rule fired on which windowed ``r``) through :meth:`_emit`, and
+advertise their full configuration through :meth:`describe` so a recorded
+trace can rebuild an identical controller for deterministic replay
+(:mod:`repro.obs.replay`).  Unbound controllers skip all of it.
 """
 
 from __future__ import annotations
@@ -65,6 +73,72 @@ class Controller(abc.ABC):
     def __init__(self) -> None:
         self.trace = ControlTrace.empty()
         self._awaiting_observation = False
+        self._sink = None  # duck-typed: anything with .emit(kind, step, **data)
+        self._metrics = None
+        self.clamp_hits = 0
+
+    # -- observability ---------------------------------------------------
+    def bind_observability(self, sink=None, metrics=None) -> None:
+        """Attach an event sink and/or metrics scope (engine-side wiring).
+
+        *sink* needs an ``emit(kind, step, **data)`` method (a
+        :class:`repro.obs.TraceRecorder` qualifies); *metrics* a
+        counter/gauge/histogram factory (a
+        :class:`repro.obs.MetricsScope`).  Either may be ``None``.
+        """
+        self._sink = sink
+        self._metrics = metrics
+
+    def describe(self) -> dict:
+        """Replay-sufficient configuration of this controller.
+
+        Subclasses extend the dict with their constructor parameters; the
+        contract is that ``controller_from_config(describe())`` builds a
+        controller whose decision trajectory is identical on the same
+        observation stream.
+        """
+        return {"type": type(self).__name__}
+
+    def _emit(self, kind: str, **data) -> None:
+        """Send one event to the bound sink (no-op when unbound).
+
+        The step index is the 0-based engine step whose observation the
+        controller just ingested.
+        """
+        if self._sink is not None:
+            self._sink.emit(kind, step=max(len(self.trace.observations) - 1, 0), **data)
+
+    def _note_decision(
+        self, rule: str, windowed_r: float, m_old: int, m_new: int, **extra
+    ) -> None:
+        """Report one windowed update decision (event + rule counter).
+
+        *rule* names the branch taken (``"B"``, ``"A"``, ``"hold"``,
+        ``"increase"``, …); *extra* carries controller-specific inputs
+        (thresholds, error terms, bracket state) so a trace explains the
+        decision, not just its outcome.
+        """
+        self._emit(
+            "decision",
+            rule=rule,
+            windowed_r=float(windowed_r),
+            m_old=int(m_old),
+            m_new=int(m_new),
+            **extra,
+        )
+        if self._metrics is not None:
+            self._metrics.counter(f"rule_{rule}").inc()
+
+    def _clamped(self, value: float, m_min: int, m_max: int) -> int:
+        """:func:`clamp` plus clamp-hit accounting and a ``clamp`` event."""
+        m = clamp(value, m_min, m_max)
+        if value < m_min or value > m_max:
+            self.clamp_hits += 1
+            bound = "low" if value < m_min else "high"
+            self._emit("clamp", bound=bound, raw=float(value), m=m)
+            if self._metrics is not None:
+                self._metrics.counter(f"clamp_{bound}").inc()
+        return m
 
     # -- subclass surface ------------------------------------------------
     @abc.abstractmethod
@@ -98,10 +172,15 @@ class Controller(abc.ABC):
         self.trace.observations.append(float(r))
         self.trace.launched.append(int(launched))
         self._awaiting_observation = False
+        if self._metrics is not None:
+            self._metrics.counter("observations").inc()
+            self._metrics.histogram("r").observe(r)
+            self._metrics.gauge("m").set(self.trace.proposals[-1])
         self._ingest(float(r), int(launched))
 
     def reset(self) -> None:
         """Forget all history and return to the initial state."""
         self.trace = ControlTrace.empty()
         self._awaiting_observation = False
+        self.clamp_hits = 0
         self._do_reset()

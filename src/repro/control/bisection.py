@@ -67,17 +67,21 @@ class BisectionController(Controller):
         avg = self._acc / self.period
         self._acc = 0.0
         self._count = 0
+        old_m = self._m
         if avg > self.rho + self.slack:
+            rule = "above"
             # probe is above target: μ < m
             if self._m <= self._lo:
                 # contradiction with the lower bracket -> environment moved
                 self._lo = self.m_min
             self._hi = max(self._m - 1, self._lo)
         elif avg < self.rho - self.slack:
+            rule = "below"
             if self._m >= self._hi:
                 self._hi = self.m_max
             self._lo = min(self._m, self._hi)
         else:
+            rule = "in_band"
             # inside the slack band: treat as converged at this probe
             self._lo = self._m
             self._hi = self._m
@@ -96,3 +100,14 @@ class BisectionController(Controller):
             # round the probe up so a bracket like [m_max−1, m_max] still
             # tests the upper end instead of re-probing the lower one
             self._m = clamp((self._lo + self._hi + 1) // 2, self.m_min, self.m_max)
+        self._note_decision(rule, avg, old_m, self._m, lo=self._lo, hi=self._hi)
+
+    def describe(self) -> dict:
+        return {
+            "type": type(self).__name__,
+            "rho": self.rho,
+            "m_min": self.m_min,
+            "m_max": self.m_max,
+            "period": self.period,
+            "slack": self.slack,
+        }

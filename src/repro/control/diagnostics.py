@@ -5,9 +5,12 @@ how long each phase lasted, how the realised ratios distribute against
 the target.  Useful both for debugging controller configurations and for
 the ablation write-ups.
 
-Works from the information the controller itself keeps: the
+Works from the information the controller itself keeps — the
 :class:`~repro.control.base.ControlTrace` and (for hybrids) the
-``updates`` log of ``(step, rule, windowed r, new m)``.
+``updates`` log of ``(step, rule, windowed r, new m)`` — or, via
+:func:`diagnose_trace`, from a recorded :mod:`repro.obs` event trace,
+which covers *any* controller type post hoc (including long-dead runs
+reloaded from JSONL).
 """
 
 from __future__ import annotations
@@ -17,9 +20,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.control.hybrid import HybridController
-from repro.errors import ControllerError
+from repro.errors import ControllerError, ObservabilityError
 
-__all__ = ["RuleUsage", "HybridDiagnostics", "diagnose_hybrid"]
+__all__ = [
+    "RuleUsage",
+    "HybridDiagnostics",
+    "diagnose_hybrid",
+    "TraceDiagnostics",
+    "diagnose_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -105,5 +114,112 @@ def diagnose_hybrid(controller: HybridController) -> HybridDiagnostics:
         windows=len(controller.updates),
         mean_window_r=float(window_rs.mean()) if window_rs.size else 0.0,
         final_m=controller.current_m,
+        r_percentiles=percentiles,  # type: ignore[arg-type]
+    )
+
+
+# ----------------------------------------------------------------------
+# trace-based diagnostics (controller-type agnostic, works post hoc)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceDiagnostics:
+    """Summary of one recorded run segment (see :mod:`repro.obs`)."""
+
+    controller_type: str
+    steps: int
+    rule_usage: dict[str, RuleUsage]
+    clamp_hits: int
+    deadband_fraction: float  # fraction of decisions that held m unchanged
+    mean_window_r: float
+    final_m: int
+    r_percentiles: tuple[float, float, float]
+
+    def render(self) -> str:
+        lines = [f"trace diagnostics ({self.controller_type}, {self.steps} steps):"]
+        for usage in self.rule_usage.values():
+            lines.append(
+                f"  rule {usage.rule:>8}: {usage.count:4d} firings "
+                f"(steps {usage.first_step}..{usage.last_step})"
+            )
+        p10, p50, p90 = self.r_percentiles
+        lines.append(
+            f"  per-step r: p10={p10:.3f} p50={p50:.3f} p90={p90:.3f}; "
+            f"mean windowed r = {self.mean_window_r:.3f}"
+        )
+        lines.append(
+            f"  clamp hits: {self.clamp_hits}; dead-band/hold decisions: "
+            f"{self.deadband_fraction:.0%}"
+        )
+        lines.append(f"  final allocation: {self.final_m}")
+        return "\n".join(lines)
+
+
+def diagnose_trace(events) -> TraceDiagnostics:
+    """Analyse one run segment of a recorded event trace.
+
+    *events* is a list of :class:`repro.obs.TraceEvent` holding exactly
+    one run (use :func:`repro.obs.split_runs` on a multi-run trace).
+    Unlike :func:`diagnose_hybrid` this needs no live controller object —
+    traces loaded from JSONL work — and it understands every controller
+    type, since decision events are self-describing.
+    """
+    controller_type = "unknown"
+    usage: dict[str, RuleUsage] = {}
+    clamp_hits = 0
+    holds = 0
+    decisions = 0
+    window_rs: list[float] = []
+    step_rs: list[float] = []
+    final_m = 0
+    saw_run = False
+    for event in events:
+        if event.kind == "run_start":
+            if saw_run:
+                raise ObservabilityError(
+                    "diagnose_trace expects a single run segment; use "
+                    "repro.obs.split_runs first"
+                )
+            saw_run = True
+            config = event.get("controller") or {}
+            controller_type = str(config.get("type", "unknown"))
+        elif event.kind == "step":
+            step_rs.append(float(event.data["conflict_ratio"]))
+            final_m = int(event.data["requested"])
+        elif event.kind == "clamp":
+            clamp_hits += 1
+        elif event.kind == "decision":
+            decisions += 1
+            rule = str(event.data["rule"])
+            window_rs.append(float(event.data["windowed_r"]))
+            if int(event.data["m_new"]) == int(event.data["m_old"]):
+                holds += 1
+            prev = usage.get(rule)
+            if prev is None:
+                usage[rule] = RuleUsage(
+                    rule=rule, count=1, first_step=event.step, last_step=event.step
+                )
+            else:
+                usage[rule] = RuleUsage(
+                    rule=rule,
+                    count=prev.count + 1,
+                    first_step=prev.first_step,
+                    last_step=event.step,
+                )
+    if not saw_run:
+        raise ObservabilityError("trace segment has no run_start event")
+    rs = np.asarray(step_rs, dtype=float)
+    percentiles = (
+        tuple(float(p) for p in np.percentile(rs, [10, 50, 90]))
+        if rs.size
+        else (0.0, 0.0, 0.0)
+    )
+    return TraceDiagnostics(
+        controller_type=controller_type,
+        steps=len(step_rs),
+        rule_usage=usage,
+        clamp_hits=clamp_hits,
+        deadband_fraction=holds / decisions if decisions else 0.0,
+        mean_window_r=float(np.mean(window_rs)) if window_rs else 0.0,
+        final_m=final_m,
         r_percentiles=percentiles,  # type: ignore[arg-type]
     )

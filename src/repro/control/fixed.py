@@ -23,3 +23,6 @@ class FixedController(Controller):
 
     def _next_m(self) -> int:
         return self.m
+
+    def describe(self) -> dict:
+        return {"type": type(self).__name__, "m": self.m}

@@ -57,6 +57,15 @@ class HybridParams:
                 f"alpha0={self.alpha0}"
             )
 
+    def as_dict(self) -> dict:
+        """Plain-data form (trace metadata / replay reconstruction)."""
+        return {
+            "period": self.period,
+            "r_min": self.r_min,
+            "alpha0": self.alpha0,
+            "alpha1": self.alpha1,
+        }
+
 
 class HybridController(Controller):
     """The paper's Algorithm 1 (see module docstring).
@@ -152,18 +161,42 @@ class HybridController(Controller):
         alpha = abs(1.0 - avg / self.rho)
         if alpha > p.alpha0:
             effective = max(avg, p.r_min)
-            new_m = clamp((self.rho / effective) * self._m, self.m_min, self.m_max)
+            new_m = self._clamped((self.rho / effective) * self._m, self.m_min, self.m_max)
             rule = "B"
         elif alpha > p.alpha1:
-            new_m = clamp((1.0 - avg + self.rho) * self._m, self.m_min, self.m_max)
+            new_m = self._clamped((1.0 - avg + self.rho) * self._m, self.m_min, self.m_max)
             rule = "A"
         else:
             new_m = self._m
             rule = "hold"
         self.updates.append((self._step, rule, avg, new_m))
+        self._note_decision(
+            rule,
+            avg,
+            self._m,
+            new_m,
+            alpha=alpha,
+            alpha0=p.alpha0,
+            alpha1=p.alpha1,
+            regime="small" if p is self.small_params else "normal",
+        )
         self._m = new_m
 
     # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        return {
+            "type": type(self).__name__,
+            "rho": self.rho,
+            "m0": self.m0,
+            "m_min": self.m_min,
+            "m_max": self.m_max,
+            "params": self.params.as_dict(),
+            "small_params": (
+                None if self.small_params is None else self.small_params.as_dict()
+            ),
+            "small_m_threshold": self.small_m_threshold,
+        }
+
     @property
     def current_m(self) -> int:
         """The allocation the next :meth:`propose` will return."""

@@ -51,6 +51,8 @@ class OracleController(Controller):
         super().__init__()
         if mu < 1:
             raise ControllerError(f"oracle target must be >= 1, got {mu}")
+        self.m_min = int(m_min)
+        self.m_max = int(m_max)
         self.mu = clamp(mu, m_min, m_max)
 
     @classmethod
@@ -62,3 +64,11 @@ class OracleController(Controller):
 
     def _next_m(self) -> int:
         return self.mu
+
+    def describe(self) -> dict:
+        return {
+            "type": type(self).__name__,
+            "mu": self.mu,
+            "m_min": self.m_min,
+            "m_max": self.m_max,
+        }

@@ -79,4 +79,20 @@ class PIController(Controller):
         self._log_m += delta
         # keep the latent state inside the actuator range (anti-windup)
         self._log_m = min(max(self._log_m, math.log(self.m_min)), math.log(self.m_max))
-        self._m = clamp(math.exp(self._log_m), self.m_min, self.m_max)
+        new_m = self._clamped(math.exp(self._log_m), self.m_min, self.m_max)
+        self._note_decision(
+            "pi", avg, self._m, new_m, error=error, delta=delta
+        )
+        self._m = new_m
+
+    def describe(self) -> dict:
+        return {
+            "type": type(self).__name__,
+            "rho": self.rho,
+            "m0": self.m0,
+            "m_min": self.m_min,
+            "m_max": self.m_max,
+            "period": self.period,
+            "kp": self.kp,
+            "ki": self.ki,
+        }

@@ -75,6 +75,11 @@ class ProbingHybridController(Controller):
         self.d_estimate = None
 
     # ------------------------------------------------------------------
+    def bind_observability(self, sink=None, metrics=None) -> None:
+        super().bind_observability(sink, metrics)
+        if self._inner is not None:
+            self._inner.bind_observability(sink, metrics)
+
     def _next_m(self) -> int:
         if self._inner is not None:
             return self._inner.propose()
@@ -100,6 +105,29 @@ class ProbingHybridController(Controller):
             m_max=self.m_max,
             params=self.params,
         )
+        # the inner hybrid reports into the same sink/metrics (its decision
+        # steps count from the handover, probe_steps after the run start)
+        self._inner.bind_observability(self._sink, self._metrics)
+        self._note_decision(
+            "handover",
+            r2,
+            2,
+            self._inner.current_m,
+            d_estimate=self.d_estimate,
+            probe_steps=self.probe_steps,
+        )
+
+    def describe(self) -> dict:
+        return {
+            "type": type(self).__name__,
+            "rho": self.rho,
+            "n": self.n,
+            "probe_steps": self.probe_steps,
+            "d_min": self.d_min,
+            "m_min": self.m_min,
+            "m_max": self.m_max,
+            "params": self.params.as_dict(),
+        }
 
     @property
     def probing(self) -> bool:

@@ -73,21 +73,38 @@ class WindowedController(Controller):
     def _next_m(self) -> int:
         return self._m
 
+    #: decision-event label of the recurrence a subclass implements
+    rule_name = "update"
+
     def _ingest(self, r: float, launched: int) -> None:
         self._acc += r
         self._count += 1
         if self._count == self.period:
             avg = self._acc / self.period
-            self._m = clamp(self._update(avg), self.m_min, self.m_max)
+            new_m = self._clamped(self._update(avg), self.m_min, self.m_max)
+            self._note_decision(self.rule_name, avg, self._m, new_m)
+            self._m = new_m
             self._acc = 0.0
             self._count = 0
 
     def _update(self, avg_r: float) -> float:  # pragma: no cover - abstract-ish
         raise NotImplementedError
 
+    def describe(self) -> dict:
+        return {
+            "type": type(self).__name__,
+            "rho": self.rho,
+            "m0": self.m0,
+            "m_min": self.m_min,
+            "m_max": self.m_max,
+            "period": self.period,
+        }
+
 
 class RecurrenceAController(WindowedController):
     """Recurrence A only: ``m ← ⌈(1 − r + ρ)·m⌉`` every window."""
+
+    rule_name = "A"
 
     def _update(self, avg_r: float) -> float:
         return (1.0 - avg_r + self.rho) * self._m
@@ -95,6 +112,8 @@ class RecurrenceAController(WindowedController):
 
 class RecurrenceBController(WindowedController):
     """Recurrence B only: ``m ← ⌈(ρ/max(r, r_min))·m⌉`` every window."""
+
+    rule_name = "B"
 
     def __init__(
         self,
@@ -112,3 +131,6 @@ class RecurrenceBController(WindowedController):
 
     def _update(self, avg_r: float) -> float:
         return (self.rho / max(avg_r, self.r_min)) * self._m
+
+    def describe(self) -> dict:
+        return {**super().describe(), "r_min": self.r_min}

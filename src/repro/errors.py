@@ -21,6 +21,8 @@ __all__ = [
     "ApplicationError",
     "GeometryError",
     "ExperimentError",
+    "ObservabilityError",
+    "ReplayMismatchError",
 ]
 
 
@@ -89,3 +91,11 @@ class GeometryError(ApplicationError):
 
 class ExperimentError(ReproError):
     """An experiment was invoked with invalid parameters."""
+
+
+class ObservabilityError(ReproError):
+    """Malformed trace, metric misuse, or invalid recorder state."""
+
+
+class ReplayMismatchError(ObservabilityError):
+    """A deterministic replay diverged from the recorded trajectory."""

@@ -3,6 +3,16 @@
 Runs one or all experiments and prints their rendered reports.  Every
 experiment accepts ``--seed`` for reproducibility and ``--quick`` for a
 reduced-size run (used by the test suite; the benchmarks run full size).
+
+Observability options (see :mod:`repro.obs`):
+
+* ``--trace PATH`` — record a structured JSONL trace of every engine run
+  the experiment performs, then reload it and *verify deterministic
+  replay*: each recorded controller is rebuilt from its traced
+  configuration and must reproduce the recorded ``m_t`` trajectory
+  exactly (exit code 1 otherwise).
+* ``--metrics`` — collect the runtime metrics registry during the run and
+  print it after the reports.
 """
 
 from __future__ import annotations
@@ -146,6 +156,18 @@ def main(argv: "list[str] | None" = None) -> int:
         help="also save <name>.txt/.json (and .svg when the experiment has "
         "series) into this directory",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a structured JSONL trace of all engine runs, then "
+        "verify deterministic replay of every recorded controller",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect and print the runtime metrics registry",
+    )
     args = parser.parse_args(argv)
     out_dir = None
     if args.output_dir is not None:
@@ -154,17 +176,52 @@ def main(argv: "list[str] | None" = None) -> int:
         out_dir = Path(args.output_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
+
+    def execute() -> None:
+        for name in names:
+            try:
+                result = run_experiment(name, seed=args.seed, quick=args.quick)
+            except ValueError as exc:
+                parser.error(str(exc))
+            print(result.render())
+            if out_dir is not None:
+                (out_dir / f"{name}.txt").write_text(result.render(), encoding="utf-8")
+                result.save_json(out_dir / f"{name}.json")
+                if result.series:
+                    result.to_svg(out_dir / f"{name}.svg")
+
+    registry = None
+    if args.trace is not None or args.metrics:
+        from repro.obs import collecting_metrics, recording
+
+        if args.metrics and args.trace is not None:
+            with collecting_metrics() as registry, recording(args.trace):
+                execute()
+        elif args.trace is not None:
+            with recording(args.trace):
+                execute()
+        else:
+            with collecting_metrics() as registry:
+                execute()
+    else:
+        execute()
+    if registry is not None:
+        print(registry.render())
+    if args.trace is not None:
+        from repro.errors import ObservabilityError
+        from repro.obs import load_jsonl, verify_trace
+
+        events = load_jsonl(args.trace)
         try:
-            result = run_experiment(name, seed=args.seed, quick=args.quick)
-        except ValueError as exc:
-            parser.error(str(exc))
-        print(result.render())
-        if out_dir is not None:
-            (out_dir / f"{name}.txt").write_text(result.render(), encoding="utf-8")
-            result.save_json(out_dir / f"{name}.json")
-            if result.series:
-                result.to_svg(out_dir / f"{name}.svg")
+            reports = verify_trace(events)
+        except ObservabilityError as exc:
+            print(f"trace: {args.trace}: replay FAILED: {exc}", file=sys.stderr)
+            return 1
+        total_steps = sum(r.steps for r in reports)
+        print(
+            f"trace: {args.trace}: {len(events)} events, {len(reports)} runs, "
+            f"{total_steps} steps — deterministic replay OK"
+        )
     return 0
 
 

@@ -1,0 +1,98 @@
+"""Observability layer: structured traces, metrics, deterministic replay.
+
+Three cooperating pieces (see DESIGN.md §3):
+
+* **event traces** (:mod:`repro.obs.events`, :mod:`repro.obs.recorder`) —
+  per-step structured records of everything the runtime did and why the
+  controller decided what it decided, in a bounded ring buffer with
+  canonical JSONL export/import;
+* **metrics** (:mod:`repro.obs.metrics`) — named counters/gauges/
+  histograms aggregated across a run, cheap enough to leave on;
+* **deterministic replay** (:mod:`repro.obs.replay`) — a trace alone
+  reproduces the controller's ``m_t`` decision trajectory; a trace plus
+  the original seed reproduces the entire engine run.
+
+Everything is opt-in: engines built without a recorder/registry (and with
+no active one) skip all instrumentation at the cost of one attribute test
+per step.
+"""
+
+from repro.obs.events import (
+    CLAMP,
+    DECISION,
+    RUN_END,
+    RUN_START,
+    SELECT,
+    STEP,
+    TraceEvent,
+    event_from_json,
+    event_to_json,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsScope,
+    activate_metrics,
+    active_metrics,
+    collecting_metrics,
+    deactivate_metrics,
+)
+from repro.obs.recorder import (
+    TraceRecorder,
+    activate,
+    active_recorder,
+    deactivate,
+    describe_seed,
+    load_jsonl,
+    recording,
+)
+from repro.obs.replay import (
+    ReplayController,
+    ReplayReport,
+    controller_from_config,
+    controller_from_trace,
+    recorded_seed,
+    replay_decisions,
+    split_runs,
+    trajectory,
+    verify_trace,
+)
+
+__all__ = [
+    "TraceEvent",
+    "RUN_START",
+    "SELECT",
+    "STEP",
+    "DECISION",
+    "CLAMP",
+    "RUN_END",
+    "event_to_json",
+    "event_from_json",
+    "TraceRecorder",
+    "load_jsonl",
+    "active_recorder",
+    "activate",
+    "deactivate",
+    "recording",
+    "describe_seed",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsScope",
+    "active_metrics",
+    "activate_metrics",
+    "deactivate_metrics",
+    "collecting_metrics",
+    "split_runs",
+    "trajectory",
+    "recorded_seed",
+    "controller_from_config",
+    "controller_from_trace",
+    "ReplayReport",
+    "replay_decisions",
+    "verify_trace",
+    "ReplayController",
+]

@@ -1,0 +1,257 @@
+"""Lightweight metrics registry: counters, gauges, histograms.
+
+The runtime's second observability channel (the first is the event trace):
+cheap named aggregates suitable for steady-state monitoring.  Histograms
+reuse the Welford accumulator of :class:`repro.utils.stats.RunningStats`,
+so mean/variance stay numerically stable over arbitrarily long runs.
+
+Names are dot-separated; a :meth:`MetricsRegistry.scope` returns a view
+that prefixes every name, which is how the engine gives its controller a
+``controller.*`` namespace without either side knowing about the other's
+naming scheme::
+
+    registry = MetricsRegistry()
+    engine_metrics = registry.scope("engine")
+    engine_metrics.counter("commits").inc(17)   # registry key "engine.commits"
+
+Like the trace recorder, a module-level *active registry* lets the CLI
+switch metrics on for code that builds engines internally.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+
+from repro.errors import ObservabilityError
+from repro.utils.stats import RunningStats
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsScope",
+    "active_metrics",
+    "activate_metrics",
+    "deactivate_metrics",
+    "collecting_metrics",
+]
+
+
+class Counter:
+    """Monotonically increasing integer count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ObservabilityError(f"counters only go up; inc({n})")
+        self.value += int(n)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = math.nan
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """Streaming distribution summary (Welford moments + extremes)."""
+
+    __slots__ = ("_stats",)
+
+    def __init__(self) -> None:
+        self._stats = RunningStats()
+
+    def observe(self, x: float) -> None:
+        self._stats.push(float(x))
+
+    @property
+    def count(self) -> int:
+        return self._stats.count
+
+    @property
+    def mean(self) -> float:
+        return self._stats.mean
+
+    @property
+    def std(self) -> float:
+        return self._stats.std
+
+    @property
+    def min(self) -> float:
+        return self._stats.min
+
+    @property
+    def max(self) -> float:
+        return self._stats.max
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, mean={self.mean:.6g})"
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics.
+
+    A name is permanently bound to its first-requested kind; asking for
+    the same name as a different kind raises, which catches the classic
+    "two subsystems disagree about engine.aborts" bug early.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, name: str, kind: str):
+        if not name:
+            raise ObservabilityError("metric name must be non-empty")
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, _KINDS[kind]):
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__.lower()}, requested as {kind}"
+                )
+            return existing
+        metric = _KINDS[kind]()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, "gauge")
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, "histogram")
+
+    def scope(self, prefix: str) -> "MetricsScope":
+        """A view that prefixes every metric name with ``prefix.``."""
+        return MetricsScope(self, prefix)
+
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-data dump: counters/gauges to numbers, histograms to dicts."""
+        out: dict[str, object] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = {
+                    "count": metric.count,
+                    "mean": metric.mean,
+                    "std": metric.std,
+                    "min": metric.min,
+                    "max": metric.max,
+                }
+            else:
+                out[name] = metric.value  # type: ignore[union-attr]
+        return out
+
+    def render(self) -> str:
+        """Readable multi-line report, names sorted."""
+        lines = ["metrics:"]
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                lines.append(
+                    f"  {name}: n={metric.count} mean={metric.mean:.6g} "
+                    f"std={metric.std:.6g} min={metric.min:.6g} max={metric.max:.6g}"
+                )
+            elif isinstance(metric, Counter):
+                lines.append(f"  {name}: {metric.value}")
+            else:
+                lines.append(f"  {name}: {metric.value:.6g}")
+        return "\n".join(lines)
+
+
+class MetricsScope:
+    """Prefixing proxy over a :class:`MetricsRegistry` (or another scope)."""
+
+    def __init__(self, registry: "MetricsRegistry | MetricsScope", prefix: str):
+        if not prefix:
+            raise ObservabilityError("scope prefix must be non-empty")
+        self._registry = registry
+        self._prefix = prefix
+
+    def _qualify(self, name: str) -> str:
+        return f"{self._prefix}.{name}"
+
+    def counter(self, name: str) -> Counter:
+        return self._registry.counter(self._qualify(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._registry.gauge(self._qualify(name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self._registry.histogram(self._qualify(name))
+
+    def scope(self, prefix: str) -> "MetricsScope":
+        return MetricsScope(self, prefix)
+
+
+# ----------------------------------------------------------------------
+# active-registry plumbing (mirrors repro.obs.recorder)
+# ----------------------------------------------------------------------
+_active: "MetricsRegistry | None" = None
+
+
+def active_metrics() -> "MetricsRegistry | None":
+    """The registry engines should report into, or ``None`` when disabled."""
+    return _active
+
+
+def activate_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    global _active
+    if not isinstance(registry, MetricsRegistry):
+        raise ObservabilityError(
+            f"can only activate a MetricsRegistry, got {type(registry).__name__}"
+        )
+    _active = registry
+    return registry
+
+
+def deactivate_metrics() -> None:
+    global _active
+    _active = None
+
+
+@contextmanager
+def collecting_metrics():
+    """Context manager: activate a fresh registry, yield it."""
+    global _active
+    registry = MetricsRegistry()
+    previous = _active
+    activate_metrics(registry)
+    try:
+        yield registry
+    finally:
+        _active = previous

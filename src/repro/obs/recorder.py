@@ -1,0 +1,174 @@
+"""Trace recorder: in-memory ring buffer with JSONL export/import.
+
+A :class:`TraceRecorder` collects :class:`~repro.obs.events.TraceEvent`
+records into a bounded ring buffer (old events fall off the front once
+``capacity`` is reached — production traces must not grow without bound),
+and serialises to/from JSONL.
+
+A module-level *active recorder* lets high-level entry points (the
+experiments CLI, scripts) turn tracing on without threading a recorder
+argument through every engine constructor: engines built while a recorder
+is active attach to it automatically.  When no recorder is active the
+engines keep a ``None`` handle and skip every emission — the disabled
+path costs one attribute test per step.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ObservabilityError
+from repro.obs.events import TraceEvent, event_from_json, event_to_json
+
+__all__ = [
+    "TraceRecorder",
+    "load_jsonl",
+    "active_recorder",
+    "activate",
+    "deactivate",
+    "recording",
+    "describe_seed",
+]
+
+#: default ring capacity — generous for any experiment in this repo while
+#: still bounding a runaway production run (~tens of MB of events)
+DEFAULT_CAPACITY = 1 << 20
+
+
+class TraceRecorder:
+    """Bounded event sink with canonical JSONL round-tripping."""
+
+    def __init__(self, capacity: "int | None" = DEFAULT_CAPACITY):
+        if capacity is not None and capacity < 1:
+            raise ObservabilityError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: deque[TraceEvent] = deque(maxlen=capacity)
+        #: events that fell off the front of the ring
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, step: int, **data) -> TraceEvent:
+        """Append one event; returns it (handy for tests)."""
+        if self.capacity is not None and len(self._ring) == self.capacity:
+            self.dropped += 1
+        event = TraceEvent(step=int(step), kind=kind, data=data)
+        self._ring.append(event)
+        return event
+
+    def record(self, event: TraceEvent) -> None:
+        """Append an already-built event."""
+        if self.capacity is not None and len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(event)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Snapshot of the buffered events, oldest first."""
+        return list(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self):
+        return iter(self._ring)
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceRecorder(events={len(self._ring)}, dropped={self.dropped}, "
+            f"capacity={self.capacity})"
+        )
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Canonical JSONL text of the whole buffer (oldest first)."""
+        return "".join(event_to_json(e) + "\n" for e in self._ring)
+
+    def save_jsonl(self, path: "str | Path") -> None:
+        """Write the buffer as one canonical JSON object per line."""
+        Path(path).write_text(self.to_jsonl(), encoding="utf-8")
+
+
+def load_jsonl(path: "str | Path") -> list[TraceEvent]:
+    """Reload a JSONL trace file into a list of events."""
+    events = []
+    for lineno, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            events.append(event_from_json(line))
+        except ObservabilityError as exc:
+            raise ObservabilityError(f"{path}:{lineno}: {exc}") from exc
+    return events
+
+
+# ----------------------------------------------------------------------
+# active-recorder plumbing
+# ----------------------------------------------------------------------
+_active: "TraceRecorder | None" = None
+
+
+def active_recorder() -> "TraceRecorder | None":
+    """The recorder engines should attach to, or ``None`` when disabled."""
+    return _active
+
+
+def activate(recorder: TraceRecorder) -> TraceRecorder:
+    """Make *recorder* the process-wide default sink for new engines."""
+    global _active
+    if not isinstance(recorder, TraceRecorder):
+        raise ObservabilityError(
+            f"can only activate a TraceRecorder, got {type(recorder).__name__}"
+        )
+    _active = recorder
+    return recorder
+
+
+def deactivate() -> None:
+    """Clear the active recorder (new engines record nothing)."""
+    global _active
+    _active = None
+
+
+@contextmanager
+def recording(path: "str | Path | None" = None, capacity: "int | None" = DEFAULT_CAPACITY):
+    """Context manager: activate a fresh recorder, optionally save on exit.
+
+    ::
+
+        with recording("run.jsonl") as rec:
+            for_each(tasks, operator, rho=0.25, seed=7)
+        # run.jsonl now holds the full structured trace
+    """
+    global _active
+    recorder = TraceRecorder(capacity=capacity)
+    previous = _active
+    activate(recorder)
+    try:
+        yield recorder
+    finally:
+        _active = previous
+        if path is not None:
+            recorder.save_jsonl(path)
+
+
+def describe_seed(seed) -> "int | None":
+    """A replayable representation of an engine seed.
+
+    Integer (and numpy-integer) seeds and ``None`` are recorded verbatim;
+    shared :class:`~numpy.random.Generator` objects have consumed state
+    and cannot be re-created from the trace, so they record as ``None``
+    (the trace is still inspectable, just not engine-replayable).
+    """
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return None if seed is None else int(seed)
+    return None

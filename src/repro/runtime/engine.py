@@ -57,6 +57,11 @@ class OptimisticEngine:
         Optional :class:`~repro.runtime.costs.CostModel` pricing commits
         and aborts; totals accumulate in :attr:`costs`.  Defaults to the
         paper's unit costs.
+    recorder, metrics:
+        Optional :class:`~repro.obs.TraceRecorder` /
+        :class:`~repro.obs.MetricsRegistry`.  When omitted, the engine
+        attaches to the process-wide active recorder/registry if one is
+        set (see :func:`repro.obs.recording`), else records nothing.
     """
 
     def __init__(
@@ -68,7 +73,11 @@ class OptimisticEngine:
         seed=None,
         step_hook: "Callable[[OptimisticEngine, StepStats], None] | None" = None,
         cost_model=None,
+        recorder=None,
+        metrics=None,
     ) -> None:
+        from repro.obs.metrics import active_metrics
+        from repro.obs.recorder import active_recorder, describe_seed
         from repro.runtime.costs import CostTotals, UnitCostModel
 
         self.workset = workset
@@ -84,6 +93,24 @@ class OptimisticEngine:
         # runtimes can in principle retry one unlucky task forever)
         self.retry_counts: dict[int, int] = {}
         self._step = 0
+        self.recorder = recorder if recorder is not None else active_recorder()
+        registry = metrics if metrics is not None else active_metrics()
+        self.metrics = None if registry is None else registry.scope("engine")
+        if self.recorder is not None or self.metrics is not None:
+            controller.bind_observability(
+                self.recorder,
+                None if registry is None else registry.scope("controller"),
+            )
+        if self.recorder is not None:
+            self.recorder.emit(
+                "run_start",
+                step=self._step,
+                engine=type(self).__name__,
+                policy=type(policy).__name__,
+                seed=describe_seed(seed),
+                workset_size=len(workset),
+                controller=controller.describe(),
+            )
 
     # ------------------------------------------------------------------
     def step(self) -> StepStats:
@@ -97,6 +124,14 @@ class OptimisticEngine:
                 f"controller proposed m={requested}; allocations must be >= 1"
             )
         batch = self.workset.take(requested, self.rng)
+        if self.recorder is not None:
+            self.recorder.emit(
+                "select",
+                step=self._step,
+                requested=requested,
+                taken=len(batch),
+                workset_before=before,
+            )
         outcome = self.policy.resolve(batch, self.operator)
         for task in outcome.committed:
             new_tasks = self.operator.apply(task)
@@ -118,6 +153,24 @@ class OptimisticEngine:
             workset_before=before,
             workset_after=len(self.workset),
         )
+        if self.recorder is not None:
+            # commit order recorded as positions within the drawn batch:
+            # deterministic under the seed, unlike process-global task uids
+            position = {t.uid: i for i, t in enumerate(batch)}
+            self.recorder.emit(
+                "step",
+                commit_positions=[position[t.uid] for t in outcome.committed],
+                abort_positions=[position[t.uid] for t in outcome.aborted],
+                **stats.as_dict(),
+            )
+        if self.metrics is not None:
+            self.metrics.counter("steps").inc()
+            self.metrics.counter("commits").inc(stats.committed)
+            self.metrics.counter("aborts").inc(stats.aborted)
+            self.metrics.counter("launched").inc(stats.launched)
+            self.metrics.histogram("conflict_ratio").observe(stats.conflict_ratio)
+            self.metrics.gauge("workset").set(stats.workset_after)
+            self.metrics.gauge("m").set(requested)
         self._step += 1
         self.controller.observe(stats.conflict_ratio, outcome.launched)
         self.result.append(stats)
@@ -133,6 +186,15 @@ class OptimisticEngine:
             if max_steps is not None and self._step >= max_steps:
                 break
             self.step()
+        if self.recorder is not None:
+            self.recorder.emit(
+                "run_end",
+                step=self._step,
+                steps=len(self.result),
+                committed=self.result.total_committed,
+                aborted=self.result.total_aborted,
+                workset=len(self.workset),
+            )
         return self.result
 
     @property

@@ -79,19 +79,30 @@ class PriorityWorkset:
 
 
 class OrderedBatchOutcome:
-    """Resolution of one ordered speculative batch."""
+    """Resolution of one ordered speculative batch.
 
-    __slots__ = ("committed", "conflict_aborted", "order_aborted")
+    ``barrier`` is the priority of the earliest conflict-aborted task
+    (``inf`` when none aborted); ``horizon`` is the final earliest-possible-
+    future-work priority after all commits applied (it starts at the
+    barrier and shrinks as committed tasks create new work).  Both are
+    recorded for rollback-accounting diagnostics.
+    """
+
+    __slots__ = ("committed", "conflict_aborted", "order_aborted", "barrier", "horizon")
 
     def __init__(
         self,
         committed: list[tuple[float, Task]],
         conflict_aborted: list[tuple[float, Task]],
         order_aborted: list[tuple[float, Task]],
+        barrier: float = float("inf"),
+        horizon: float = float("inf"),
     ):
         self.committed = committed
         self.conflict_aborted = conflict_aborted
         self.order_aborted = order_aborted
+        self.barrier = barrier
+        self.horizon = horizon
 
     @property
     def launched(self) -> int:
@@ -138,7 +149,12 @@ class OrderedEngine:
         controller: "Controller",
         priority_of: Callable[[Task], float],
         seed=None,
+        recorder=None,
+        metrics=None,
     ) -> None:
+        from repro.obs.metrics import active_metrics
+        from repro.obs.recorder import active_recorder, describe_seed
+
         self.workset = workset
         self.operator = operator
         self.controller = controller
@@ -148,6 +164,24 @@ class OrderedEngine:
         self.order_aborts_total = 0
         self.conflict_aborts_total = 0
         self._step = 0
+        self.recorder = recorder if recorder is not None else active_recorder()
+        registry = metrics if metrics is not None else active_metrics()
+        self.metrics = None if registry is None else registry.scope("engine")
+        if self.recorder is not None or self.metrics is not None:
+            controller.bind_observability(
+                self.recorder,
+                None if registry is None else registry.scope("controller"),
+            )
+        if self.recorder is not None:
+            self.recorder.emit(
+                "run_start",
+                step=self._step,
+                engine=type(self).__name__,
+                policy="ordered",
+                seed=describe_seed(seed),
+                workset_size=len(workset),
+                controller=controller.describe(),
+            )
 
     # ------------------------------------------------------------------
     def _resolve(self, batch: list[tuple[float, Task]]) -> OrderedBatchOutcome:
@@ -182,7 +216,9 @@ class OrderedEngine:
                 self.workset.add(new_task, new_prio)
                 horizon = min(horizon, new_prio)
             committed.append((prio, task))
-        return OrderedBatchOutcome(committed, conflict_aborted, order_aborted)
+        return OrderedBatchOutcome(
+            committed, conflict_aborted, order_aborted, barrier=barrier, horizon=horizon
+        )
 
     def step(self) -> StepStats:
         """Execute one ordered speculative step."""
@@ -195,6 +231,14 @@ class OrderedEngine:
                 f"controller proposed m={requested}; allocations must be >= 1"
             )
         batch = self.workset.take_earliest(requested)
+        if self.recorder is not None:
+            self.recorder.emit(
+                "select",
+                step=self._step,
+                requested=requested,
+                taken=len(batch),
+                workset_before=before,
+            )
         outcome = self._resolve(batch)
         for prio, task in outcome.conflict_aborted:
             self.operator.on_abort(task)
@@ -213,6 +257,32 @@ class OrderedEngine:
             workset_before=before,
             workset_after=len(self.workset),
         )
+        if self.recorder is not None:
+            position = {t.uid: i for i, (_, t) in enumerate(batch)}
+            finite = lambda x: None if x == float("inf") else float(x)  # noqa: E731
+            self.recorder.emit(
+                "step",
+                commit_positions=[position[t.uid] for _, t in outcome.committed],
+                abort_positions=sorted(
+                    position[t.uid]
+                    for _, t in outcome.conflict_aborted + outcome.order_aborted
+                ),
+                conflict_aborted=len(outcome.conflict_aborted),
+                order_aborted=len(outcome.order_aborted),
+                barrier=finite(outcome.barrier),
+                horizon=finite(outcome.horizon),
+                **stats.as_dict(),
+            )
+        if self.metrics is not None:
+            self.metrics.counter("steps").inc()
+            self.metrics.counter("commits").inc(stats.committed)
+            self.metrics.counter("aborts").inc(stats.aborted)
+            self.metrics.counter("conflict_aborts").inc(len(outcome.conflict_aborted))
+            self.metrics.counter("order_aborts").inc(len(outcome.order_aborted))
+            self.metrics.counter("launched").inc(stats.launched)
+            self.metrics.histogram("conflict_ratio").observe(stats.conflict_ratio)
+            self.metrics.gauge("workset").set(stats.workset_after)
+            self.metrics.gauge("m").set(requested)
         self._step += 1
         self.controller.observe(stats.conflict_ratio, outcome.launched)
         self.result.append(stats)
@@ -226,4 +296,15 @@ class OrderedEngine:
             if max_steps is not None and self._step >= max_steps:
                 break
             self.step()
+        if self.recorder is not None:
+            self.recorder.emit(
+                "run_end",
+                step=self._step,
+                steps=len(self.result),
+                committed=self.result.total_committed,
+                aborted=self.result.total_aborted,
+                conflict_aborts=self.conflict_aborts_total,
+                order_aborts=self.order_aborts_total,
+                workset=len(self.workset),
+            )
         return self.result

@@ -42,9 +42,7 @@ class RunRecorder:
         self.records: list[dict] = []
 
     def __call__(self, engine, stats: StepStats) -> None:
-        rec = {f: getattr(stats, f) for f in _FIELDS}
-        rec["conflict_ratio"] = stats.conflict_ratio
-        self.records.append(rec)
+        self.records.append(stats.as_dict())
 
     def save(self, path: "str | Path") -> None:
         """Write metadata line + one JSON record per step."""

@@ -35,6 +35,19 @@ class StepStats:
     def conflict_ratio(self) -> float:
         return self.aborted / self.launched if self.launched else 0.0
 
+    def as_dict(self) -> dict:
+        """Plain-data form (trace events, JSONL recording)."""
+        return {
+            "step": self.step,
+            "requested": self.requested,
+            "launched": self.launched,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "workset_before": self.workset_before,
+            "workset_after": self.workset_after,
+            "conflict_ratio": self.conflict_ratio,
+        }
+
 
 class RunResult:
     """Accumulated trace of one engine run."""

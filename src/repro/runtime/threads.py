@@ -10,9 +10,14 @@ batch of threads races to acquire per-item locks in hash order
 aborted tasks, and the committed set is an independent set of the true
 conflict graph.
 
-Nondeterminism caveat: the committed set depends on thread interleaving,
-so unlike the simulator the commit order is *not* a uniform random
-permutation — another reason the experiments use the model executor.
+Nondeterminism caveat: by default the committed set depends on thread
+interleaving, so unlike the simulator the commit order is *not* a uniform
+random permutation — another reason the experiments use the model
+executor.  Passing ``seed`` switches to a *deterministic* two-phase mode:
+conflicts are resolved sequentially in a seeded random claim order (the
+model's ``π_m``), and only the already-decided winners run their
+``apply`` on real threads, handing off a commit token in claim order.
+Same seed + same batch ⇒ identical committed/aborted/created sequences.
 """
 
 from __future__ import annotations
@@ -23,18 +28,25 @@ from collections.abc import Sequence
 from repro.errors import RuntimeEngineError
 from repro.runtime.conflict import BatchOutcome
 from repro.runtime.task import Operator, Task
+from repro.utils.rng import ensure_rng
 
 __all__ = ["ThreadedSpeculativeExecutor"]
 
 
 class ThreadedSpeculativeExecutor:
-    """Run one speculative batch on real threads with item locking."""
+    """Run one speculative batch on real threads with item locking.
 
-    def __init__(self, operator: Operator, max_threads: int = 8):
+    ``seed`` (int / ``numpy.random.Generator``) selects the deterministic
+    execution mode described in the module docstring; ``None`` keeps the
+    free-running racy mode.
+    """
+
+    def __init__(self, operator: Operator, max_threads: int = 8, seed=None):
         if max_threads < 1:
             raise RuntimeEngineError(f"need at least one thread, got {max_threads}")
         self.operator = operator
         self.max_threads = int(max_threads)
+        self._rng = None if seed is None else ensure_rng(seed)
 
     def execute_batch(self, batch: Sequence[Task]) -> tuple[BatchOutcome, list[Task]]:
         """Speculatively run *batch*; returns (outcome, newly created tasks).
@@ -46,6 +58,8 @@ class ThreadedSpeculativeExecutor:
         thread-safe — the speculation here is in the *conflict detection*,
         matching the granularity the paper models).
         """
+        if self._rng is not None:
+            return self._execute_seeded(batch)
         registry_lock = threading.Lock()
         owners: dict[object, int] = {}
         commit_lock = threading.Lock()
@@ -82,3 +96,48 @@ class ThreadedSpeculativeExecutor:
         for t in threads:
             t.join()
         return BatchOutcome(committed, aborted), created
+
+    def _execute_seeded(self, batch: Sequence[Task]) -> tuple[BatchOutcome, list[Task]]:
+        """Deterministic mode: seeded claim order, token-passing commits.
+
+        Phase 1 resolves all conflicts sequentially in a uniformly random
+        (but seeded) order — exactly the model's commit order ``π_m`` —
+        so the winner set never depends on scheduling.  Phase 2 runs the
+        winners' ``apply`` on real threads; each thread waits for its
+        predecessor's commit token before applying, which keeps shared
+        application state safe *and* makes the committed/created
+        sequences reproducible.
+        """
+        order = [batch[int(i)] for i in self._rng.permutation(len(batch))]
+        owners: set[object] = set()
+        winners: list[Task] = []
+        aborted: list[Task] = []
+        for task in order:
+            items = set(self.operator.neighborhood(task))
+            if items & owners:
+                self.operator.on_abort(task)
+                aborted.append(task)
+            else:
+                owners |= items
+                winners.append(task)
+
+        created_per: list[list[Task]] = [[] for _ in winners]
+        tokens = [threading.Event() for _ in range(len(winners) + 1)]
+        tokens[0].set()
+
+        def worker(slot: int, task: Task) -> None:
+            tokens[slot].wait()
+            try:
+                created_per[slot] = list(self.operator.apply(task))
+            finally:
+                tokens[slot + 1].set()
+
+        threads = [
+            threading.Thread(target=worker, args=(i, t)) for i, t in enumerate(winners)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        created = [child for chunk in created_per for child in chunk]
+        return BatchOutcome(winners, aborted), created

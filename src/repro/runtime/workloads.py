@@ -74,7 +74,13 @@ class GraphWorkloadBase:
         raise NotImplementedError
 
     def build_engine(
-        self, controller: "Controller", seed=None, step_hook=None, cost_model=None
+        self,
+        controller: "Controller",
+        seed=None,
+        step_hook=None,
+        cost_model=None,
+        recorder=None,
+        metrics=None,
     ) -> OptimisticEngine:
         """Wire this workload and *controller* into an engine."""
         return OptimisticEngine(
@@ -85,6 +91,8 @@ class GraphWorkloadBase:
             seed=seed,
             step_hook=step_hook,
             cost_model=cost_model,
+            recorder=recorder,
+            metrics=metrics,
         )
 
 

@@ -1,0 +1,129 @@
+"""Tests for repro.obs.metrics — counters, gauges, histograms, scopes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    MetricsRegistry,
+    activate_metrics,
+    active_metrics,
+    collecting_metrics,
+    deactivate_metrics,
+)
+
+
+class TestPrimitives:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("commits")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_gauge(self):
+        g = MetricsRegistry().gauge("m")
+        assert math.isnan(g.value)
+        g.set(12)
+        g.set(8)
+        assert g.value == 8.0
+
+    def test_histogram_matches_numpy(self):
+        h = MetricsRegistry().histogram("r")
+        xs = [0.1, 0.4, 0.25, 0.9, 0.0]
+        for x in xs:
+            h.observe(x)
+        assert h.count == 5
+        assert h.mean == pytest.approx(np.mean(xs))
+        assert h.std == pytest.approx(np.std(xs, ddof=1))
+        assert h.min == 0.0 and h.max == 0.9
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("engine.aborts")
+        with pytest.raises(ObservabilityError, match="engine.aborts"):
+            reg.gauge("engine.aborts")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().counter("")
+
+    def test_names_sorted_and_contains(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert reg.names() == ["a", "b"]
+        assert "a" in reg and "zzz" not in reg
+        assert len(reg) == 2
+
+    def test_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(2.0)
+        snap = reg.snapshot()
+        assert snap["c"] == 3
+        assert snap["g"] == 1.5
+        assert snap["h"]["count"] == 1 and snap["h"]["mean"] == 2.0
+
+    def test_render_mentions_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("steps").inc(10)
+        reg.histogram("r").observe(0.2)
+        text = reg.render()
+        assert "steps: 10" in text and "r: n=1" in text
+
+
+class TestScopes:
+    def test_scope_prefixes_names(self):
+        reg = MetricsRegistry()
+        reg.scope("engine").counter("commits").inc(4)
+        assert reg.counter("engine.commits").value == 4
+
+    def test_nested_scopes(self):
+        reg = MetricsRegistry()
+        reg.scope("a").scope("b").gauge("x").set(1)
+        assert reg.names() == ["a.b.x"]
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().scope("")
+
+
+class TestActivePlumbing:
+    def test_collecting_metrics_activates_and_restores(self):
+        assert active_metrics() is None
+        with collecting_metrics() as reg:
+            assert active_metrics() is reg
+        assert active_metrics() is None
+
+    def test_activate_rejects_non_registry(self):
+        with pytest.raises(ObservabilityError):
+            activate_metrics([])
+
+    def test_manual_activate_deactivate(self):
+        reg = MetricsRegistry()
+        try:
+            activate_metrics(reg)
+            assert active_metrics() is reg
+        finally:
+            deactivate_metrics()
+        assert active_metrics() is None
+
+    def test_nested_collecting_restores_outer(self):
+        with collecting_metrics() as outer:
+            with collecting_metrics() as inner:
+                assert active_metrics() is inner
+            assert active_metrics() is outer
