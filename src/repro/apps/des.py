@@ -142,7 +142,7 @@ class DiscreteEventSimulation(Operator):
         return [Task(payload=nxt)] if nxt is not None else []
 
     # ------------------------------------------------------------------
-    def build_engine(self, controller, seed=None) -> OrderedEngine:
+    def build_engine(self, controller, seed=None, engine=None) -> OrderedEngine:
         """Ordered engine running this simulation under *controller*."""
         return OrderedEngine(
             workset=self.workset,
@@ -150,6 +150,7 @@ class DiscreteEventSimulation(Operator):
             controller=controller,
             priority_of=lambda task: task.payload.time,
             seed=seed,
+            engine=engine,
         )
 
     def check_history_ordered(self) -> bool:

@@ -88,6 +88,29 @@ class ExperimentResult:
             "notes": list(self.notes),
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output (cache reloads)."""
+        try:
+            result = cls(
+                name=str(payload["name"]),
+                description=str(payload["description"]),
+            )
+            for table in payload.get("tables", []):
+                result.add_table(
+                    table["title"],
+                    list(table["headers"]),
+                    [list(row) for row in table["rows"]],
+                )
+            for series in payload.get("series", []):
+                result.add_series(series["name"], list(series["x"]), list(series["y"]))
+            result.scalars.update(payload.get("scalars", {}))
+            for note in payload.get("notes", []):
+                result.add_note(str(note))
+        except (KeyError, TypeError) as exc:
+            raise ExperimentError(f"malformed ExperimentResult payload: {exc}") from exc
+        return result
+
     def save_json(self, path: "str | Path") -> None:
         """Write :meth:`to_dict` as pretty-printed JSON."""
         Path(path).write_text(

@@ -1,0 +1,221 @@
+"""Parallel experiment sweeps: process pool + deterministic seeds + disk cache.
+
+The experiments are embarrassingly parallel — each run is a pure function
+of ``(experiment name, seed, quick)`` — yet the CLI historically executed
+them one after another.  This module turns a list of run configs into a
+:class:`concurrent.futures.ProcessPoolExecutor` sweep with two
+reproducibility guarantees:
+
+* **Deterministic seeds.**  A config without an explicit seed gets one
+  derived via :func:`repro.utils.rng.derive_seed` from the sweep's base
+  seed and the config's identity — a pure function of the config, never
+  of worker scheduling, completion order, or how many runs came before.
+* **Content-addressed caching.**  Every completed run is stored under
+  ``<cache_dir>/<sha256(config)>.json``; the key hashes the canonical
+  JSON of the config plus the package version and cache schema, so a
+  re-sweep only recomputes configs whose inputs actually changed.
+  Cached results reload as full :class:`ExperimentResult` objects.
+
+Used by ``python -m repro.experiments --jobs N --cache-dir DIR`` and
+importable directly::
+
+    from repro.experiments.parallel import RunConfig, run_sweep
+    outcomes = run_sweep(["fig2", "fig3"], jobs=4, cache_dir="~/.repro-cache")
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.experiments.base import ExperimentResult
+from repro.utils.rng import derive_seed
+
+__all__ = ["RunConfig", "SweepOutcome", "config_key", "run_sweep"]
+
+#: bump when the cache payload layout changes; invalidates old entries
+CACHE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One experiment invocation: registry name, seed, and size."""
+
+    experiment: str
+    seed: "int | None" = None
+    quick: bool = False
+
+    def resolved_seed(self, base_seed: int) -> int:
+        """The seed this run actually uses.
+
+        Explicit seeds pass through; otherwise one is derived from
+        ``(base_seed, experiment name)`` — stable across sweeps, worker
+        counts, and config ordering.
+        """
+        if self.seed is not None:
+            return int(self.seed)
+        return derive_seed(base_seed, "sweep", self.experiment)
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """One finished run: its config, effective seed, result, provenance."""
+
+    config: RunConfig
+    seed: int
+    result: ExperimentResult
+    cached: bool
+    key: str
+
+
+def _package_version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        import repro
+
+        return getattr(repro, "__version__", "unknown")
+
+
+def config_key(config: RunConfig, seed: int) -> str:
+    """Content hash identifying one run: config + code version + schema.
+
+    Canonical JSON (sorted keys, no whitespace variance) through SHA-256;
+    two configs collide iff they would produce the same result.
+    """
+    payload = json.dumps(
+        {
+            "experiment": config.experiment,
+            "seed": int(seed),
+            "quick": bool(config.quick),
+            "version": _package_version(),
+            "schema": CACHE_SCHEMA,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _cache_path(cache_dir: Path, key: str) -> Path:
+    return cache_dir / f"{key}.json"
+
+
+def _cache_load(cache_dir: Path, key: str) -> "ExperimentResult | None":
+    path = _cache_path(cache_dir, key)
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("key") != key:
+            return None
+        return ExperimentResult.from_dict(payload["result"])
+    except (OSError, ValueError, KeyError):
+        return None  # corrupt entries are treated as misses and rewritten
+
+
+def _cache_store(
+    cache_dir: Path, key: str, config: RunConfig, seed: int, result: ExperimentResult
+) -> None:
+    payload = {
+        "key": key,
+        "config": {
+            "experiment": config.experiment,
+            "seed": int(seed),
+            "quick": bool(config.quick),
+        },
+        "result": result.to_dict(),
+    }
+    tmp = _cache_path(cache_dir, key).with_suffix(".tmp")
+    tmp.write_text(
+        json.dumps(payload, sort_keys=True, default=float), encoding="utf-8"
+    )
+    tmp.replace(_cache_path(cache_dir, key))  # atomic publish
+
+
+def _execute(payload: tuple) -> dict:
+    """Worker entry point (top-level, hence picklable): run one config."""
+    name, seed, quick = payload
+    from repro.experiments.runner import run_experiment
+
+    return run_experiment(name, seed=seed, quick=quick).to_dict()
+
+
+def run_sweep(
+    configs,
+    *,
+    jobs: int = 1,
+    cache_dir: "str | Path | None" = None,
+    base_seed: int = 0,
+    on_result=None,
+) -> list[SweepOutcome]:
+    """Run many experiment configs, in parallel, with caching.
+
+    Parameters
+    ----------
+    configs:
+        Iterable of :class:`RunConfig` or bare experiment names (bare
+        names get derived seeds and ``quick=False``).
+    jobs:
+        Worker processes; ``1`` executes inline (no pool spin-up).
+    cache_dir:
+        Directory for the content-hash cache; ``None`` disables caching.
+    base_seed:
+        Entropy root for configs without an explicit seed.
+    on_result:
+        Optional callback ``on_result(outcome)`` invoked as each run
+        finishes (cached hits fire immediately).
+
+    Returns
+    -------
+    Outcomes in the same order as *configs*, regardless of completion
+    order — parallelism never reorders the report.
+    """
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    normal: list[RunConfig] = [
+        cfg if isinstance(cfg, RunConfig) else RunConfig(str(cfg)) for cfg in configs
+    ]
+    seeds = [cfg.resolved_seed(base_seed) for cfg in normal]
+    keys = [config_key(cfg, seed) for cfg, seed in zip(normal, seeds)]
+
+    cache: "Path | None" = None
+    if cache_dir is not None:
+        cache = Path(cache_dir).expanduser()
+        cache.mkdir(parents=True, exist_ok=True)
+
+    outcomes: list["SweepOutcome | None"] = [None] * len(normal)
+    pending: list[int] = []
+    for i, (cfg, seed, key) in enumerate(zip(normal, seeds, keys)):
+        hit = _cache_load(cache, key) if cache is not None else None
+        if hit is not None:
+            outcomes[i] = SweepOutcome(cfg, seed, hit, cached=True, key=key)
+            if on_result is not None:
+                on_result(outcomes[i])
+        else:
+            pending.append(i)
+
+    def finish(i: int, result_dict: dict) -> None:
+        result = ExperimentResult.from_dict(result_dict)
+        if cache is not None:
+            _cache_store(cache, keys[i], normal[i], seeds[i], result)
+        outcomes[i] = SweepOutcome(normal[i], seeds[i], result, cached=False, key=keys[i])
+        if on_result is not None:
+            on_result(outcomes[i])
+
+    if pending:
+        payloads = [(normal[i].experiment, seeds[i], normal[i].quick) for i in pending]
+        if jobs == 1 or len(pending) == 1:
+            for i, payload in zip(pending, payloads):
+                finish(i, _execute(payload))
+        else:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                for i, result_dict in zip(pending, pool.map(_execute, payloads)):
+                    finish(i, result_dict)
+    return [out for out in outcomes if out is not None]

@@ -168,7 +168,23 @@ def main(argv: "list[str] | None" = None) -> int:
         action="store_true",
         help="collect and print the runtime metrics registry",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiments across N worker processes (default 1: inline)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-hash disk cache for completed run configs; re-runs "
+        "with identical (experiment, seed, quick, version) reload instantly",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     out_dir = None
     if args.output_dir is not None:
         from pathlib import Path
@@ -176,6 +192,40 @@ def main(argv: "list[str] | None" = None) -> int:
         out_dir = Path(args.output_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment {unknown[0]!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+
+    def emit(name: str, result: ExperimentResult) -> None:
+        print(result.render())
+        if out_dir is not None:
+            (out_dir / f"{name}.txt").write_text(result.render(), encoding="utf-8")
+            result.save_json(out_dir / f"{name}.json")
+            if result.series:
+                result.to_svg(out_dir / f"{name}.svg")
+
+    if args.jobs > 1 or args.cache_dir is not None:
+        # sweep mode: process-pool execution + content-hash cache; the
+        # process-global trace/metrics hooks cannot span workers
+        if args.trace is not None or args.metrics:
+            parser.error("--trace/--metrics are incompatible with --jobs/--cache-dir")
+        from repro.experiments.parallel import RunConfig, run_sweep
+
+        configs = [RunConfig(n, seed=args.seed, quick=args.quick) for n in names]
+        outcomes = run_sweep(
+            configs, jobs=args.jobs, cache_dir=args.cache_dir, base_seed=args.seed
+        )
+        for outcome in outcomes:
+            emit(outcome.config.experiment, outcome.result)
+            status = "cache hit" if outcome.cached else "computed"
+            print(
+                f"[sweep] {outcome.config.experiment}: {status} "
+                f"(seed={outcome.seed}, key={outcome.key[:12]})",
+                file=sys.stderr,
+            )
+        return 0
 
     def execute() -> None:
         for name in names:
@@ -183,12 +233,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 result = run_experiment(name, seed=args.seed, quick=args.quick)
             except ValueError as exc:
                 parser.error(str(exc))
-            print(result.render())
-            if out_dir is not None:
-                (out_dir / f"{name}.txt").write_text(result.render(), encoding="utf-8")
-                result.save_json(out_dir / f"{name}.json")
-                if result.series:
-                    result.to_svg(out_dir / f"{name}.svg")
+            emit(name, result)
 
     registry = None
     if args.trace is not None or args.metrics:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Iterator
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -75,6 +76,34 @@ class GraphSnapshot:
         """Neighbour *indices* of node *index* (CSR slice view)."""
         return self.indices[self.indptr[index] : self.indptr[index + 1]]
 
+    @cached_property
+    def index_of(self) -> dict[int, int]:
+        """Node id → CSR index lookup (built lazily, cached)."""
+        return {int(nid): i for i, nid in enumerate(self.node_ids)}
+
+    @cached_property
+    def ids_dense(self) -> bool:
+        """True when node ids coincide with CSR indices ``0..n-1``.
+
+        Holds for every graph that never had a node removed (generators,
+        stationary workloads) and lets the fast path skip the id → index
+        translation entirely.
+        """
+        n = self.num_nodes
+        return bool(np.array_equal(self.node_ids, np.arange(n, dtype=np.int64)))
+
+    @cached_property
+    def edge_list(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(u, v)`` index pairs, one row per undirected edge, ``u < v``.
+
+        Built once per snapshot from the CSR arrays; the engine's fast
+        path projects these onto each batch's commit slots instead of
+        slicing per-node adjacency.
+        """
+        src = np.repeat(np.arange(self.num_nodes, dtype=np.int64), self.degrees)
+        keep = src < self.indices
+        return src[keep], self.indices[keep]
+
 
 class CCGraph:
     """Dynamic undirected computations/conflicts graph.
@@ -84,13 +113,18 @@ class CCGraph:
     per-node payloads let applications attach their task state.
     """
 
-    __slots__ = ("_adj", "_data", "_next_id", "_num_edges")
+    __slots__ = ("_adj", "_data", "_next_id", "_num_edges", "_version", "_csr")
 
     def __init__(self) -> None:
         self._adj: dict[int, set[int]] = {}
         self._data: dict[int, object] = {}
         self._next_id = 0
         self._num_edges = 0
+        # topology version counter + memoised CSR view keyed on it; lets
+        # the engine's fast path reuse one snapshot across steps when the
+        # graph does not morph (stationary workloads never rebuild).
+        self._version = 0
+        self._csr: "tuple[int, GraphSnapshot] | None" = None
 
     # ------------------------------------------------------------------
     # construction
@@ -128,6 +162,7 @@ class CCGraph:
         nid = self._next_id
         self._next_id += 1
         self._adj[nid] = set()
+        self._version += 1
         if data is not None:
             self._data[nid] = data
         return nid
@@ -146,6 +181,7 @@ class CCGraph:
             au.add(v)
             av.add(u)
             self._num_edges += 1
+            self._version += 1
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove the edge ``{u, v}``; raises if absent."""
@@ -160,6 +196,7 @@ class CCGraph:
         au.discard(v)
         av.discard(u)
         self._num_edges -= 1
+        self._version += 1
 
     def remove_node(self, u: int) -> None:
         """Remove node *u* and all incident edges (a task commit)."""
@@ -171,6 +208,7 @@ class CCGraph:
         self._num_edges -= len(neigh)
         del self._adj[u]
         self._data.pop(u, None)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -187,6 +225,11 @@ class CCGraph:
     @property
     def num_nodes(self) -> int:
         return len(self._adj)
+
+    @property
+    def version(self) -> int:
+        """Monotone topology version: bumps on every structural mutation."""
+        return self._version
 
     @property
     def num_edges(self) -> int:
@@ -280,6 +323,20 @@ class CCGraph:
             for j, v in enumerate(neigh):
                 indices[start + j] = index_of[v]
         return GraphSnapshot(node_ids=node_ids, indptr=indptr, indices=indices)
+
+    def csr(self) -> GraphSnapshot:
+        """Memoised CSR view, rebuilt only after a structural mutation.
+
+        The engine's fast path calls this every step; on stationary
+        workloads (no graph morphs between steps) it is a version check
+        plus a cache hit, so the CSR build cost amortises to zero.
+        """
+        cached = self._csr
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        snap = self.snapshot()
+        self._csr = (self._version, snap)
+        return snap
 
     def to_networkx(self):
         """Export to :class:`networkx.Graph` (for tests and inspection)."""

@@ -73,14 +73,17 @@ class ConflictCurve:
 def _sample_commits(
     snapshot: GraphSnapshot, m: int, reps: int, rng: np.random.Generator
 ) -> np.ndarray:
-    """``float[reps]`` committed counts over independent random prefixes."""
+    """``float[reps]`` committed counts over independent random prefixes.
+
+    All replications are drawn by one batched RNG call and resolved by one
+    vectorised kernel pass (see :meth:`PrefixSampler.committed_counts`),
+    so the estimator cost is a handful of array operations, not ``reps``
+    Python-level walks.
+    """
     if reps < 1:
         raise ModelError(f"need at least one replication, got {reps}")
     sampler = PrefixSampler(snapshot, rng)
-    out = np.empty(reps, dtype=float)
-    for i in range(reps):
-        out[i] = float(sampler.committed(m).sum())
-    return out
+    return sampler.committed_counts(m, reps).astype(float)
 
 
 def estimate_kbar(

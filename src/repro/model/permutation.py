@@ -12,17 +12,16 @@ Two implementations are provided:
 * :func:`committed_set` — direct set-based walk over a :class:`CCGraph`;
   the readable reference used by the runtime engine (whose graphs are
   small-ish and mutate every step).
-* :func:`committed_mask_csr` — vectorised fixed-point iteration over a
-  frozen :class:`GraphSnapshot`, used by the Monte-Carlo estimators which
-  evaluate hundreds of thousands of prefixes of a *static* graph.  A node's
-  fate is resolved in rounds: it aborts as soon as an earlier neighbour is
-  known to commit, and commits once every earlier neighbour is known not
-  to.  Expected number of rounds is O(log m) (longest chain of strictly
-  decreasing positions along a path), and each round is pure NumPy segment
-  arithmetic, giving ~50× over the Python walk at ``n = 2000``.
+* :func:`committed_mask_csr` — vectorised resolution over a frozen
+  :class:`GraphSnapshot`, used by the Monte-Carlo estimators which
+  evaluate hundreds of thousands of prefixes of a *static* graph.  The
+  actual array kernel lives in :mod:`repro.runtime.kernels` (it is shared
+  with the engine's fast path); this module wraps it with model-level
+  validation, and :func:`committed_mask_batch` resolves many independent
+  prefixes through a *single* fixed-point iteration.
 
-The tests cross-check the two against each other and against brute-force
-enumeration on tiny graphs.
+The tests cross-check the implementations against each other and against
+brute-force enumeration on tiny graphs.
 """
 
 from __future__ import annotations
@@ -33,12 +32,14 @@ import numpy as np
 
 from repro.errors import ModelError
 from repro.graph.ccgraph import CCGraph, GraphSnapshot
+from repro.runtime.kernels import greedy_commit_mask_batch
 
 __all__ = [
     "committed_set",
     "conflict_count",
     "conflict_ratio_realization",
     "committed_mask_csr",
+    "committed_mask_batch",
     "PrefixSampler",
 ]
 
@@ -77,16 +78,34 @@ def conflict_ratio_realization(graph: CCGraph, order: Sequence[int]) -> float:
     return conflict_count(graph, order) / m
 
 
-def _segment_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
-    """Flatten ``[starts[i], starts[i]+counts[i])`` ranges into one index array."""
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    seg_starts = np.repeat(starts, counts)
-    within = np.arange(total, dtype=np.int64) - np.repeat(
-        np.concatenate(([0], np.cumsum(counts)[:-1])), counts
-    )
-    return seg_starts + within
+def committed_mask_batch(
+    snapshot: GraphSnapshot, prefixes: np.ndarray
+) -> np.ndarray:
+    """Resolve many commit-order prefixes through one vectorised pass.
+
+    Parameters
+    ----------
+    snapshot:
+        CSR view of the CC graph.
+    prefixes:
+        ``int64[R, m]`` array of node *indices* (positions in
+        ``snapshot.node_ids``); each row is one commit order, without
+        duplicates within the row.
+
+    Returns
+    -------
+    ``bool[R, m]`` — ``True`` where the corresponding slot commits.
+    """
+    prefixes = np.asarray(prefixes, dtype=np.int64)
+    if prefixes.ndim != 2:
+        raise ModelError(f"prefixes must be 2-D, got shape {prefixes.shape}")
+    if prefixes.size:
+        if prefixes.min() < 0 or prefixes.max() >= snapshot.num_nodes:
+            raise ModelError("prefix contains indices outside the snapshot")
+    try:
+        return greedy_commit_mask_batch(snapshot.indptr, snapshot.indices, prefixes)
+    except ValueError as exc:
+        raise ModelError(str(exc)) from None
 
 
 def committed_mask_csr(
@@ -106,81 +125,28 @@ def committed_mask_csr(
     -------
     ``bool[m]`` — ``True`` where the corresponding prefix entry commits.
     """
-    n = snapshot.num_nodes
-    m = int(prefix.shape[0])
-    if m == 0:
-        return np.empty(0, dtype=bool)
     prefix = np.asarray(prefix, dtype=np.int64)
-    if prefix.min() < 0 or prefix.max() >= n:
-        raise ModelError("prefix contains indices outside the snapshot")
-    # position of each selected node in the commit order; -1 = not selected
-    pos = np.full(n, -1, dtype=np.int64)
-    pos[prefix] = np.arange(m, dtype=np.int64)
-    if np.count_nonzero(pos >= 0) != m:
-        raise ModelError("duplicate node in commit order")
-
-    # Build the induced adjacency restricted to *earlier* neighbours:
-    # for each selected node, the selected neighbours that precede it.
-    starts = snapshot.indptr[prefix]
-    counts = snapshot.indptr[prefix + 1] - starts
-    flat = _segment_ranges(starts, counts)
-    nbr = snapshot.indices[flat]
-    owner = np.repeat(np.arange(m, dtype=np.int64), counts)  # prefix slot
-    nbr_pos = pos[nbr]
-    keep = (nbr_pos >= 0) & (nbr_pos < owner)  # owner slot == its position
-    nbr_slot = nbr_pos[keep]  # earlier neighbour's prefix slot
-    own_slot = owner[keep]
-
-    # states: 0 = undecided, 1 = committed, 2 = aborted
-    state = np.zeros(m, dtype=np.int8)
-    if own_slot.shape[0] == 0:
-        state[:] = 1
-        return state == 1
-    # per-slot segment boundaries over the (own_slot-sorted) edge list
-    order = np.argsort(own_slot, kind="stable")
-    own_sorted = own_slot[order]
-    nbr_sorted = nbr_slot[order]
-    seg_counts = np.bincount(own_sorted, minlength=m)
-    seg_ptr = np.concatenate(([0], np.cumsum(seg_counts)))
-
-    undecided = np.ones(m, dtype=bool)
-    # nodes with no earlier neighbours commit immediately
-    no_earlier = seg_counts == 0
-    state[no_earlier] = 1
-    undecided[no_earlier] = False
-
-    while undecided.any():
-        nbr_state = state[nbr_sorted]
-        committed_edge = (nbr_state == 1).astype(np.int64)
-        undecided_edge = (nbr_state == 0).astype(np.int64)
-        # segment sums via cumulative-sum differencing (reduceat chokes on
-        # empty trailing segments; this form is uniform).
-        c_committed = _segment_sum(committed_edge, seg_ptr)
-        c_undecided = _segment_sum(undecided_edge, seg_ptr)
-        newly_aborted = undecided & (c_committed > 0)
-        newly_committed = undecided & (c_committed == 0) & (c_undecided == 0)
-        if not (newly_aborted.any() or newly_committed.any()):
-            raise ModelError("commit fixed-point stalled (cycle of undecided nodes)")
-        state[newly_aborted] = 2
-        state[newly_committed] = 1
-        undecided &= ~(newly_aborted | newly_committed)
-    return state == 1
-
-
-def _segment_sum(values: np.ndarray, seg_ptr: np.ndarray) -> np.ndarray:
-    """Sum *values* over segments delimited by *seg_ptr* (len = nseg+1)."""
-    csum = np.concatenate(([0], np.cumsum(values)))
-    return csum[seg_ptr[1:]] - csum[seg_ptr[:-1]]
+    if prefix.ndim != 1:
+        raise ModelError(f"prefix must be 1-D, got shape {prefix.shape}")
+    if prefix.shape[0] == 0:
+        return np.empty(0, dtype=bool)
+    return committed_mask_batch(snapshot, prefix[None, :])[0]
 
 
 class PrefixSampler:
     """Batched sampler of random commit prefixes over a fixed snapshot.
 
-    Re-uses one permutation buffer across draws: each draw produces a fresh
-    uniform permutation of all node indices and reads its first ``m``
-    entries, matching the paper's "prefix of a random permutation" model
-    exactly while avoiding per-draw allocation.
+    Single draws re-use one permutation buffer (each draw is a fresh
+    uniform permutation read off at ``m`` entries).  The batched entry
+    points draw *all* replications in one vectorised RNG call
+    (:meth:`draw_batch`) and resolve them through one fixed-point kernel
+    pass (:meth:`committed_counts`) — the Monte-Carlo estimators of
+    :mod:`repro.model.conflict_ratio` run entirely on this path.
     """
+
+    #: soft cap on the elements materialised per batched draw; replication
+    #: blocks beyond it are processed in chunks of this many elements
+    MAX_BATCH_ELEMENTS = 1 << 23
 
     def __init__(self, snapshot: GraphSnapshot, rng: np.random.Generator):
         self._snapshot = snapshot
@@ -198,3 +164,36 @@ class PrefixSampler:
     def committed(self, m: int) -> np.ndarray:
         """Draw a prefix and return its committed mask."""
         return committed_mask_csr(self._snapshot, self.draw(m))
+
+    def draw_batch(self, m: int, reps: int) -> np.ndarray:
+        """``int64[reps, m]`` — *reps* independent prefixes, one RNG call.
+
+        Each row is the head of an independent uniform permutation of all
+        node indices (``rng.permuted`` over a ``reps × n`` matrix), so the
+        rows follow exactly the paper's ``π_m`` distribution.
+        """
+        n = self._snapshot.num_nodes
+        if not 0 <= m <= n:
+            raise ModelError(f"prefix length {m} out of range [0, {n}]")
+        if reps < 0:
+            raise ModelError(f"cannot draw {reps} replications")
+        base = np.tile(np.arange(n, dtype=np.int64), (reps, 1))
+        return self._rng.permuted(base, axis=1)[:, :m]
+
+    def committed_counts(self, m: int, reps: int) -> np.ndarray:
+        """``int64[reps]`` committed counts over independent random prefixes.
+
+        Replications are drawn and resolved in vectorised blocks (bounded
+        by :attr:`MAX_BATCH_ELEMENTS` to keep the position scatter-table
+        memory flat); with the default sizes used by the estimators the
+        whole request is a single batched draw + kernel pass.
+        """
+        n = max(1, self._snapshot.num_nodes)
+        rows_per_block = max(1, self.MAX_BATCH_ELEMENTS // n)
+        out = np.empty(reps, dtype=np.int64)
+        for start in range(0, reps, rows_per_block):
+            block = min(rows_per_block, reps - start)
+            prefixes = self.draw_batch(m, block)
+            mask = committed_mask_batch(self._snapshot, prefixes)
+            out[start : start + block] = mask.sum(axis=1)
+        return out

@@ -18,6 +18,7 @@ is one "temporal step" and ``m_t`` is the number of processors in use.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable
 from typing import TYPE_CHECKING
 
@@ -33,7 +34,28 @@ from repro.runtime.task import Operator, Task
 from repro.runtime.workset import Workset
 from repro.utils.rng import ensure_rng
 
-__all__ = ["OptimisticEngine"]
+__all__ = ["OptimisticEngine", "resolve_engine_mode"]
+
+#: environment variable selecting the default conflict-resolution path
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+_ENGINE_MODES = ("reference", "fast")
+
+
+def resolve_engine_mode(engine: "str | None") -> str:
+    """Normalise an ``engine=`` argument against the ``REPRO_ENGINE`` env var.
+
+    ``None`` defers to the environment (default ``"reference"``); anything
+    else must be ``"reference"`` or ``"fast"``.  Both engines accept the
+    same workloads and produce bit-identical results — ``"fast"`` resolves
+    conflicts with the vectorised kernels of :mod:`repro.runtime.kernels`.
+    """
+    mode = engine if engine is not None else os.environ.get(ENGINE_ENV_VAR, "reference")
+    mode = str(mode).strip().lower() or "reference"
+    if mode not in _ENGINE_MODES:
+        raise RuntimeEngineError(
+            f"unknown engine mode {mode!r}; expected one of {_ENGINE_MODES}"
+        )
+    return mode
 
 
 class OptimisticEngine:
@@ -62,6 +84,12 @@ class OptimisticEngine:
         :class:`~repro.obs.MetricsRegistry`.  When omitted, the engine
         attaches to the process-wide active recorder/registry if one is
         set (see :func:`repro.obs.recording`), else records nothing.
+    engine:
+        ``"reference"`` (per-task Python walk) or ``"fast"`` (vectorised
+        kernels, see :mod:`repro.runtime.kernels`).  ``None`` defers to
+        the ``REPRO_ENGINE`` environment variable.  The two paths are
+        bit-identical — same seeds give the same commits, aborts, and
+        observability traces.
     """
 
     def __init__(
@@ -75,6 +103,7 @@ class OptimisticEngine:
         cost_model=None,
         recorder=None,
         metrics=None,
+        engine: "str | None" = None,
     ) -> None:
         from repro.obs.metrics import active_metrics
         from repro.obs.recorder import active_recorder, describe_seed
@@ -84,6 +113,7 @@ class OptimisticEngine:
         self.operator = operator
         self.policy = policy
         self.controller = controller
+        self.engine_mode = resolve_engine_mode(engine)
         self.rng: np.random.Generator = ensure_rng(seed)
         self.step_hook = step_hook
         self.cost_model = cost_model or UnitCostModel()
@@ -132,7 +162,10 @@ class OptimisticEngine:
                 taken=len(batch),
                 workset_before=before,
             )
-        outcome = self.policy.resolve(batch, self.operator)
+        if self.engine_mode == "fast":
+            outcome = self.policy.resolve_fast(batch, self.operator)
+        else:
+            outcome = self.policy.resolve(batch, self.operator)
         for task in outcome.committed:
             new_tasks = self.operator.apply(task)
             if new_tasks:

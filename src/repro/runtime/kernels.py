@@ -1,0 +1,328 @@
+"""Vectorised conflict-resolution kernels (the engine's fast path).
+
+The reference engine resolves every speculative batch with a per-task
+Python walk (:mod:`repro.runtime.conflict`).  That walk is semantically
+the greedy maximal-independent-set construction of §2.1 — and greedy MIS
+over a *frozen* adjacency structure is exactly the kind of irregular
+computation that Atos/GRAPHOPT-style batched array formulations turn into
+a handful of NumPy segment operations.
+
+Four kernels live here; all reproduce the reference semantics **bit for
+bit** (the differential suite in ``tests/runtime`` enforces this):
+
+* :func:`greedy_commit_mask` — one batch over a CSR graph: walking the
+  prefix in commit order, a slot commits iff no *earlier committed* slot
+  is a graph neighbour.
+* :func:`greedy_commit_mask_batch` — the same kernel over ``R``
+  independent prefixes at once; the Monte-Carlo estimators in
+  :mod:`repro.model` push hundreds of replications through a single
+  fixed-point iteration.
+* :func:`greedy_commit_mask_from_slots` — the engine's hot path: the
+  caller pre-projects its batch onto commit slots and hands over only
+  the conflicting pairs, skipping all per-call graph indexing.
+* :func:`greedy_lock_mask` — the item-lock (Galois neighbourhood)
+  variant used by :class:`~repro.runtime.conflict.ItemLockPolicy` and
+  the ordered engine: a slot commits iff none of its abstract data items
+  is touched by an earlier committed slot.
+
+All kernels resolve fates in *rounds* of pure array arithmetic: a slot
+aborts as soon as an earlier neighbour is known to commit, and commits
+once every earlier neighbour is known not to.  The expected number of
+rounds is the longest chain of strictly decreasing commit positions
+(O(log m) on random orders), and each round is O(edges) NumPy work.
+
+Kernels validate only what they need (shape/range/duplicates) and raise
+:class:`ValueError`; callers translate into their domain error types.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "greedy_commit_mask",
+    "greedy_commit_mask_batch",
+    "greedy_commit_mask_from_slots",
+    "greedy_lock_mask",
+]
+
+
+def _segment_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flatten ``[starts[i], starts[i]+counts[i])`` ranges into one index array."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    seg_starts = np.repeat(starts, counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+    )
+    return seg_starts + within
+
+
+def _segment_sum(values: np.ndarray, seg_ptr: np.ndarray) -> np.ndarray:
+    """Sum *values* over segments delimited by *seg_ptr* (len = nseg+1)."""
+    csum = np.concatenate(([0], np.cumsum(values)))
+    return csum[seg_ptr[1:]] - csum[seg_ptr[:-1]]
+
+
+def greedy_commit_mask_batch(
+    indptr: np.ndarray, indices: np.ndarray, prefixes: np.ndarray
+) -> np.ndarray:
+    """Resolve ``R`` commit-order prefixes over one CSR graph at once.
+
+    Parameters
+    ----------
+    indptr, indices:
+        CSR adjacency over a dense ``0..n-1`` node universe (e.g. from
+        :class:`~repro.graph.ccgraph.GraphSnapshot`).
+    prefixes:
+        ``int64[R, m]`` node indices, one commit-order prefix per row,
+        without duplicates within a row.
+
+    Returns
+    -------
+    ``bool[R, m]`` — ``True`` where the corresponding slot commits.
+    """
+    prefixes = np.ascontiguousarray(prefixes, dtype=np.int64)
+    if prefixes.ndim != 2:
+        raise ValueError(f"prefixes must be 2-D, got shape {prefixes.shape}")
+    num_reps, m = prefixes.shape
+    n = int(indptr.shape[0]) - 1
+    if num_reps == 0 or m == 0:
+        return np.zeros((num_reps, m), dtype=bool)
+    if prefixes.min() < 0 or prefixes.max() >= n:
+        raise ValueError("prefix contains indices outside the graph")
+    # position of each selected node in its row's commit order; -1 = absent
+    pos = np.full((num_reps, n), -1, dtype=np.int64)
+    pos[np.arange(num_reps)[:, None], prefixes] = np.arange(m, dtype=np.int64)
+    if int(np.count_nonzero(pos >= 0)) != num_reps * m:
+        raise ValueError("duplicate node in commit order")
+
+    # Earlier-committed-neighbour edges, over all rows at once.  Slots are
+    # globally numbered ``rep * m + slot`` so one fixed point serves all.
+    starts = indptr[prefixes].ravel()
+    counts = (indptr[prefixes + 1] - indptr[prefixes]).ravel()
+    flat = _segment_ranges(starts, counts)
+    nbr = indices[flat]
+    owner = np.repeat(np.arange(num_reps * m, dtype=np.int64), counts)
+    owner_rep = owner // m
+    owner_slot = owner - owner_rep * m
+    nbr_pos = pos[owner_rep, nbr]
+    keep = (nbr_pos >= 0) & (nbr_pos < owner_slot)
+    own_global = owner[keep]
+    nbr_global = owner_rep[keep] * m + nbr_pos[keep]
+
+    total = num_reps * m
+    state = np.zeros(total, dtype=np.int8)  # 0 undecided, 1 committed, 2 aborted
+    order = np.argsort(own_global, kind="stable")
+    nbr_sorted = nbr_global[order]
+    seg_counts = np.bincount(own_global, minlength=total)
+    seg_ptr = np.concatenate(([0], np.cumsum(seg_counts)))
+
+    undecided = np.ones(total, dtype=bool)
+    no_earlier = seg_counts == 0
+    state[no_earlier] = 1
+    undecided[no_earlier] = False
+
+    while undecided.any():
+        nbr_state = state[nbr_sorted]
+        c_committed = _segment_sum((nbr_state == 1).astype(np.int64), seg_ptr)
+        c_undecided = _segment_sum((nbr_state == 0).astype(np.int64), seg_ptr)
+        newly_aborted = undecided & (c_committed > 0)
+        newly_committed = undecided & (c_committed == 0) & (c_undecided == 0)
+        if not (newly_aborted.any() or newly_committed.any()):
+            raise ValueError("commit fixed-point stalled (cycle of undecided nodes)")
+        state[newly_aborted] = 2
+        state[newly_committed] = 1
+        undecided &= ~(newly_aborted | newly_committed)
+    return (state == 1).reshape(num_reps, m)
+
+
+def greedy_commit_mask(
+    indptr: np.ndarray, indices: np.ndarray, prefix: np.ndarray
+) -> np.ndarray:
+    """Single-prefix form of :func:`greedy_commit_mask_batch`.
+
+    ``prefix`` is ``int64[m]`` node indices in commit order; returns
+    ``bool[m]`` with ``True`` where the slot commits.
+    """
+    prefix = np.ascontiguousarray(prefix, dtype=np.int64)
+    if prefix.ndim != 1:
+        raise ValueError(f"prefix must be 1-D, got shape {prefix.shape}")
+    return greedy_commit_mask_batch(indptr, indices, prefix[None, :])[0]
+
+
+#: below this many live pairs, array rounds cost more than a Python walk
+_SEQUENTIAL_TAIL = 512
+
+
+def _finish_sequentially(
+    state: np.ndarray, own: np.ndarray, nbr: np.ndarray
+) -> np.ndarray:
+    """Resolve the last few undecided slots with a direct greedy walk.
+
+    The fixed point's undecided set decays geometrically, so its final
+    rounds each pay full NumPy call overhead to decide a handful of
+    slots; once few pairs remain, one pass in slot order is cheaper.
+    Touches only the undecided subset — no O(m) list conversions.
+    """
+    live = np.zeros(state.shape[0], dtype=bool)
+    live[own] = True
+    state[(state == 0) & ~live] = 1  # no live conflicts left: commits
+    fate: dict[int, int] = {}
+    # walk pairs grouped by ascending owner, so every earlier slot's fate
+    # is settled before its own pairs are inspected; ``sb`` is the
+    # blocker's fate on tail entry — 0 means it is itself a (smaller)
+    # tail slot, already walked and recorded in ``fate``
+    for o, b, sb in sorted(zip(own.tolist(), nbr.tolist(), state[nbr].tolist())):
+        if fate.get(o) == 2:
+            continue
+        fate[o] = 2 if (sb == 1 or (sb == 0 and fate[b] == 1)) else 1
+    if fate:
+        state[np.fromiter(fate.keys(), np.int64, count=len(fate))] = np.fromiter(
+            fate.values(), state.dtype, count=len(fate)
+        )
+    return state == 1
+
+
+def greedy_commit_mask_from_slots(
+    own_slot: np.ndarray, nbr_slot: np.ndarray, m: int, *, checked: bool = True
+) -> np.ndarray:
+    """Greedy commit over pre-projected conflict pairs in slot space.
+
+    The engine's hot path: the caller has already mapped its batch onto
+    commit slots ``0..m-1`` and extracted the conflicting pairs, so this
+    kernel skips all graph indexing.  Each pair says slot ``own_slot[k]``
+    conflicts with the strictly earlier slot ``nbr_slot[k]``.
+
+    Instead of re-scanning every edge per round (as the batched kernel
+    must), the active pair list shrinks as fates settle: pairs whose
+    owner decided — or whose earlier slot aborted and so can never block
+    — are shed each round, giving geometrically decaying work per round.
+
+    Returns ``bool[m]`` — ``True`` where the slot commits, i.e. no
+    earlier slot it conflicts with committed.
+
+    ``checked=False`` skips input validation for callers whose pairs are
+    correct by construction (the engine projects them from a scatter of
+    unique batch slots, so ``0 <= nbr < own < m`` always holds there).
+    """
+    own = np.ascontiguousarray(own_slot, dtype=np.int64)
+    nbr = np.ascontiguousarray(nbr_slot, dtype=np.int64)
+    if checked:
+        if own.shape != nbr.shape or own.ndim != 1:
+            raise ValueError(
+                f"conflict pair arrays must be 1-D and equal length, "
+                f"got {own.shape} vs {nbr.shape}"
+            )
+        if m < 0:
+            raise ValueError(f"slot count must be >= 0, got {m}")
+        if own.size and m and (
+            own.min() < 0 or own.max() >= m or nbr.min() < 0 or (nbr >= own).any()
+        ):
+            raise ValueError("conflict pair outside 0 <= nbr < own < m")
+    if m == 0:
+        if own.size:
+            raise ValueError("conflict pairs given for an empty slot range")
+        return np.zeros(0, dtype=bool)
+
+    # int64 state keeps every gather/add below upcast-free
+    state = np.zeros(m, dtype=np.int64)  # 0 undecided, 1 committed, 2 aborted
+    # round 1, specialised: nothing is decided yet, so a slot commits iff
+    # it owns no pairs at all (every pair it owns is an undecided wait)
+    state[np.bincount(own, minlength=m) == 0] = 1
+    own2 = own * 2  # fused bincount codes: 2*own + state of the earlier slot
+    while own.size:
+        if own.size <= _SEQUENTIAL_TAIL:
+            return _finish_sequentially(state, own, nbr)
+        # one bincount counts waiting (code +0) and blocking (+1) pairs
+        # per owner at once; the shed below guarantees no live pair has an
+        # aborted earlier slot at round top, so states here are 0/1 only
+        counts = np.bincount(own2 + state[nbr], minlength=2 * m).reshape(m, 2)
+        has_waiting = counts[:, 0] > 0
+        has_blocked = counts[:, 1] > 0
+        undecided = state == 0
+        abort_now = undecided & has_blocked
+        commit_now = undecided & ~has_blocked & ~has_waiting
+        if not (abort_now.any() or commit_now.any()):
+            # unreachable for valid input (nbr < own forces progress)
+            raise ValueError("commit fixed-point stalled (cycle of undecided slots)")
+        state[abort_now] = 2
+        state[commit_now] = 1
+        # shed decided owners and never-blocking (aborted-earlier) pairs;
+        # pairs whose earlier slot committed stay one round to seal fates
+        alive = np.flatnonzero((state[own] == 0) & (state[nbr] != 2))
+        own = own[alive]
+        nbr = nbr[alive]
+        own2 = own2[alive]
+    state[state == 0] = 1  # every conflict decided non-committed
+    return state == 1
+
+
+def greedy_lock_mask(
+    item_ptr: np.ndarray, item_codes: np.ndarray, num_items: "int | None" = None
+) -> np.ndarray:
+    """Item-lock greedy resolution: commit iff no earlier committed toucher.
+
+    Parameters
+    ----------
+    item_ptr:
+        ``int64[T+1]`` CSR pointer: task ``t`` touches
+        ``item_codes[item_ptr[t]:item_ptr[t+1]]``.  Tasks are in commit
+        order; items within a task must be unique.
+    item_codes:
+        ``int64[nnz]`` dense item codes (``0..num_items-1``).
+    num_items:
+        Size of the item universe; inferred from ``item_codes`` if omitted.
+
+    Returns
+    -------
+    ``bool[T]`` — ``True`` where the task commits, i.e. none of its items
+    is touched by an earlier *committed* task (an earlier toucher that
+    itself aborted does not block).
+    """
+    item_ptr = np.ascontiguousarray(item_ptr, dtype=np.int64)
+    item_codes = np.ascontiguousarray(item_codes, dtype=np.int64)
+    num_tasks = int(item_ptr.shape[0]) - 1
+    if num_tasks < 0:
+        raise ValueError("item_ptr must have at least one entry")
+    if num_tasks == 0:
+        return np.zeros(0, dtype=bool)
+    if num_items is None:
+        num_items = int(item_codes.max()) + 1 if item_codes.shape[0] else 0
+    if item_codes.shape[0] and (item_codes.min() < 0 or item_codes.max() >= num_items):
+        raise ValueError("item code outside the item universe")
+
+    counts = np.diff(item_ptr)
+    owner = np.repeat(np.arange(num_tasks, dtype=np.int64), counts)
+    sentinel = num_tasks  # strictly beyond any commit slot
+
+    state = np.zeros(num_tasks, dtype=np.int8)  # 0 undecided, 1 committed, 2 aborted
+    undecided = np.ones(num_tasks, dtype=bool)
+    # itemless tasks conflict with nothing: they commit immediately
+    trivial = counts == 0
+    state[trivial] = 1
+    undecided[trivial] = False
+
+    while undecided.any():
+        committed_edge = state[owner] == 1
+        undecided_edge = undecided[owner]
+        # earliest committed / undecided toucher per item (sentinel = none)
+        min_committed = np.full(num_items, sentinel, dtype=np.int64)
+        np.minimum.at(min_committed, item_codes[committed_edge], owner[committed_edge])
+        min_undecided = np.full(num_items, sentinel, dtype=np.int64)
+        np.minimum.at(min_undecided, item_codes[undecided_edge], owner[undecided_edge])
+        # a task aborts if any item has an earlier committed toucher, and
+        # commits once additionally no earlier toucher is still undecided
+        blocked_edge = (min_committed[item_codes] < owner).astype(np.int64)
+        waiting_edge = (min_undecided[item_codes] < owner).astype(np.int64)
+        has_blocked = _segment_sum(blocked_edge, item_ptr) > 0
+        has_waiting = _segment_sum(waiting_edge, item_ptr) > 0
+        newly_aborted = undecided & has_blocked
+        newly_committed = undecided & ~has_blocked & ~has_waiting
+        if not (newly_aborted.any() or newly_committed.any()):
+            raise ValueError("lock fixed-point stalled (cycle of undecided tasks)")
+        state[newly_aborted] = 2
+        state[newly_committed] = 1
+        undecided &= ~(newly_aborted | newly_committed)
+    return state == 1

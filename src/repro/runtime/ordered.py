@@ -32,9 +32,11 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.errors import RuntimeEngineError, WorksetEmptyError
+from repro.runtime.engine import resolve_engine_mode
+from repro.runtime.kernels import greedy_lock_mask
 from repro.runtime.stats import RunResult, StepStats
 from repro.runtime.task import Operator, Task
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import substream
 
 if TYPE_CHECKING:  # avoid runtime<->control import cycle
     from repro.control.base import Controller
@@ -120,10 +122,20 @@ class OrderedBatchOutcome:
 class OrderedEngine:
     """Speculative engine for priority-ordered work.
 
-    Parameters mirror :class:`~repro.runtime.engine.OptimisticEngine`; the
-    operator's ``apply`` must return ``list[(priority, Task)]`` pairs via
-    the *priority_of* callable: new tasks are enqueued at
+    Parameters mirror :class:`~repro.runtime.engine.OptimisticEngine`
+    (including the ``engine="reference"|"fast"`` switch); the operator's
+    ``apply`` must return ``list[(priority, Task)]`` pairs via the
+    *priority_of* callable: new tasks are enqueued at
     ``priority_of(new_task)``.
+
+    **Per-step RNG substreams.**  Aborted tasks roll back into the
+    work-set and retry in later steps, so how much randomness one step's
+    operators consume depends on the whole retry history.  A single
+    shared stream would therefore make per-step draws irreproducible from
+    the recorded seed alone.  Instead :attr:`rng` is re-derived at the
+    top of every step as a pure function of ``(seed, step)`` — replaying
+    any step in isolation sees exactly the draws of the original run,
+    regardless of what earlier (re)executions consumed.
 
     Commit rule per step, with the batch sorted by priority:
 
@@ -151,6 +163,7 @@ class OrderedEngine:
         seed=None,
         recorder=None,
         metrics=None,
+        engine: "str | None" = None,
     ) -> None:
         from repro.obs.metrics import active_metrics
         from repro.obs.recorder import active_recorder, describe_seed
@@ -159,7 +172,19 @@ class OrderedEngine:
         self.operator = operator
         self.controller = controller
         self.priority_of = priority_of
-        self.rng: np.random.Generator = ensure_rng(seed)
+        self.engine_mode = resolve_engine_mode(engine)
+        # Seeds (ints / SeedSequence / None) get per-step substream
+        # derivation; a caller-owned Generator cannot be re-derived, so it
+        # is used as-is (draws then depend on prior consumption — pass a
+        # seed when step-level reproducibility matters).
+        if isinstance(seed, np.random.Generator):
+            self._seed = None
+            self.rng: np.random.Generator = seed
+        else:
+            self._seed = seed if seed is not None else int(
+                np.random.SeedSequence().generate_state(1)[0]
+            )
+            self.rng = substream(self._seed, "ordered-step", 0)
         self.result = RunResult()
         self.order_aborts_total = 0
         self.conflict_aborts_total = 0
@@ -184,24 +209,45 @@ class OrderedEngine:
             )
 
     # ------------------------------------------------------------------
-    def _resolve(self, batch: list[tuple[float, Task]]) -> OrderedBatchOutcome:
+    def _conflict_phase(
+        self, batch: list[tuple[float, Task]]
+    ) -> tuple[list[tuple[float, Task]], list[tuple[float, Task]]]:
+        """Greedy item-lock partition of *batch* into (survivors, aborted)."""
+        if self.engine_mode == "fast":
+            codes: dict = {}
+            flat: list[int] = []
+            ptr = np.zeros(len(batch) + 1, dtype=np.int64)
+            for i, (_, task) in enumerate(batch):
+                for item in set(self.operator.neighborhood(task)):
+                    flat.append(codes.setdefault(item, len(codes)))
+                ptr[i + 1] = len(flat)
+            mask = greedy_lock_mask(
+                ptr, np.asarray(flat, dtype=np.int64), num_items=len(codes)
+            )
+            survivors = [entry for entry, ok in zip(batch, mask) if ok]
+            aborted = [entry for entry, ok in zip(batch, mask) if not ok]
+            return survivors, aborted
         held: set = set()
-        survivors: list[tuple[float, Task, set]] = []
-        conflict_aborted: list[tuple[float, Task]] = []
+        survivors = []
+        aborted = []
         for prio, task in batch:  # batch is already earliest-first
             items = set(self.operator.neighborhood(task))
             if held.isdisjoint(items):
                 held |= items
-                survivors.append((prio, task, items))
+                survivors.append((prio, task))
             else:
-                conflict_aborted.append((prio, task))
+                aborted.append((prio, task))
+        return survivors, aborted
+
+    def _resolve(self, batch: list[tuple[float, Task]]) -> OrderedBatchOutcome:
+        survivors, conflict_aborted = self._conflict_phase(batch)
         committed: list[tuple[float, Task]] = []
         order_aborted: list[tuple[float, Task]] = []
         # barrier: an aborted task re-executes later and creates work no
         # earlier than its own priority — nothing beyond it may commit now
         barrier = min((p for p, _ in conflict_aborted), default=float("inf"))
         horizon = barrier  # earliest possible future work
-        for prio, task, _items in survivors:
+        for prio, task in survivors:
             if prio > horizon:
                 order_aborted.append((prio, task))
                 continue
@@ -225,6 +271,10 @@ class OrderedEngine:
         before = len(self.workset)
         if before == 0:
             raise RuntimeEngineError("cannot step: work-set is empty")
+        if self._seed is not None:
+            # one substream per step: draws are a pure function of
+            # (seed, step), never of earlier steps' retry history
+            self.rng = substream(self._seed, "ordered-step", self._step)
         requested = int(self.controller.propose())
         if requested < 1:
             raise RuntimeEngineError(

@@ -81,6 +81,7 @@ class GraphWorkloadBase:
         cost_model=None,
         recorder=None,
         metrics=None,
+        engine: "str | None" = None,
     ) -> OptimisticEngine:
         """Wire this workload and *controller* into an engine."""
         return OptimisticEngine(
@@ -93,6 +94,7 @@ class GraphWorkloadBase:
             cost_model=cost_model,
             recorder=recorder,
             metrics=metrics,
+            engine=engine,
         )
 
 

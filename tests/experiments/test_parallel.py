@@ -1,0 +1,131 @@
+"""Tests for repro.experiments.parallel — sweep runner, seeds, cache."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.parallel import (
+    RunConfig,
+    SweepOutcome,
+    config_key,
+    run_sweep,
+)
+from repro.utils.rng import derive_seed
+
+
+class TestRunConfig:
+    def test_explicit_seed_passes_through(self):
+        assert RunConfig("fig1", seed=123).resolved_seed(base_seed=0) == 123
+
+    def test_derived_seed_matches_derive_seed(self):
+        cfg = RunConfig("fig2")
+        assert cfg.resolved_seed(7) == derive_seed(7, "sweep", "fig2")
+
+    def test_derived_seed_is_stable_and_name_keyed(self):
+        a = RunConfig("fig2").resolved_seed(0)
+        assert a == RunConfig("fig2").resolved_seed(0)
+        assert a != RunConfig("fig3").resolved_seed(0)
+        assert a != RunConfig("fig2").resolved_seed(1)
+
+
+class TestConfigKey:
+    def test_stable(self):
+        cfg = RunConfig("fig1", quick=True)
+        assert config_key(cfg, 5) == config_key(cfg, 5)
+
+    def test_sensitive_to_every_field(self):
+        base = config_key(RunConfig("fig1", quick=True), 5)
+        assert config_key(RunConfig("fig1", quick=True), 6) != base
+        assert config_key(RunConfig("fig1", quick=False), 5) != base
+        assert config_key(RunConfig("fig2", quick=True), 5) != base
+
+    def test_is_hex_sha256(self):
+        key = config_key(RunConfig("fig1"), 0)
+        assert len(key) == 64
+        int(key, 16)  # raises if not hex
+
+
+class TestRunSweep:
+    CFG = RunConfig("fig1", seed=3, quick=True)
+
+    def test_jobs_below_one_raises(self):
+        with pytest.raises(ExperimentError):
+            run_sweep([self.CFG], jobs=0)
+
+    def test_inline_run_and_outcome_fields(self):
+        (out,) = run_sweep([self.CFG], jobs=1)
+        assert isinstance(out, SweepOutcome)
+        assert out.config == self.CFG
+        assert out.seed == 3
+        assert out.cached is False
+        assert out.key == config_key(self.CFG, 3)
+        assert out.result.name
+
+    def test_bare_names_are_normalised(self):
+        (out,) = run_sweep(["fig1"], jobs=1, base_seed=9)
+        assert out.config == RunConfig("fig1")
+        assert out.seed == derive_seed(9, "sweep", "fig1")
+
+    def test_cache_roundtrip(self, tmp_path):
+        (first,) = run_sweep([self.CFG], jobs=1, cache_dir=tmp_path)
+        assert first.cached is False
+        assert (tmp_path / f"{first.key}.json").exists()
+        (second,) = run_sweep([self.CFG], jobs=1, cache_dir=tmp_path)
+        assert second.cached is True
+        assert second.result.to_dict() == first.result.to_dict()
+
+    def test_corrupt_cache_entry_is_recomputed(self, tmp_path):
+        (first,) = run_sweep([self.CFG], jobs=1, cache_dir=tmp_path)
+        path = tmp_path / f"{first.key}.json"
+        path.write_text("{not json", encoding="utf-8")
+        (again,) = run_sweep([self.CFG], jobs=1, cache_dir=tmp_path)
+        assert again.cached is False  # corrupt entry treated as a miss...
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["key"] == first.key  # ...and rewritten intact
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        (first,) = run_sweep([self.CFG], jobs=1, cache_dir=tmp_path)
+        path = tmp_path / f"{first.key}.json"
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["key"] = "0" * 64
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        (again,) = run_sweep([self.CFG], jobs=1, cache_dir=tmp_path)
+        assert again.cached is False
+
+    def test_on_result_fires_for_fresh_and_cached(self, tmp_path):
+        seen: list[bool] = []
+        run_sweep(
+            [self.CFG], jobs=1, cache_dir=tmp_path,
+            on_result=lambda out: seen.append(out.cached),
+        )
+        run_sweep(
+            [self.CFG], jobs=1, cache_dir=tmp_path,
+            on_result=lambda out: seen.append(out.cached),
+        )
+        assert seen == [False, True]
+
+    def test_parallel_matches_serial_and_preserves_order(self, tmp_path):
+        configs = [
+            RunConfig("fig1", seed=3, quick=True),
+            RunConfig("fig1", seed=4, quick=True),
+        ]
+        serial = run_sweep(configs, jobs=1)
+        parallel = run_sweep(configs, jobs=2)
+        assert [o.config for o in parallel] == configs
+        for a, b in zip(serial, parallel):
+            assert a.seed == b.seed
+            assert a.key == b.key
+            assert a.result.to_dict() == b.result.to_dict()
+
+    def test_cache_hits_skip_the_pool(self, tmp_path, monkeypatch):
+        run_sweep([self.CFG], jobs=1, cache_dir=tmp_path)
+
+        import repro.experiments.parallel as par
+
+        def boom(payload):
+            raise AssertionError("worker ran despite a warm cache")
+
+        monkeypatch.setattr(par, "_execute", boom)
+        (out,) = run_sweep([self.CFG], jobs=1, cache_dir=tmp_path)
+        assert out.cached is True

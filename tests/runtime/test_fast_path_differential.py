@@ -1,0 +1,167 @@
+"""Differential suite: the fast engine path must equal the reference path.
+
+The correctness contract of the vectorised kernels
+(:mod:`repro.runtime.kernels`) is *bit-identity*: for any seeded workload
+and any controller, ``engine="fast"`` must produce exactly the commits,
+aborts, step stats, and observability trace of ``engine="reference"``.
+These tests enforce that contract across:
+
+* workload shapes — stationary gnm replay, draining gnm, draining clique
+  unions, and morphing (regenerating) graphs;
+* every controller in :mod:`repro.control` with a standard constructor;
+* both conflict policies (explicit CC graph and item locks) and the
+  ordered engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control import (
+    AIMDController,
+    AStealController,
+    BisectionController,
+    FixedController,
+    HybridController,
+    NoiseAdaptiveHybridController,
+    OracleController,
+    PIController,
+    ProbingHybridController,
+    RecurrenceAController,
+    RecurrenceBController,
+)
+from repro.errors import RuntimeEngineError
+from repro.graph.generators import gnm_random, union_of_cliques
+from repro.obs import TraceRecorder
+from repro.runtime.conflict import ItemLockPolicy
+from repro.runtime.engine import OptimisticEngine, resolve_engine_mode
+from repro.runtime.task import Operator, Task
+from repro.runtime.workloads import (
+    ConsumingGraphWorkload,
+    RegeneratingGraphWorkload,
+    ReplayGraphWorkload,
+)
+from repro.runtime.workset import RandomWorkset
+
+N = 120
+SEED = 2011
+MAX_STEPS = 35
+
+WORKLOADS = {
+    "gnm_replay": lambda: ReplayGraphWorkload(gnm_random(N, 8, seed=SEED)),
+    "gnm_consuming": lambda: ConsumingGraphWorkload(gnm_random(N, 8, seed=SEED)),
+    "clique_consuming": lambda: ConsumingGraphWorkload(union_of_cliques(20, 6)),
+    "morphing": lambda: RegeneratingGraphWorkload(
+        gnm_random(N, 6, seed=SEED), target_degree=6, seed=7
+    ),
+}
+
+CONTROLLERS = {
+    "fixed": lambda: FixedController(12),
+    "hybrid": lambda: HybridController(0.25, m_max=64),
+    "aimd": lambda: AIMDController(0.25, m_max=64),
+    "asteal": lambda: AStealController(0.25, m_max=64),
+    "bisection": lambda: BisectionController(0.25, m_max=64),
+    "pi": lambda: PIController(0.25, m_max=64),
+    "recurrence_a": lambda: RecurrenceAController(0.25, m_max=64),
+    "recurrence_b": lambda: RecurrenceBController(0.25, m_max=64),
+    "adaptive": lambda: NoiseAdaptiveHybridController(0.25, m_max=64),
+    "probing": lambda: ProbingHybridController(0.25, n=N),
+    "oracle": lambda: OracleController(10, m_max=64),
+}
+
+
+def _run(workload_key: str, controller_key: str, mode: str):
+    """One seeded run; returns (jsonl trace, step-stat dicts)."""
+    recorder = TraceRecorder()
+    workload = WORKLOADS[workload_key]()
+    controller = CONTROLLERS[controller_key]()
+    engine = workload.build_engine(
+        controller, seed=SEED, recorder=recorder, engine=mode
+    )
+    engine.run(max_steps=MAX_STEPS)
+    return recorder.to_jsonl(), [s.as_dict() for s in engine.result.steps]
+
+
+class TestUnorderedDifferential:
+    @pytest.mark.parametrize("workload_key", sorted(WORKLOADS))
+    @pytest.mark.parametrize("controller_key", sorted(CONTROLLERS))
+    def test_fast_equals_reference(self, workload_key, controller_key):
+        ref_trace, ref_steps = _run(workload_key, controller_key, "reference")
+        fast_trace, fast_steps = _run(workload_key, controller_key, "fast")
+        assert fast_steps == ref_steps
+        assert fast_trace == ref_trace  # byte-identical obs traces
+
+    def test_reference_run_not_degenerate(self):
+        # the suite only means something if conflicts actually happen
+        _, steps = _run("gnm_consuming", "fixed", "reference")
+        assert sum(s["aborted"] for s in steps) > 0
+        assert sum(s["committed"] for s in steps) > 0
+
+
+class TestItemLockDifferential:
+    class _ItemOperator(Operator):
+        """Tasks lock overlapping item windows: payload i locks {i..i+3}."""
+
+        def neighborhood(self, task):
+            return [task.payload + k for k in range(4)]
+
+        def apply(self, task):
+            return []
+
+    def _run(self, mode: str):
+        workset = RandomWorkset()
+        for i in range(80):
+            workset.add(Task(payload=3 * i))  # windows overlap neighbours
+        engine = OptimisticEngine(
+            workset=workset,
+            operator=self._ItemOperator(),
+            policy=ItemLockPolicy(),
+            controller=FixedController(16),
+            seed=5,
+            engine=mode,
+        )
+        engine.run(max_steps=25)
+        return [s.as_dict() for s in engine.result.steps]
+
+    def test_fast_equals_reference(self):
+        assert self._run("fast") == self._run("reference")
+
+
+class TestOrderedDifferential:
+    @pytest.mark.parametrize("controller_key", ["fixed", "hybrid", "aimd"])
+    def test_fast_equals_reference(self, controller_key):
+        from repro.apps.des import DiscreteEventSimulation, QueueingNetwork
+
+        network = QueueingNetwork(15, avg_degree=3.0, seed=3)
+
+        def run(mode):
+            sim = DiscreteEventSimulation(network, num_jobs=25, end_time=12.0, seed=5)
+            engine = sim.build_engine(
+                CONTROLLERS[controller_key](), seed=9, engine=mode
+            )
+            result = engine.run(max_steps=10**5)
+            return sim.history, [s.as_dict() for s in result.steps]
+
+        ref_history, ref_steps = run("reference")
+        fast_history, fast_steps = run("fast")
+        assert fast_steps == ref_steps
+        assert fast_history == ref_history
+
+
+class TestEngineModeSelection:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(RuntimeEngineError):
+            resolve_engine_mode("turbo")
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert resolve_engine_mode(None) == "reference"
+        monkeypatch.setenv("REPRO_ENGINE", "fast")
+        assert resolve_engine_mode(None) == "fast"
+        assert resolve_engine_mode("reference") == "reference"  # explicit wins
+
+    def test_engine_records_mode(self):
+        workload = ReplayGraphWorkload(gnm_random(20, 2, seed=0))
+        engine = workload.build_engine(FixedController(4), seed=0, engine="fast")
+        assert engine.engine_mode == "fast"
