@@ -21,6 +21,9 @@ __all__ = [
     "ApplicationError",
     "GeometryError",
     "ExperimentError",
+    "SweepAbortedError",
+    "FaultInjectionError",
+    "InjectedFault",
     "ObservabilityError",
     "ReplayMismatchError",
 ]
@@ -91,6 +94,18 @@ class GeometryError(ApplicationError):
 
 class ExperimentError(ReproError):
     """An experiment was invoked with invalid parameters."""
+
+
+class SweepAbortedError(ExperimentError):
+    """A sweep config exhausted its retry budget with quarantine disabled."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection plan was malformed or misused."""
+
+
+class InjectedFault(ReproError):
+    """The deliberate failure raised by a ``raise``-kind injected fault."""
 
 
 class ObservabilityError(ReproError):

@@ -6,5 +6,6 @@ See DESIGN.md §4 for the experiment index.  Run them via::
 """
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.parallel import RunConfig, SweepOutcome, SweepPolicy, run_sweep
 
-__all__ = ["ExperimentResult"]
+__all__ = ["ExperimentResult", "RunConfig", "SweepOutcome", "SweepPolicy", "run_sweep"]

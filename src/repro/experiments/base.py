@@ -111,6 +111,18 @@ class ExperimentResult:
             raise ExperimentError(f"malformed ExperimentResult payload: {exc}") from exc
         return result
 
+    def canonical_json(self) -> str:
+        """Canonical serialisation: sorted keys, no whitespace variance.
+
+        Two results serialise identically iff :meth:`to_dict` agrees —
+        the byte-level equality the fault-tolerance suite uses to prove
+        that an interrupted-and-resumed sweep reproduces an
+        uninterrupted one exactly.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), default=float
+        )
+
     def save_json(self, path: "str | Path") -> None:
         """Write :meth:`to_dict` as pretty-printed JSON."""
         Path(path).write_text(

@@ -1,0 +1,150 @@
+"""Crash-safe sweep journal: append-only JSONL checkpoint of a sweep.
+
+The content-addressed result cache answers "what did this config
+produce?"; the journal answers "what happened to this sweep?" — which
+configs completed, how often each one failed (and how: error, crash,
+timeout), and which were quarantined as poison.  Together they make a
+sweep resumable: after the driver or a worker dies mid-run,
+``run_sweep(..., resume=True)`` replays the journal, reloads completed
+configs from the cache, carries each survivor's failure count forward
+(so retry budgets and fault-plan attempt indices continue rather than
+restart), and skips quarantined configs outright.
+
+The file format is one JSON object per line, appended with flush +
+fsync per record so a SIGKILL loses at most the line being written;
+the loader tolerates a torn trailing line.  Records:
+
+``{"event": "sweep_start", "configs": N, "base_seed": S}``
+``{"event": "failed", "key": K, "experiment": E, "attempt": A,
+   "kind": "error"|"crash"|"timeout", "error": MSG}``
+``{"event": "completed", "key": K, "experiment": E, "seed": S,
+   "attempt": A}``
+``{"event": "quarantined", "key": K, "experiment": E, "failures": F,
+   "error": MSG}``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ExperimentError
+
+__all__ = ["JournalState", "SweepJournal", "DEFAULT_JOURNAL_NAME"]
+
+#: journal filename used when only a cache directory is given
+DEFAULT_JOURNAL_NAME = "sweep-journal.jsonl"
+
+
+@dataclass
+class JournalState:
+    """Aggregated per-config history replayed from a journal file."""
+
+    #: config key -> its ``completed`` record
+    completed: dict = field(default_factory=dict)
+    #: config key -> its ``quarantined`` record
+    quarantined: dict = field(default_factory=dict)
+    #: config key -> cumulative failed attempts
+    failures: dict = field(default_factory=dict)
+    #: config key -> cumulative timed-out attempts
+    timeouts: dict = field(default_factory=dict)
+    #: lines skipped because they were torn or malformed
+    skipped_lines: int = 0
+
+    def apply(self, record: dict) -> None:
+        event = record.get("event")
+        key = record.get("key")
+        if event == "completed" and key:
+            self.completed[key] = record
+        elif event == "quarantined" and key:
+            self.quarantined[key] = record
+        elif event == "failed" and key:
+            self.failures[key] = self.failures.get(key, 0) + 1
+            if record.get("kind") == "timeout":
+                self.timeouts[key] = self.timeouts.get(key, 0) + 1
+
+
+def load_journal(path: "str | Path") -> JournalState:
+    """Replay a journal file into a :class:`JournalState`.
+
+    Torn or malformed lines (a crash mid-append) are counted and
+    skipped, never fatal — a journal must always be loadable after the
+    exact failures it exists to survive.
+    """
+    state = JournalState()
+    p = Path(path)
+    if not p.exists():
+        return state
+    for line in p.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            state.skipped_lines += 1
+            continue
+        if isinstance(record, dict):
+            state.apply(record)
+        else:
+            state.skipped_lines += 1
+    return state
+
+
+class SweepJournal:
+    """Append-only writer over a journal file, with replayed state.
+
+    ``resume=True`` loads the existing file (if any) and appends;
+    ``resume=False`` truncates and starts a fresh sweep history.  The
+    in-memory :attr:`state` is kept in sync with every appended record,
+    so the sweep driver reads budgets and attempt indices from one
+    place whether they came from this run or a previous one.
+    """
+
+    def __init__(self, path: "str | Path", resume: bool = False):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.state = load_journal(self.path) if resume else JournalState()
+        try:
+            self._fh = open(self.path, "a" if resume else "w", encoding="utf-8")
+        except OSError as exc:
+            raise ExperimentError(f"cannot open sweep journal {self.path}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    def record(self, event: str, **fields) -> dict:
+        """Append one record durably (flush + fsync) and fold it into state."""
+        entry = {"event": event, **fields}
+        self._fh.write(json.dumps(entry, sort_keys=True, default=float) + "\n")
+        self._fh.flush()
+        try:
+            os.fsync(self._fh.fileno())
+        except OSError:  # pragma: no cover - exotic filesystems
+            pass
+        self.state.apply(entry)
+        return entry
+
+    # convenience accessors -------------------------------------------
+    def prior_failures(self, key: str) -> int:
+        return self.state.failures.get(key, 0)
+
+    def prior_timeouts(self, key: str) -> int:
+        return self.state.timeouts.get(key, 0)
+
+    def is_completed(self, key: str) -> bool:
+        return key in self.state.completed
+
+    def is_quarantined(self, key: str) -> bool:
+        return key in self.state.quarantined
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,44 +1,98 @@
-"""Parallel experiment sweeps: process pool + deterministic seeds + disk cache.
+"""Fault-tolerant parallel experiment sweeps.
 
 The experiments are embarrassingly parallel — each run is a pure function
-of ``(experiment name, seed, quick)`` — yet the CLI historically executed
-them one after another.  This module turns a list of run configs into a
-:class:`concurrent.futures.ProcessPoolExecutor` sweep with two
-reproducibility guarantees:
+of ``(experiment name, seed, quick)`` — and this module turns a list of
+run configs into a supervised multi-process sweep with four guarantees:
 
 * **Deterministic seeds.**  A config without an explicit seed gets one
   derived via :func:`repro.utils.rng.derive_seed` from the sweep's base
   seed and the config's identity — a pure function of the config, never
   of worker scheduling, completion order, or how many runs came before.
+  Retry back-off jitter is derived the same way, so even the *failure
+  schedule* is reproducible.
 * **Content-addressed caching.**  Every completed run is stored under
   ``<cache_dir>/<sha256(config)>.json``; the key hashes the canonical
   JSON of the config plus the package version and cache schema, so a
   re-sweep only recomputes configs whose inputs actually changed.
-  Cached results reload as full :class:`ExperimentResult` objects.
+  Corrupted or truncated entries (torn writes, disk faults) are
+  detected, counted in the ``sweep.cache.corrupt`` metric, and
+  recomputed — never raised to the caller.
+* **Fault tolerance.**  A :class:`SweepPolicy` adds per-attempt
+  timeouts, bounded retry with exponential back-off + deterministic
+  jitter, and poison-config quarantine after a failure budget is spent.
+  Attempts run in disposable worker processes (one per attempt) so a
+  hung worker can be killed on timeout and a crashed worker
+  (``os._exit``, ``SIGKILL``, OOM) surfaces as a retryable failure
+  instead of a lost sweep.  Exception/crash retries reuse the config's
+  seed (results stay reproducible); timeout retries derive a *distinct*
+  seed via ``derive_seed(seed, "retry", k)`` to escape seed-dependent
+  pathological instances.
+* **Crash-safe resume.**  With a journal
+  (:mod:`repro.experiments.journal`), every completion, failure and
+  quarantine is fsynced before the sweep proceeds; ``resume=True``
+  carries completed work, failure counts and quarantine decisions
+  across driver crashes, so an interrupted sweep finishes with results
+  identical to an uninterrupted one.
+
+Failures are observable, not silent: counters flow through the active
+:mod:`repro.obs` metrics registry under ``sweep.*`` and lifecycle events
+(``sweep_task_retry``, ``sweep_task_quarantined``, …) through the active
+trace recorder, from which :func:`sweep_failure_history` reconstructs
+the whole failure story of a recorded sweep.
+
+Deliberate failures for tests and drills come from
+:class:`repro.testing.FaultPlan` (CLI: ``--inject-faults``).
 
 Used by ``python -m repro.experiments --jobs N --cache-dir DIR`` and
 importable directly::
 
-    from repro.experiments.parallel import RunConfig, run_sweep
-    outcomes = run_sweep(["fig2", "fig3"], jobs=4, cache_dir="~/.repro-cache")
+    from repro.experiments.parallel import RunConfig, SweepPolicy, run_sweep
+    outcomes = run_sweep(["fig2", "fig3"], jobs=4, cache_dir="~/.repro-cache",
+                         policy=SweepPolicy(timeout=300, max_retries=2,
+                                            quarantine=True))
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from concurrent.futures import ProcessPoolExecutor
+import multiprocessing
+import time
 from dataclasses import dataclass
+from multiprocessing.connection import wait as _wait_connections
 from pathlib import Path
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, SweepAbortedError
 from repro.experiments.base import ExperimentResult
-from repro.utils.rng import derive_seed
+from repro.experiments.journal import DEFAULT_JOURNAL_NAME, SweepJournal
+from repro.obs.events import (
+    SWEEP_END,
+    SWEEP_START,
+    SWEEP_TASK_COMPLETE,
+    SWEEP_TASK_FAILED,
+    SWEEP_TASK_QUARANTINED,
+    SWEEP_TASK_RETRY,
+    SWEEP_TASK_START,
+)
+from repro.obs.metrics import MetricsRegistry, active_metrics
+from repro.obs.recorder import active_recorder
+from repro.utils.rng import derive_jitter, derive_seed
 
-__all__ = ["RunConfig", "SweepOutcome", "config_key", "run_sweep"]
+__all__ = [
+    "RunConfig",
+    "SweepPolicy",
+    "SweepOutcome",
+    "config_key",
+    "run_sweep",
+    "sweep_failure_history",
+]
 
 #: bump when the cache payload layout changes; invalidates old entries
 CACHE_SCHEMA = 1
+
+#: outcome statuses
+OK = "ok"
+QUARANTINED = "quarantined"
 
 
 @dataclass(frozen=True)
@@ -62,14 +116,99 @@ class RunConfig:
 
 
 @dataclass(frozen=True)
+class SweepPolicy:
+    """Fault-tolerance knobs for one sweep invocation.
+
+    The default policy is *strict* and matches the historical harness:
+    no timeout, no retries, the first failure aborts the sweep.  Turn on
+    ``quarantine`` to trade abort-on-failure for report-and-continue.
+
+    ``timeout``
+        Per-attempt wall-clock budget in seconds (``None`` disables).
+        Requires process isolation; a timed-out worker is killed.
+    ``max_retries``
+        Extra attempts per config *per sweep invocation* after the
+        first.
+    ``backoff_base`` / ``backoff_cap`` / ``backoff_jitter``
+        Retry ``k`` waits ``min(cap, base·2^(k−1))·(1 + jitter·u)``
+        seconds, with ``u`` drawn deterministically from
+        ``derive_jitter(seed, "backoff", k)`` — resumed sweeps back off
+        on the same schedule.
+    ``quarantine``
+        When ``True``, a config that spends its failure budget becomes a
+        reported ``quarantined`` outcome and the sweep continues; when
+        ``False`` the sweep aborts with :class:`SweepAbortedError`.
+    ``quarantine_after``
+        Cumulative-failure budget per config (journaled failures from
+        interrupted runs count).  Defaults to ``max_retries + 1``.
+    ``isolate``
+        Force one-process-per-attempt execution even when nothing else
+        requires it (timeouts and process-level fault plans force it
+        automatically).
+    """
+
+    timeout: "float | None" = None
+    max_retries: int = 0
+    backoff_base: float = 0.1
+    backoff_cap: float = 5.0
+    backoff_jitter: float = 0.5
+    quarantine: bool = False
+    quarantine_after: "int | None" = None
+    isolate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ExperimentError(f"timeout must be > 0 seconds, got {self.timeout}")
+        if self.max_retries < 0:
+            raise ExperimentError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_cap < 0 or self.backoff_jitter < 0:
+            raise ExperimentError("backoff parameters must be >= 0")
+        if self.quarantine_after is not None and self.quarantine_after < 1:
+            raise ExperimentError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}"
+            )
+
+    @property
+    def failure_budget(self) -> int:
+        """Cumulative failures a config may accrue before quarantine."""
+        if self.quarantine_after is not None:
+            return self.quarantine_after
+        return self.max_retries + 1
+
+    def backoff_delay(self, seed: int, retry_number: int) -> float:
+        """Deterministic delay before retry ``retry_number`` (1-based)."""
+        if retry_number < 1:
+            return 0.0
+        base = min(self.backoff_cap, self.backoff_base * (2.0 ** (retry_number - 1)))
+        return base * (1.0 + self.backoff_jitter * derive_jitter(seed, "backoff", retry_number))
+
+
+@dataclass(frozen=True)
 class SweepOutcome:
-    """One finished run: its config, effective seed, result, provenance."""
+    """One finished config: result or quarantine report, plus provenance.
+
+    ``status`` is ``"ok"`` (``result`` is set) or ``"quarantined"``
+    (``result`` is ``None`` and ``error`` holds the last failure).
+    ``seed`` is the *effective* seed of the successful attempt — it
+    differs from ``config.resolved_seed`` only when a timeout retry
+    reseeded the run.  ``attempts`` counts attempts made by this
+    invocation (0 for cache hits and journal-carried quarantines);
+    ``failures`` is the cumulative count including journaled history.
+    """
 
     config: RunConfig
     seed: int
-    result: ExperimentResult
+    result: "ExperimentResult | None"
     cached: bool
     key: str
+    status: str = OK
+    attempts: int = 1
+    failures: int = 0
+    error: "str | None" = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
 
 
 def _package_version() -> str:
@@ -107,22 +246,28 @@ def _cache_path(cache_dir: Path, key: str) -> Path:
     return cache_dir / f"{key}.json"
 
 
-def _cache_load(cache_dir: Path, key: str) -> "ExperimentResult | None":
+def _cache_load(cache_dir: Path, key: str) -> "tuple[ExperimentResult | None, bool]":
+    """Load a cache entry: ``(result_or_None, entry_was_corrupt)``.
+
+    Any failure mode of a stored entry — unreadable file, torn/truncated
+    JSON, a stale key, or a payload :meth:`ExperimentResult.from_dict`
+    rejects — is a *corrupt* miss: the caller recomputes and rewrites.
+    """
     path = _cache_path(cache_dir, key)
     if not path.exists():
-        return None
+        return None, False
     try:
         payload = json.loads(path.read_text(encoding="utf-8"))
         if payload.get("key") != key:
-            return None
-        return ExperimentResult.from_dict(payload["result"])
-    except (OSError, ValueError, KeyError):
-        return None  # corrupt entries are treated as misses and rewritten
+            return None, True
+        return ExperimentResult.from_dict(payload["result"]), False
+    except (OSError, ValueError, KeyError, ExperimentError):
+        return None, True
 
 
 def _cache_store(
     cache_dir: Path, key: str, config: RunConfig, seed: int, result: ExperimentResult
-) -> None:
+) -> Path:
     payload = {
         "key": key,
         "config": {
@@ -132,19 +277,304 @@ def _cache_store(
         },
         "result": result.to_dict(),
     }
-    tmp = _cache_path(cache_dir, key).with_suffix(".tmp")
+    path = _cache_path(cache_dir, key)
+    tmp = path.with_suffix(".tmp")
     tmp.write_text(
         json.dumps(payload, sort_keys=True, default=float), encoding="utf-8"
     )
-    tmp.replace(_cache_path(cache_dir, key))  # atomic publish
+    tmp.replace(path)  # atomic publish
+    return path
 
 
 def _execute(payload: tuple) -> dict:
-    """Worker entry point (top-level, hence picklable): run one config."""
+    """Inline attempt executor (top-level, hence monkeypatchable): run one config."""
     name, seed, quick = payload
     from repro.experiments.runner import run_experiment
 
     return run_experiment(name, seed=seed, quick=quick).to_dict()
+
+
+def _worker_main(conn, payload: dict) -> None:
+    """Isolated worker entry point: fire injected faults, run, report.
+
+    Reports ``{"ok": True, "result": ...}`` or ``{"ok": False,
+    "error": ...}`` over the pipe; a worker that dies without reporting
+    (``os._exit``, SIGKILL, OOM) is detected parent-side as EOF.
+    """
+    try:
+        faults = payload.get("faults")
+        if faults is not None:
+            from repro.testing.faults import FaultPlan
+
+            FaultPlan.from_dict(faults).fire(payload["experiment"], payload["attempt"])
+        result = _execute((payload["experiment"], payload["seed"], payload["quick"]))
+        conn.send({"ok": True, "result": result})
+    except BaseException as exc:  # noqa: BLE001 - workers must never re-raise
+        try:
+            conn.send({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class _WorkerTask:
+    """One isolated attempt: a child process plus its result pipe."""
+
+    def __init__(self, item: "_WorkItem", payload: dict, timeout: "float | None", ctx):
+        self.item = item
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        self.conn = recv_conn
+        self.proc = ctx.Process(target=_worker_main, args=(send_conn, payload), daemon=True)
+        self.started = time.monotonic()
+        self.proc.start()
+        send_conn.close()  # parent keeps only the read end, so EOF == dead worker
+        self.deadline = None if timeout is None else self.started + timeout
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+    def terminate(self) -> None:
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(1.0)
+            if self.proc.is_alive():  # pragma: no cover - stubborn worker
+                self.proc.kill()
+                self.proc.join(1.0)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def harvest(self) -> "tuple[str, object]":
+        """Collect the attempt's verdict: (status, result_dict|message)."""
+        try:
+            message = self.conn.recv()
+        except (EOFError, OSError):
+            self.proc.join(5.0)
+            code = self.proc.exitcode
+            self.conn.close()
+            return "crash", f"worker died before reporting a result (exit code {code})"
+        self.proc.join(5.0)
+        self.conn.close()
+        if message.get("ok"):
+            return "ok", message["result"]
+        return "error", str(message.get("error", "unknown worker error"))
+
+
+@dataclass
+class _WorkItem:
+    """One scheduled attempt of one config."""
+
+    index: int  # position in the sweep's config list
+    attempt: int  # cumulative failure count when this attempt launches
+    seed: int  # effective seed for this attempt
+    not_before: float = 0.0  # monotonic launch gate (back-off)
+
+
+class _Sweep:
+    """Mutable state and event plumbing for one ``run_sweep`` invocation."""
+
+    def __init__(self, configs, seeds, keys, policy, cache, journal, faults, on_result):
+        self.configs = configs
+        self.seeds = seeds
+        self.keys = keys
+        self.policy = policy
+        self.cache = cache
+        self.journal = journal
+        self.faults = faults
+        self.on_result = on_result
+        self.outcomes: "list[SweepOutcome | None]" = [None] * len(configs)
+        self.attempts_made = [0] * len(configs)
+        self.failures = [0] * len(configs)
+        self.timeouts = [0] * len(configs)
+        if journal is not None:
+            for i, key in enumerate(keys):
+                self.failures[i] = journal.prior_failures(key)
+                self.timeouts[i] = journal.prior_timeouts(key)
+        registry = active_metrics()
+        if registry is None:  # not `or`: an *empty* registry is falsy
+            registry = MetricsRegistry()
+        self.metrics = registry.scope("sweep")
+        self.recorder = active_recorder()
+        self._event_step = 0
+
+    # -- observability -------------------------------------------------
+    def emit(self, kind: str, **data) -> None:
+        if self.recorder is not None:
+            self.recorder.emit(kind, self._event_step, **data)
+        self._event_step += 1
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.metrics.counter(name).inc(n)
+
+    # -- seeds ---------------------------------------------------------
+    def attempt_seed(self, index: int) -> int:
+        """Effective seed for the config's next attempt.
+
+        Exception/crash retries keep the config's own seed (results stay
+        a pure function of the config); once an attempt has *timed out*,
+        later attempts derive a distinct seed keyed by the timeout count
+        to steer around seed-dependent pathological instances.
+        """
+        seed0 = self.seeds[index]
+        if self.timeouts[index] == 0:
+            return seed0
+        return derive_seed(seed0, "retry", self.timeouts[index])
+
+    # -- terminal transitions ------------------------------------------
+    def finish(self, index: int, result_dict: dict, seed: int, cached: bool) -> None:
+        result = ExperimentResult.from_dict(result_dict)
+        cfg, key = self.configs[index], self.keys[index]
+        if self.cache is not None and not cached:
+            path = _cache_store(self.cache, key, cfg, seed, result)
+            if self.faults is not None and self.faults.corrupts_cache(
+                cfg.experiment, self.failures[index]
+            ):
+                self.faults.corrupt_cache_entry(path)
+        if self.journal is not None and not self.journal.is_completed(key):
+            self.journal.record(
+                "completed",
+                key=key,
+                experiment=cfg.experiment,
+                seed=int(seed),
+                attempt=self.failures[index],
+            )
+        self.outcomes[index] = SweepOutcome(
+            cfg,
+            int(seed),
+            result,
+            cached=cached,
+            key=key,
+            status=OK,
+            attempts=self.attempts_made[index],
+            failures=self.failures[index],
+        )
+        self.count("completed")
+        self.emit(
+            SWEEP_TASK_COMPLETE,
+            experiment=cfg.experiment,
+            seed=int(seed),
+            attempt=self.failures[index],
+            cached=bool(cached),
+        )
+        if self.on_result is not None:
+            self.on_result(self.outcomes[index])
+
+    def quarantine(self, index: int, error: str, journal_it: bool = True) -> None:
+        cfg, key = self.configs[index], self.keys[index]
+        if journal_it and self.journal is not None:
+            self.journal.record(
+                "quarantined",
+                key=key,
+                experiment=cfg.experiment,
+                failures=self.failures[index],
+                error=error,
+            )
+        self.outcomes[index] = SweepOutcome(
+            cfg,
+            self.seeds[index],
+            None,
+            cached=False,
+            key=key,
+            status=QUARANTINED,
+            attempts=self.attempts_made[index],
+            failures=self.failures[index],
+            error=error,
+        )
+        self.count("quarantined")
+        self.emit(
+            SWEEP_TASK_QUARANTINED,
+            experiment=cfg.experiment,
+            failures=self.failures[index],
+            error=error,
+        )
+        if self.on_result is not None:
+            self.on_result(self.outcomes[index])
+
+    # -- failure bookkeeping -------------------------------------------
+    def register_failure(self, item: _WorkItem, kind: str, error: str) -> "_WorkItem | None":
+        """Record one failed attempt; return the retry item or ``None``.
+
+        ``None`` means the config is terminal for this invocation: it
+        was quarantined (policy.quarantine) or the sweep must abort
+        (strict policy — the caller raises after cleanup).
+        """
+        index = item.index
+        cfg, key = self.configs[index], self.keys[index]
+        self.failures[index] += 1
+        if kind == "timeout":
+            self.timeouts[index] += 1
+            self.count("timeouts")
+        elif kind == "crash":
+            self.count("crashes")
+        self.count("failures")
+        if self.journal is not None:
+            self.journal.record(
+                "failed",
+                key=key,
+                experiment=cfg.experiment,
+                attempt=item.attempt,
+                kind=kind,
+                error=error,
+            )
+        self.emit(
+            SWEEP_TASK_FAILED,
+            experiment=cfg.experiment,
+            attempt=item.attempt,
+            failure=kind,
+            error=error,
+        )
+        may_retry = (
+            self.attempts_made[index] <= self.policy.max_retries
+            and self.failures[index] < self.policy.failure_budget
+        )
+        if may_retry:
+            delay = self.policy.backoff_delay(
+                self.seeds[index], self.attempts_made[index]
+            )
+            retry = _WorkItem(
+                index=index,
+                attempt=self.failures[index],
+                seed=self.attempt_seed(index),
+                not_before=time.monotonic() + delay,
+            )
+            self.count("retries")
+            self.emit(
+                SWEEP_TASK_RETRY,
+                experiment=cfg.experiment,
+                failure=kind,
+                failures=self.failures[index],
+                next_attempt=retry.attempt,
+                next_seed=int(retry.seed),
+                delay=float(delay),
+            )
+            return retry
+        if self.policy.quarantine:
+            self.quarantine(index, error)
+        return None
+
+
+def _resolve_journal(journal, resume: bool, cache: "Path | None") -> "SweepJournal | None":
+    if isinstance(journal, SweepJournal):
+        return journal
+    if journal is None and resume:
+        if cache is None:
+            raise ExperimentError(
+                "resume=True needs a journal path or a cache_dir to find one in"
+            )
+        journal = cache / DEFAULT_JOURNAL_NAME
+    if journal is None:
+        return None
+    return SweepJournal(journal, resume=resume)
 
 
 def run_sweep(
@@ -154,8 +584,12 @@ def run_sweep(
     cache_dir: "str | Path | None" = None,
     base_seed: int = 0,
     on_result=None,
+    policy: "SweepPolicy | None" = None,
+    journal=None,
+    resume: bool = False,
+    faults=None,
 ) -> list[SweepOutcome]:
-    """Run many experiment configs, in parallel, with caching.
+    """Run many experiment configs, in parallel, with caching and retries.
 
     Parameters
     ----------
@@ -163,22 +597,42 @@ def run_sweep(
         Iterable of :class:`RunConfig` or bare experiment names (bare
         names get derived seeds and ``quick=False``).
     jobs:
-        Worker processes; ``1`` executes inline (no pool spin-up).
+        Maximum concurrent worker processes; ``1`` executes inline when
+        the policy permits (no timeout, no process-level faults).
     cache_dir:
         Directory for the content-hash cache; ``None`` disables caching.
     base_seed:
         Entropy root for configs without an explicit seed.
     on_result:
-        Optional callback ``on_result(outcome)`` invoked as each run
-        finishes (cached hits fire immediately).
+        Optional callback ``on_result(outcome)`` invoked as each config
+        reaches a terminal state (cached hits fire immediately).
+    policy:
+        :class:`SweepPolicy`; the default is strict (no retries, abort
+        on first failure) for backward compatibility.
+    journal:
+        Journal file path or :class:`SweepJournal` recording every
+        completion/failure/quarantine durably; defaults to
+        ``<cache_dir>/sweep-journal.jsonl`` when ``resume=True``.
+    resume:
+        Continue an interrupted sweep: journaled completions reload from
+        the cache, failure counts carry forward into retry budgets and
+        fault-plan attempt indices, quarantined configs stay quarantined.
+    faults:
+        Optional :class:`repro.testing.FaultPlan` of injected failures.
 
     Returns
     -------
     Outcomes in the same order as *configs*, regardless of completion
-    order — parallelism never reorders the report.
+    order — parallelism never reorders the report.  With
+    ``policy.quarantine`` enabled, failed configs come back as
+    ``status="quarantined"`` outcomes instead of aborting the sweep.
     """
     if jobs < 1:
         raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    policy = policy or SweepPolicy()
+    if faults is not None and not faults:
+        faults = None
+
     normal: list[RunConfig] = [
         cfg if isinstance(cfg, RunConfig) else RunConfig(str(cfg)) for cfg in configs
     ]
@@ -190,32 +644,202 @@ def run_sweep(
         cache = Path(cache_dir).expanduser()
         cache.mkdir(parents=True, exist_ok=True)
 
-    outcomes: list["SweepOutcome | None"] = [None] * len(normal)
-    pending: list[int] = []
-    for i, (cfg, seed, key) in enumerate(zip(normal, seeds, keys)):
-        hit = _cache_load(cache, key) if cache is not None else None
-        if hit is not None:
-            outcomes[i] = SweepOutcome(cfg, seed, hit, cached=True, key=key)
-            if on_result is not None:
-                on_result(outcomes[i])
-        else:
-            pending.append(i)
+    owns_journal = not isinstance(journal, SweepJournal)
+    journal_obj = _resolve_journal(journal, resume, cache)
 
-    def finish(i: int, result_dict: dict) -> None:
-        result = ExperimentResult.from_dict(result_dict)
-        if cache is not None:
-            _cache_store(cache, keys[i], normal[i], seeds[i], result)
-        outcomes[i] = SweepOutcome(normal[i], seeds[i], result, cached=False, key=keys[i])
-        if on_result is not None:
-            on_result(outcomes[i])
+    isolate = (
+        policy.isolate
+        or policy.timeout is not None
+        or (faults is not None and faults.needs_isolation)
+    )
 
-    if pending:
-        payloads = [(normal[i].experiment, seeds[i], normal[i].quick) for i in pending]
-        if jobs == 1 or len(pending) == 1:
-            for i, payload in zip(pending, payloads):
-                finish(i, _execute(payload))
-        else:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-                for i, result_dict in zip(pending, pool.map(_execute, payloads)):
-                    finish(i, result_dict)
-    return [out for out in outcomes if out is not None]
+    sweep = _Sweep(normal, seeds, keys, policy, cache, journal_obj, faults, on_result)
+    sweep.emit(SWEEP_START, configs=len(normal), jobs=int(jobs), resumed=bool(resume))
+    try:
+        pending: list[_WorkItem] = []
+        for i, key in enumerate(keys):
+            sweep.count("tasks")
+            if journal_obj is not None and journal_obj.is_quarantined(key):
+                entry = journal_obj.state.quarantined[key]
+                sweep.quarantine(
+                    i, str(entry.get("error", "quarantined in a previous run")),
+                    journal_it=False,
+                )
+                continue
+            hit, corrupt = (None, False) if cache is None else _cache_load(cache, key)
+            if corrupt:
+                sweep.count("cache.corrupt")
+            if hit is not None:
+                sweep.count("cache.hits")
+                sweep.finish(i, hit.to_dict(), seeds[i], cached=True)
+                continue
+            if cache is not None:
+                sweep.count("cache.misses")
+            pending.append(
+                _WorkItem(index=i, attempt=sweep.failures[i], seed=sweep.attempt_seed(i))
+            )
+
+        if pending:
+            if isolate:
+                _run_isolated(sweep, pending, jobs, faults)
+            else:
+                _run_inline(sweep, pending)
+        sweep.emit(
+            SWEEP_END,
+            completed=sum(1 for o in sweep.outcomes if o is not None and o.ok),
+            quarantined=sum(
+                1 for o in sweep.outcomes if o is not None and not o.ok
+            ),
+            failures=sum(sweep.failures),
+        )
+    finally:
+        if journal_obj is not None and owns_journal:
+            journal_obj.close()
+    return [out for out in sweep.outcomes if out is not None]
+
+
+def _launch_event(sweep: _Sweep, item: _WorkItem) -> None:
+    sweep.attempts_made[item.index] += 1
+    sweep.count("attempts")
+    sweep.emit(
+        SWEEP_TASK_START,
+        experiment=sweep.configs[item.index].experiment,
+        seed=int(item.seed),
+        attempt=item.attempt,
+    )
+
+
+def _run_inline(sweep: _Sweep, pending: "list[_WorkItem]") -> None:
+    """Sequential in-process execution (no timeout support by design)."""
+    queue = list(pending)
+    while queue:
+        item = queue.pop(0)
+        delay = item.not_before - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        _launch_event(sweep, item)
+        cfg = sweep.configs[item.index]
+        started = time.monotonic()
+        try:
+            if sweep.faults is not None:
+                sweep.faults.fire(cfg.experiment, item.attempt)
+            result_dict = _execute((cfg.experiment, item.seed, cfg.quick))
+        except Exception as exc:
+            sweep.metrics.histogram("attempt_seconds").observe(
+                time.monotonic() - started
+            )
+            retry = sweep.register_failure(
+                item, "error", f"{type(exc).__name__}: {exc}"
+            )
+            if retry is not None:
+                queue.insert(0, retry)  # inline is sequential: retry immediately
+            elif not sweep.policy.quarantine:
+                raise  # strict policy: surface the original exception
+            continue
+        sweep.metrics.histogram("attempt_seconds").observe(time.monotonic() - started)
+        sweep.finish(item.index, result_dict, item.seed, cached=False)
+
+
+def _run_isolated(sweep: _Sweep, pending: "list[_WorkItem]", jobs: int, faults) -> None:
+    """Supervised one-process-per-attempt execution with kill-on-timeout."""
+    ctx = _mp_context()
+    todo: list[_WorkItem] = list(pending)
+    running: list[_WorkerTask] = []
+    fault_payload = None if faults is None else faults.to_dict()
+
+    def launch(item: _WorkItem) -> None:
+        cfg = sweep.configs[item.index]
+        _launch_event(sweep, item)
+        payload = {
+            "experiment": cfg.experiment,
+            "seed": int(item.seed),
+            "quick": bool(cfg.quick),
+            "attempt": int(item.attempt),
+            "faults": fault_payload,
+        }
+        running.append(_WorkerTask(item, payload, sweep.policy.timeout, ctx))
+
+    def abort(message: str) -> None:
+        while running:
+            running.pop().terminate()
+        raise SweepAbortedError(message)
+
+    try:
+        while todo or running:
+            now = time.monotonic()
+            ready_items = sorted(
+                (it for it in todo if it.not_before <= now),
+                key=lambda it: it.not_before,
+            )
+            for item in ready_items[: max(0, jobs - len(running))]:
+                todo.remove(item)
+                launch(item)
+            if not running:
+                # every queued item is backing off; sleep to the earliest gate
+                time.sleep(max(0.0, min(it.not_before for it in todo) - now))
+                continue
+
+            horizon = [t.deadline for t in running if t.deadline is not None]
+            horizon.extend(it.not_before for it in todo)
+            wait_for = None
+            if horizon:
+                wait_for = max(0.0, min(horizon) - time.monotonic())
+            ready_conns = set(_wait_connections([t.conn for t in running], wait_for))
+
+            now = time.monotonic()
+            for task in list(running):
+                if task.conn in ready_conns:
+                    status, payload = task.harvest()
+                elif task.expired(now):
+                    task.terminate()
+                    status, payload = (
+                        "timeout",
+                        f"attempt timed out after {sweep.policy.timeout}s",
+                    )
+                else:
+                    continue
+                running.remove(task)
+                sweep.metrics.histogram("attempt_seconds").observe(
+                    time.monotonic() - task.started
+                )
+                if status == "ok":
+                    sweep.finish(task.item.index, payload, task.item.seed, cached=False)
+                    continue
+                retry = sweep.register_failure(task.item, status, str(payload))
+                if retry is not None:
+                    todo.append(retry)
+                elif not sweep.policy.quarantine:
+                    abort(
+                        f"sweep aborted: {sweep.configs[task.item.index].experiment} "
+                        f"failed {sweep.failures[task.item.index]} time(s): {payload}"
+                    )
+    except BaseException:
+        for task in running:
+            task.terminate()
+        raise
+
+
+def sweep_failure_history(events) -> dict:
+    """Reconstruct a sweep's per-experiment lifecycle from trace events.
+
+    Returns ``{experiment: [(kind, data), ...]}`` in emission order, the
+    replayable failure history wired through the trace recorder: every
+    attempt, failure, retry, quarantine and completion.  Non-sweep
+    events (engine-level records interleaved in the same trace) are
+    ignored, so the function works on mixed traces and on filtered
+    golden fixtures alike.
+    """
+    per_task_kinds = {
+        SWEEP_TASK_START,
+        SWEEP_TASK_FAILED,
+        SWEEP_TASK_RETRY,
+        SWEEP_TASK_QUARANTINED,
+        SWEEP_TASK_COMPLETE,
+    }
+    history: dict = {}
+    for event in events:
+        if event.kind in per_task_kinds:
+            history.setdefault(event.data["experiment"], []).append(
+                (event.kind, dict(event.data))
+            )
+    return history

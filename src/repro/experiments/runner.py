@@ -10,9 +10,27 @@ Observability options (see :mod:`repro.obs`):
   the experiment performs, then reload it and *verify deterministic
   replay*: each recorded controller is rebuilt from its traced
   configuration and must reproduce the recorded ``m_t`` trajectory
-  exactly (exit code 1 otherwise).
+  exactly (exit code 1 otherwise).  In sweep mode the trace additionally
+  carries the sweep's lifecycle events (attempts, retries, quarantines);
+  engine events from worker *processes* cannot cross the process
+  boundary and are not recorded.
 * ``--metrics`` — collect the runtime metrics registry during the run and
-  print it after the reports.
+  print it after the reports (sweep mode reports the ``sweep.*``
+  failure/retry/cache counters).
+
+Sweep/fault-tolerance options (see :mod:`repro.experiments.parallel`):
+
+* ``--jobs N`` / ``--cache-dir DIR`` — process-pool fan-out and the
+  content-addressed result cache.
+* ``--timeout SECS`` / ``--retries N`` / ``--quarantine-after N`` —
+  per-attempt timeout, bounded retry with deterministic back-off, and
+  the poison-config failure budget.  Quarantined configs are reported on
+  stderr and flip the exit code to 1; they never silently disappear.
+* ``--resume`` — continue an interrupted sweep from the journal next to
+  the cache (``sweep-journal.jsonl``): completed configs reload from the
+  cache, failure counts carry forward, quarantined configs stay out.
+* ``--inject-faults SPEC`` — deliberately break the sweep for drills and
+  tests via :class:`repro.testing.FaultPlan` (e.g. ``exit:fig3:0``).
 """
 
 from __future__ import annotations
@@ -182,6 +200,45 @@ def main(argv: "list[str] | None" = None) -> int:
         help="content-hash disk cache for completed run configs; re-runs "
         "with identical (experiment, seed, quick, version) reload instantly",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="per-attempt wall-clock budget; a hung worker is killed and "
+        "retried with a distinct derived seed (enables sweep mode)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="extra attempts per config after a failure, with exponential "
+        "back-off and deterministic jitter (sweep mode; default 2)",
+    )
+    parser.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cumulative failures before a config is quarantined as poison "
+        "(default: retries + 1)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted sweep from the journal in --cache-dir; "
+        "completed configs reload from the cache, failure counts carry over",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="deliberately inject failures (fault drill): "
+        "'kind[:experiment[:attempts]]' specs joined by ';', kinds "
+        "raise/hang/exit/kill/corrupt-cache, e.g. 'exit:fig3:0;raise:*:0,1' "
+        "(enables sweep mode)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -206,26 +263,29 @@ def main(argv: "list[str] | None" = None) -> int:
             if result.series:
                 result.to_svg(out_dir / f"{name}.svg")
 
-    if args.jobs > 1 or args.cache_dir is not None:
-        # sweep mode: process-pool execution + content-hash cache; the
-        # process-global trace/metrics hooks cannot span workers
-        if args.trace is not None or args.metrics:
-            parser.error("--trace/--metrics are incompatible with --jobs/--cache-dir")
-        from repro.experiments.parallel import RunConfig, run_sweep
+    sweep_mode = (
+        args.jobs > 1
+        or args.cache_dir is not None
+        or args.resume
+        or args.inject_faults is not None
+        or args.timeout is not None
+    )
+    if args.resume and args.cache_dir is None:
+        parser.error("--resume requires --cache-dir (the journal lives beside the cache)")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
 
-        configs = [RunConfig(n, seed=args.seed, quick=args.quick) for n in names]
-        outcomes = run_sweep(
-            configs, jobs=args.jobs, cache_dir=args.cache_dir, base_seed=args.seed
-        )
-        for outcome in outcomes:
-            emit(outcome.config.experiment, outcome.result)
-            status = "cache hit" if outcome.cached else "computed"
-            print(
-                f"[sweep] {outcome.config.experiment}: {status} "
-                f"(seed={outcome.seed}, key={outcome.key[:12]})",
-                file=sys.stderr,
-            )
-        return 0
+    faults = None
+    if args.inject_faults is not None:
+        from repro.errors import FaultInjectionError
+        from repro.testing import FaultPlan
+
+        try:
+            faults = FaultPlan.parse(args.inject_faults)
+        except FaultInjectionError as exc:
+            parser.error(str(exc))
+
+    exit_code = 0
 
     def execute() -> None:
         for name in names:
@@ -235,21 +295,76 @@ def main(argv: "list[str] | None" = None) -> int:
                 parser.error(str(exc))
             emit(name, result)
 
+    def execute_sweep() -> None:
+        # sweep mode: supervised worker processes + content-hash cache +
+        # journaled fault tolerance.  Failed-then-quarantined configs are
+        # reported on stderr and flip the exit code — never dropped.
+        nonlocal exit_code
+        from pathlib import Path
+
+        from repro.experiments.journal import DEFAULT_JOURNAL_NAME
+        from repro.experiments.parallel import RunConfig, SweepPolicy, run_sweep
+
+        policy = SweepPolicy(
+            timeout=args.timeout,
+            max_retries=args.retries,
+            quarantine=True,
+            quarantine_after=args.quarantine_after,
+        )
+        journal = None
+        if args.cache_dir is not None:
+            journal = Path(args.cache_dir).expanduser() / DEFAULT_JOURNAL_NAME
+        configs = [RunConfig(n, seed=args.seed, quick=args.quick) for n in names]
+        outcomes = run_sweep(
+            configs,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            base_seed=args.seed,
+            policy=policy,
+            journal=journal,
+            resume=args.resume,
+            faults=faults,
+        )
+        for outcome in outcomes:
+            name = outcome.config.experiment
+            if outcome.ok:
+                emit(name, outcome.result)
+                status = "cache hit" if outcome.cached else "computed"
+                retries = (
+                    f", {outcome.failures} failure(s) retried"
+                    if outcome.failures
+                    else ""
+                )
+                print(
+                    f"[sweep] {name}: {status} "
+                    f"(seed={outcome.seed}, key={outcome.key[:12]}{retries})",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"[sweep] {name}: QUARANTINED after {outcome.failures} "
+                    f"failure(s): {outcome.error}",
+                    file=sys.stderr,
+                )
+                exit_code = 1
+
+    body = execute_sweep if sweep_mode else execute
+
     registry = None
     if args.trace is not None or args.metrics:
         from repro.obs import collecting_metrics, recording
 
         if args.metrics and args.trace is not None:
             with collecting_metrics() as registry, recording(args.trace):
-                execute()
+                body()
         elif args.trace is not None:
             with recording(args.trace):
-                execute()
+                body()
         else:
             with collecting_metrics() as registry:
-                execute()
+                body()
     else:
-        execute()
+        body()
     if registry is not None:
         print(registry.render())
     if args.trace is not None:
@@ -267,7 +382,7 @@ def main(argv: "list[str] | None" = None) -> int:
             f"trace: {args.trace}: {len(events)} events, {len(reports)} runs, "
             f"{total_steps} steps — deterministic replay OK"
         )
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -24,6 +24,14 @@ from repro.obs.events import (
     RUN_START,
     SELECT,
     STEP,
+    SWEEP_END,
+    SWEEP_KINDS,
+    SWEEP_START,
+    SWEEP_TASK_COMPLETE,
+    SWEEP_TASK_FAILED,
+    SWEEP_TASK_QUARANTINED,
+    SWEEP_TASK_RETRY,
+    SWEEP_TASK_START,
     TraceEvent,
     event_from_json,
     event_to_json,
@@ -68,6 +76,14 @@ __all__ = [
     "DECISION",
     "CLAMP",
     "RUN_END",
+    "SWEEP_START",
+    "SWEEP_END",
+    "SWEEP_TASK_START",
+    "SWEEP_TASK_FAILED",
+    "SWEEP_TASK_RETRY",
+    "SWEEP_TASK_QUARANTINED",
+    "SWEEP_TASK_COMPLETE",
+    "SWEEP_KINDS",
     "event_to_json",
     "event_from_json",
     "TraceRecorder",

@@ -1,0 +1,229 @@
+"""Fault-injection tests for the sweep harness.
+
+Exercises :mod:`repro.experiments.parallel` against the deliberate
+failures of :class:`repro.testing.FaultPlan`: worker crashes, hung
+workers killed on timeout, poison-config quarantine, corrupted cache
+entries, and — the headline guarantee — a sweep killed mid-run that
+resumes to results byte-identical to an uninterrupted one.
+
+Seeds derive from the ``REPRO_TEST_SEED`` environment variable (default
+0) so CI's flaky-hunter job can re-run this suite under several seeds.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ExperimentError, SweepAbortedError
+from repro.experiments.journal import DEFAULT_JOURNAL_NAME, load_journal
+from repro.experiments.parallel import RunConfig, SweepPolicy, run_sweep
+from repro.obs import collecting_metrics
+from repro.testing import FaultPlan, FaultSpec
+from repro.utils.rng import derive_seed
+
+BASE_SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+
+
+def seed_for(name: str) -> int:
+    return derive_seed(BASE_SEED, "fault-test", name)
+
+
+# ----------------------------------------------------------------------
+# crash / hang / quarantine
+# ----------------------------------------------------------------------
+def test_worker_crash_is_retried_and_recovers():
+    # the worker dies via os._exit before reporting; the supervisor must
+    # see EOF, classify it as a crash, and retry with the SAME seed
+    seed = seed_for("crash")
+    plan = FaultPlan((FaultSpec("exit", experiment="fig1", attempts=(0,)),))
+    policy = SweepPolicy(max_retries=1, backoff_base=0.0)
+    with collecting_metrics() as registry:
+        (out,) = run_sweep(
+            [RunConfig("fig1", seed=seed, quick=True)], policy=policy, faults=plan
+        )
+    assert out.ok
+    assert out.seed == seed  # crash retries keep the config's seed
+    assert out.attempts == 2
+    assert out.failures == 1
+    assert registry.counter("sweep.crashes").value == 1
+    assert registry.counter("sweep.retries").value == 1
+
+
+def test_hung_worker_is_killed_on_timeout_and_reseeded():
+    seed = seed_for("hang")
+    plan = FaultPlan(
+        (FaultSpec("hang", experiment="fig1", attempts=(0,), seconds=30.0),)
+    )
+    policy = SweepPolicy(timeout=1.0, max_retries=1, backoff_base=0.0)
+    with collecting_metrics() as registry:
+        (out,) = run_sweep(
+            [RunConfig("fig1", seed=seed, quick=True)], policy=policy, faults=plan
+        )
+    assert out.ok
+    # timeout retries derive a distinct seed to escape seed-dependent hangs
+    assert out.seed == derive_seed(seed, "retry", 1)
+    assert registry.counter("sweep.timeouts").value == 1
+    assert registry.counter("sweep.failures").value == 1
+
+
+def test_quarantined_config_is_reported_not_dropped():
+    seed = seed_for("quarantine")
+    plan = FaultPlan((FaultSpec("raise", experiment="fig1", attempts=None),))
+    policy = SweepPolicy(max_retries=1, quarantine=True, backoff_base=0.0)
+    seen = []
+    outcomes = run_sweep(
+        [
+            RunConfig("fig1", seed=seed, quick=True),
+            RunConfig("ordered", seed=seed, quick=True),
+        ],
+        policy=policy,
+        faults=plan,
+        on_result=seen.append,
+    )
+    assert len(outcomes) == 2  # the poison config still appears in the report
+    poison, healthy = outcomes
+    assert poison.status == "quarantined"
+    assert poison.result is None
+    assert poison.failures == 2  # initial attempt + one retry
+    assert "InjectedFault" in poison.error
+    assert healthy.ok and healthy.config.experiment == "ordered"
+    assert {o.config.experiment for o in seen} == {"fig1", "ordered"}
+
+
+def test_parallel_isolated_sweep_survives_crashes():
+    seed = seed_for("parallel")
+    plan = FaultPlan((FaultSpec("exit", experiment="fig1", attempts=(0,)),))
+    policy = SweepPolicy(max_retries=1, quarantine=True, backoff_base=0.0)
+    outcomes = run_sweep(
+        [
+            RunConfig("fig1", seed=seed, quick=True),
+            RunConfig("ordered", seed=seed, quick=True),
+        ],
+        jobs=2,
+        policy=policy,
+        faults=plan,
+    )
+    assert [o.ok for o in outcomes] == [True, True]
+    assert outcomes[0].failures == 1  # order preserved despite parallelism
+
+
+def test_strict_policy_aborts_on_worker_crash():
+    plan = FaultPlan((FaultSpec("exit", experiment="fig1", attempts=None),))
+    with pytest.raises(SweepAbortedError, match="fig1"):
+        run_sweep(
+            [RunConfig("fig1", seed=1, quick=True)],
+            policy=SweepPolicy(isolate=True),
+            faults=plan,
+        )
+
+
+# ----------------------------------------------------------------------
+# crash-safe resume (the acceptance criterion)
+# ----------------------------------------------------------------------
+def test_kill_mid_sweep_then_resume_is_byte_identical(tmp_path):
+    configs = [
+        RunConfig("fig1", seed=5, quick=True),
+        RunConfig("ordered", seed=7, quick=True),
+    ]
+    cache = tmp_path / "cache"
+    journal = cache / DEFAULT_JOURNAL_NAME
+    plan = FaultPlan((FaultSpec("kill", experiment="ordered", attempts=(0,)),))
+
+    # SIGKILL on the second config under the strict policy kills the sweep
+    with pytest.raises(SweepAbortedError, match="ordered"):
+        run_sweep(configs, cache_dir=cache, journal=journal, faults=plan)
+
+    # fig1's completion and ordered's crash were journaled before the abort
+    state = load_journal(journal)
+    assert len(state.completed) == 1
+    assert sum(state.failures.values()) == 1
+
+    # resume under the SAME fault plan: the crash was journaled, so the
+    # cumulative attempt index is now 1 and the attempt-0 kill stays cold
+    resumed = run_sweep(
+        configs, cache_dir=cache, journal=journal, resume=True, faults=plan
+    )
+    first, second = resumed
+    assert first.ok and first.cached and first.attempts == 0  # no recompute
+    assert second.ok and not second.cached
+    assert second.seed == 7  # crash recovery keeps the config seed
+
+    # byte-identical to a sweep that was never interrupted
+    baseline = run_sweep(configs, cache_dir=tmp_path / "fresh")
+    for got, want in zip(resumed, baseline):
+        assert got.result.canonical_json() == want.result.canonical_json()
+
+
+def test_resume_keeps_journaled_quarantine(tmp_path):
+    cache = tmp_path / "cache"
+    journal = cache / DEFAULT_JOURNAL_NAME
+    config = RunConfig("fig1", seed=3, quick=True)
+    plan = FaultPlan((FaultSpec("raise", experiment="fig1", attempts=None),))
+    policy = SweepPolicy(max_retries=1, quarantine=True, backoff_base=0.0)
+
+    (first,) = run_sweep(
+        [config], cache_dir=cache, journal=journal, policy=policy, faults=plan
+    )
+    assert first.status == "quarantined"
+
+    # resumed WITHOUT the fault plan: the quarantine decision still holds
+    (second,) = run_sweep(
+        [config], cache_dir=cache, journal=journal, resume=True, policy=policy
+    )
+    assert second.status == "quarantined"
+    assert second.attempts == 0  # no fresh attempts were burned on poison
+    assert "InjectedFault" in second.error
+
+
+def test_resume_without_journal_or_cache_is_an_error():
+    with pytest.raises(ExperimentError, match="resume"):
+        run_sweep([RunConfig("fig1", seed=1, quick=True)], resume=True)
+
+
+# ----------------------------------------------------------------------
+# corrupted cache entries
+# ----------------------------------------------------------------------
+def test_corrupt_cache_entry_is_detected_and_recomputed(tmp_path):
+    cache = tmp_path / "cache"
+    config = RunConfig("fig1", seed=4, quick=True)
+    plan = FaultPlan((FaultSpec("corrupt-cache", experiment="fig1"),))
+
+    (first,) = run_sweep([config], cache_dir=cache, faults=plan)
+    assert first.ok  # the entry was truncated after a successful store
+
+    with collecting_metrics() as registry:
+        (second,) = run_sweep([config], cache_dir=cache)
+    assert second.ok and not second.cached  # recomputed, not raised
+    assert registry.counter("sweep.cache.corrupt").value == 1
+
+    (third,) = run_sweep([config], cache_dir=cache)
+    assert third.cached  # the recompute healed the entry
+    assert third.result.canonical_json() == second.result.canonical_json()
+
+
+# ----------------------------------------------------------------------
+# policy mechanics
+# ----------------------------------------------------------------------
+def test_backoff_delay_is_deterministic_and_bounded():
+    policy = SweepPolicy(backoff_base=0.5, backoff_cap=2.0, backoff_jitter=0.5)
+    d1 = policy.backoff_delay(42, 1)
+    assert d1 == policy.backoff_delay(42, 1)  # pure function of (seed, k)
+    assert 0.5 <= d1 <= 0.5 * 1.5
+    d5 = policy.backoff_delay(42, 5)
+    assert 2.0 <= d5 <= 2.0 * 1.5  # capped despite 0.5 * 2^4 = 8
+    assert policy.backoff_delay(42, 0) == 0.0
+    assert policy.backoff_delay(43, 1) != d1  # jitter is keyed by seed
+
+
+def test_policy_validation():
+    with pytest.raises(ExperimentError):
+        SweepPolicy(timeout=0)
+    with pytest.raises(ExperimentError):
+        SweepPolicy(max_retries=-1)
+    with pytest.raises(ExperimentError):
+        SweepPolicy(quarantine_after=0)
+    with pytest.raises(ExperimentError):
+        SweepPolicy(backoff_base=-0.1)
+    assert SweepPolicy(max_retries=2).failure_budget == 3
+    assert SweepPolicy(max_retries=2, quarantine_after=7).failure_budget == 7

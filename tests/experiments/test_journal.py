@@ -1,0 +1,91 @@
+"""Tests for repro.experiments.journal — durable sweep checkpointing."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.journal import JournalState, SweepJournal, load_journal
+
+
+class TestLoadJournal:
+    def test_missing_file_is_empty_state(self, tmp_path):
+        state = load_journal(tmp_path / "nope.jsonl")
+        assert state.completed == {} and state.failures == {}
+        assert state.skipped_lines == 0
+
+    def test_replays_failures_completions_and_quarantines(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        records = [
+            {"event": "failed", "key": "a", "experiment": "x", "attempt": 0,
+             "kind": "timeout", "error": "t"},
+            {"event": "failed", "key": "a", "experiment": "x", "attempt": 1,
+             "kind": "crash", "error": "c"},
+            {"event": "completed", "key": "a", "experiment": "x", "seed": 3,
+             "attempt": 2},
+            {"event": "quarantined", "key": "b", "experiment": "y",
+             "failures": 3, "error": "boom"},
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        state = load_journal(path)
+        assert state.failures == {"a": 2}
+        assert state.timeouts == {"a": 1}
+        assert "a" in state.completed and state.completed["a"]["seed"] == 3
+        assert state.quarantined["b"]["failures"] == 3
+
+    def test_torn_trailing_line_is_skipped_not_fatal(self, tmp_path):
+        # the exact failure the journal exists to survive: SIGKILL mid-append
+        path = tmp_path / "j.jsonl"
+        good = json.dumps({"event": "failed", "key": "a", "kind": "error"})
+        path.write_text(good + "\n" + '{"event": "comple')
+        state = load_journal(path)
+        assert state.failures == {"a": 1}
+        assert state.skipped_lines == 1
+
+    def test_non_object_and_blank_lines(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('[1, 2]\n\n"str"\n')
+        state = load_journal(path)
+        assert state.skipped_lines == 2  # blank lines are not an anomaly
+
+    def test_unknown_events_and_keyless_records_are_ignored(self):
+        state = JournalState()
+        state.apply({"event": "sweep_start", "configs": 2})
+        state.apply({"event": "completed"})  # no key
+        assert state.completed == {} and state.failures == {}
+
+
+class TestSweepJournal:
+    def test_fresh_journal_truncates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"event": "failed", "key": "old", "kind": "error"}\n')
+        with SweepJournal(path, resume=False) as journal:
+            assert journal.prior_failures("old") == 0
+        assert path.read_text() == ""
+
+    def test_resume_appends_and_replays(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record("failed", key="k", experiment="x", attempt=0,
+                           kind="timeout", error="t")
+        with SweepJournal(path, resume=True) as journal:
+            assert journal.prior_failures("k") == 1
+            assert journal.prior_timeouts("k") == 1
+            journal.record("completed", key="k", experiment="x", seed=1, attempt=1)
+            assert journal.is_completed("k")
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_record_is_durable_line_by_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path)
+        journal.record("quarantined", key="q", experiment="x", failures=2,
+                       error="boom")
+        # readable by another process BEFORE close: flushed per record
+        state = load_journal(path)
+        assert "q" in state.quarantined
+        journal.close()
+        assert journal.is_quarantined("q")
+
+    def test_unopenable_path_raises_experiment_error(self, tmp_path):
+        with pytest.raises(ExperimentError, match="journal"):
+            SweepJournal(tmp_path)  # a directory, not a file

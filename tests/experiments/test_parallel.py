@@ -84,6 +84,32 @@ class TestRunSweep:
         payload = json.loads(path.read_text(encoding="utf-8"))
         assert payload["key"] == first.key  # ...and rewritten intact
 
+    def test_truncated_cache_entry_is_recomputed(self, tmp_path):
+        # torn write: valid JSON prefix cut mid-document
+        (first,) = run_sweep([self.CFG], jobs=1, cache_dir=tmp_path)
+        path = tmp_path / f"{first.key}.json"
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        (again,) = run_sweep([self.CFG], jobs=1, cache_dir=tmp_path)
+        assert again.cached is False
+        assert again.result.to_dict() == first.result.to_dict()
+
+    def test_malformed_result_payload_is_recomputed(self, tmp_path):
+        # valid JSON, right key, but a payload ExperimentResult.from_dict
+        # rejects — this used to raise out of the sweep instead of healing
+        (first,) = run_sweep([self.CFG], jobs=1, cache_dir=tmp_path)
+        path = tmp_path / f"{first.key}.json"
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["result"] = {"bogus": True}
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        (again,) = run_sweep([self.CFG], jobs=1, cache_dir=tmp_path)
+        assert again.cached is False
+        assert again.result.to_dict() == first.result.to_dict()
+
+    def test_strict_policy_propagates_original_exception(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_sweep([RunConfig("no-such-experiment", seed=1)], jobs=1)
+
     def test_key_mismatch_is_a_miss(self, tmp_path):
         (first,) = run_sweep([self.CFG], jobs=1, cache_dir=tmp_path)
         path = tmp_path / f"{first.key}.json"

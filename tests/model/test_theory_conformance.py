@@ -1,0 +1,174 @@
+"""Statistical theory-conformance suite (§2–§3 of the paper).
+
+Checks that the Monte-Carlo estimators agree with the paper's exact
+claims, each within the estimator's own confidence interval:
+
+* **Prop. 1** — the conflict ratio ``r̄(m)`` is non-decreasing in ``m``
+  (checked both on MC curves and by exact enumeration on tiny graphs).
+* **Prop. 2** — the initial slope is exactly ``Δr̄(1) = d/(2(n−1))``
+  for *any* graph; since ``r̄(1) = 0`` this pins ``r̄(2)``.
+* **Thm. 3** — no graph's measured ``r̄(m)`` exceeds the worst-case
+  closed form of the ``K_d^n`` family, and ``K_d^n`` itself attains it.
+* **Seating** — the Freedman–Shepp recurrences for paths/cycles match
+  the MC greedy-MIS expectation.
+
+Every check uses fixed seeds derived from one base constant, so the
+suite is deterministic: it either passes forever or a real semantic
+change broke an estimator.
+"""
+
+import pytest
+
+from repro.graph.generators import (
+    cycle_graph,
+    gnm_random,
+    kdn_worst_case,
+    path_graph,
+    random_regular,
+    union_of_cliques,
+)
+from repro.model.conflict_ratio import (
+    conflict_ratio_curve,
+    estimate_conflict_ratio,
+    estimate_em,
+    exact_conflict_ratio,
+)
+from repro.model.seating import (
+    cycle_expected_occupancy,
+    expected_mis,
+    path_expected_occupancy,
+    seating_density_limit,
+)
+from repro.model.turan import (
+    em_kdn,
+    initial_derivative,
+    worst_case_conflict_ratio,
+)
+from repro.utils.rng import derive_seed
+
+BASE = 20110613  # fixed — the suite must pass deterministically
+
+
+def seed(*key) -> int:
+    return derive_seed(BASE, "conformance", *key)
+
+
+# ----------------------------------------------------------------------
+# Proposition 1: r̄(m) is non-decreasing in m
+# ----------------------------------------------------------------------
+class TestProposition1:
+    def test_mc_curve_is_nondecreasing_within_ci(self):
+        graph = gnm_random(200, 8.0, seed=seed("prop1", "graph"))
+        curve = conflict_ratio_curve(
+            graph,
+            [1, 2, 5, 10, 20, 50, 100, 150, 200],
+            reps=400,
+            seed=seed("prop1", "mc"),
+        )
+        ratios, halves = curve.ratios, curve.half_widths
+        assert ratios[0] == 0.0  # a single task can never conflict
+        for i in range(len(ratios) - 1):
+            # monotone up to the combined CI half-widths of the two points
+            assert ratios[i + 1] >= ratios[i] - (halves[i] + halves[i + 1])
+        assert ratios[-1] > ratios[0]  # and genuinely increasing overall
+
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(6), cycle_graph(6), union_of_cliques(2, 3)],
+        ids=["path6", "cycle6", "cliques2x3"],
+    )
+    def test_exact_enumeration_is_nondecreasing(self, graph):
+        ratios = [exact_conflict_ratio(graph, m) for m in range(1, 7)]
+        assert ratios[0] == 0.0
+        for a, b in zip(ratios, ratios[1:]):
+            assert b >= a - 1e-12
+
+
+# ----------------------------------------------------------------------
+# Proposition 2: Δr̄(1) = d/(2(n−1)) exactly, for any graph
+# ----------------------------------------------------------------------
+class TestProposition2:
+    @pytest.mark.parametrize(
+        "name, graph",
+        [
+            ("gnm", gnm_random(150, 6.0, seed=seed("prop2", "gnm"))),
+            ("regular", random_regular(90, 4, seed=seed("prop2", "regular"))),
+            ("cliques", union_of_cliques(30, 4)),
+        ],
+    )
+    def test_initial_slope_matches_mc(self, name, graph):
+        snapshot = graph.snapshot()
+        n = snapshot.num_nodes
+        d = float(snapshot.degrees.mean())
+        # r̄(1) = 0, so r̄(2) IS the initial slope
+        ci = estimate_conflict_ratio(snapshot, 2, reps=20_000, seed=seed("prop2", name))
+        exact = initial_derivative(n, d)
+        assert abs(ci.mean - exact) <= 1.5 * ci.half_width
+
+    def test_initial_slope_exact_on_tiny_graphs(self):
+        for graph in (path_graph(5), union_of_cliques(2, 3)):
+            snapshot = graph.snapshot()
+            slope = initial_derivative(
+                snapshot.num_nodes, float(snapshot.degrees.mean())
+            )
+            assert exact_conflict_ratio(graph, 2) == pytest.approx(slope, abs=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Theorem 3: K_d^n is the worst case
+# ----------------------------------------------------------------------
+class TestTheorem3:
+    N, D = 120, 5  # (d+1) | n, as K_d^n requires
+    MS = [1, 2, 6, 12, 24, 48, 96, 120]
+
+    def test_random_graph_never_exceeds_worst_case(self):
+        # gnm_random places exactly n·d/2 edges, so the average degree is
+        # exactly D and the Thm. 3 bound applies verbatim
+        graph = gnm_random(self.N, float(self.D), seed=seed("thm3", "gnm"))
+        snapshot = graph.snapshot()
+        assert float(snapshot.degrees.mean()) == pytest.approx(self.D)
+        for m in self.MS:
+            ci = estimate_conflict_ratio(snapshot, m, reps=600, seed=seed("thm3", m))
+            bound = worst_case_conflict_ratio(self.N, self.D, m)
+            assert ci.mean - ci.half_width <= bound + 1e-9
+
+    def test_kdn_attains_the_closed_form(self):
+        graph = kdn_worst_case(self.N, self.D)
+        for m in self.MS:
+            ci = estimate_em(graph, m, reps=800, seed=seed("kdn", m))
+            exact = em_kdn(self.N, self.D, m)
+            assert abs(ci.mean - exact) <= max(4.0 * ci.half_width, 1e-9)
+
+    def test_worst_case_bound_is_itself_nondecreasing(self):
+        # Prop. 1 applies to K_d^n too: the bound inherits monotonicity
+        bounds = [worst_case_conflict_ratio(self.N, self.D, m) for m in self.MS]
+        assert bounds == sorted(bounds)
+        assert worst_case_conflict_ratio(self.N, self.D, 1) == pytest.approx(0.0)
+
+
+# ----------------------------------------------------------------------
+# Seating closed forms vs Monte-Carlo
+# ----------------------------------------------------------------------
+class TestSeating:
+    def test_path_recurrence_small_values(self):
+        assert path_expected_occupancy(1) == 1.0
+        assert path_expected_occupancy(2) == 1.0
+        assert path_expected_occupancy(3) == pytest.approx(5.0 / 3.0)
+
+    def test_path_density_approaches_limit(self):
+        n = 2000
+        assert path_expected_occupancy(n) / n == pytest.approx(
+            seating_density_limit(), abs=1e-3
+        )
+
+    @pytest.mark.parametrize("n", [2, 7, 40])
+    def test_path_matches_mc(self, n):
+        ci = expected_mis(path_graph(n), reps=3000, seed=seed("seat", "path", n))
+        exact = path_expected_occupancy(n)
+        assert abs(ci.mean - exact) <= max(4.0 * ci.half_width, 1e-9)
+
+    @pytest.mark.parametrize("n", [3, 8, 40])
+    def test_cycle_matches_mc(self, n):
+        ci = expected_mis(cycle_graph(n), reps=3000, seed=seed("seat", "cycle", n))
+        exact = cycle_expected_occupancy(n)
+        assert abs(ci.mean - exact) <= max(4.0 * ci.half_width, 1e-9)

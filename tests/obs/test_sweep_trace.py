@@ -1,0 +1,139 @@
+"""Golden-trace regression test for sweep failure/retry/quarantine events.
+
+A checked-in JSONL fixture records the sweep-lifecycle events of a
+reference fault drill: two configs, one raise-fault quarantined after a
+retry, the other failing once and succeeding on retry.  The scenario is
+fully deterministic — injected faults raise on fixed attempt indices,
+``backoff_base=0.0`` pins the retry delay to exactly ``0.0``, and sweep
+events carry no wall-clock fields — so the canonical JSONL must stay
+*byte-identical* run over run and across releases.  Any change to the
+sweep event schema or retry/quarantine semantics shows up as a diff here.
+
+Regenerate (only after an intentional semantic change!) with::
+
+    PYTHONPATH=src python -c "from tests.obs.test_sweep_trace import regenerate; regenerate()"
+"""
+
+from pathlib import Path
+
+from repro.experiments.parallel import (
+    RunConfig,
+    SweepPolicy,
+    run_sweep,
+    sweep_failure_history,
+)
+from repro.obs import (
+    SWEEP_KINDS,
+    SWEEP_TASK_QUARANTINED,
+    SWEEP_TASK_RETRY,
+    TraceRecorder,
+    load_jsonl,
+    recording,
+    verify_trace,
+)
+from repro.obs.events import event_to_json
+from repro.testing import FaultPlan, FaultSpec
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_sweep_fault_drill.jsonl"
+
+CONFIGS = (
+    RunConfig("fig1", seed=11, quick=True),
+    RunConfig("example1", seed=12, quick=True),
+)
+#: fig1 fails every attempt (quarantined after the retry budget);
+#: example1 fails attempt 0 only (one retry, then success)
+PLAN = FaultPlan(
+    (
+        FaultSpec("raise", experiment="fig1", attempts=None),
+        FaultSpec("raise", experiment="example1", attempts=(0,)),
+    )
+)
+#: backoff_base=0.0 pins the retry delay to exactly 0.0 (byte-stable)
+POLICY = SweepPolicy(max_retries=1, quarantine=True, backoff_base=0.0)
+
+
+def drill_trace() -> list:
+    """Run the reference fault drill; return only its sweep events.
+
+    The inline runs of the healthy config emit engine-level events into
+    the same recorder; the fixture pins just the sweep lifecycle.
+    """
+    with recording() as recorder:
+        run_sweep(list(CONFIGS), policy=POLICY, faults=PLAN)
+    return [e for e in recorder.events if e.kind in SWEEP_KINDS]
+
+
+def drill_jsonl() -> str:
+    return "".join(event_to_json(e) + "\n" for e in drill_trace())
+
+
+def regenerate() -> None:
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE.write_text(drill_jsonl(), encoding="utf-8")
+    print(f"wrote {FIXTURE}")
+
+
+class TestGoldenSweepTrace:
+    def test_fixture_exists(self):
+        assert FIXTURE.exists(), "golden fixture missing; run regenerate()"
+
+    def test_rerun_is_byte_identical(self):
+        assert drill_jsonl() == FIXTURE.read_text(encoding="utf-8"), (
+            "sweep trace drifted: retry/quarantine semantics or the sweep "
+            "event schema changed; if intentional, regenerate the fixture"
+        )
+
+    def test_fixture_roundtrips_byte_identically(self):
+        events = load_jsonl(FIXTURE)
+        rec = TraceRecorder()
+        for event in events:
+            rec.record(event)
+        assert rec.to_jsonl() == FIXTURE.read_text(encoding="utf-8")
+
+    def test_failure_history_survives_the_roundtrip(self):
+        live = sweep_failure_history(drill_trace())
+        reloaded = sweep_failure_history(load_jsonl(FIXTURE))
+        assert reloaded == live
+        assert [k for k, _ in reloaded["fig1"]] == [
+            "sweep_task_start",
+            "sweep_task_failed",
+            "sweep_task_retry",
+            "sweep_task_start",
+            "sweep_task_failed",
+            "sweep_task_quarantined",
+        ]
+        assert [k for k, _ in reloaded["example1"]] == [
+            "sweep_task_start",
+            "sweep_task_failed",
+            "sweep_task_retry",
+            "sweep_task_start",
+            "sweep_task_complete",
+        ]
+
+    def test_retry_and_quarantine_events_recorded(self):
+        events = load_jsonl(FIXTURE)
+        retries = [e for e in events if e.kind == SWEEP_TASK_RETRY]
+        quarantines = [e for e in events if e.kind == SWEEP_TASK_QUARANTINED]
+        assert len(retries) == 2
+        assert all(e.data["delay"] == 0.0 for e in retries)
+        (quarantine,) = quarantines
+        assert quarantine.data["experiment"] == "fig1"
+        assert quarantine.data["failures"] == 2
+        # the retry that led nowhere still names its successor attempt
+        fig1_retry = next(e for e in retries if e.data["experiment"] == "fig1")
+        assert fig1_retry.data["next_attempt"] == 1
+        assert fig1_retry.data["next_seed"] == 11  # raise-retries keep the seed
+
+    def test_fixture_verifies_as_a_trace(self):
+        # no engine runs in the fixture: verify_trace must accept a
+        # sweep-only trace (vacuously zero replayable runs), not raise
+        assert verify_trace(load_jsonl(FIXTURE)) == []
+
+    def test_fixture_kinds_are_known_sweep_kinds(self):
+        # every sweep lifecycle kind is registered with the event schema —
+        # a renamed/new kind must land in SWEEP_KINDS or it shows up here
+        events = load_jsonl(FIXTURE)
+        assert events, "empty fixture"
+        for event in events:
+            assert event.known, f"unregistered kind {event.kind!r}"
+            assert event.kind in SWEEP_KINDS
