@@ -14,9 +14,12 @@ run configs into a supervised multi-process sweep with four guarantees:
   ``<cache_dir>/<sha256(config)>.json``; the key hashes the canonical
   JSON of the config plus the package version and cache schema, so a
   re-sweep only recomputes configs whose inputs actually changed.
-  Corrupted or truncated entries (torn writes, disk faults) are
-  detected, counted in the ``sweep.cache.corrupt`` metric, and
-  recomputed — never raised to the caller.
+  The payload records the attempt's *effective* seed, so cache hits
+  keep honest provenance even when a timeout retry reseeded the run
+  (such outcomes carry ``reseeded=True``).  Corrupted or truncated
+  entries (torn writes, disk faults) are detected, counted in the
+  ``sweep.cache.corrupt`` metric, and recomputed — never raised to
+  the caller.
 * **Fault tolerance.**  A :class:`SweepPolicy` adds per-attempt
   timeouts, bounded retry with exponential back-off + deterministic
   jitter, and poison-config quarantine after a failure budget is spent.
@@ -191,9 +194,14 @@ class SweepOutcome:
     (``result`` is ``None`` and ``error`` holds the last failure).
     ``seed`` is the *effective* seed of the successful attempt — it
     differs from ``config.resolved_seed`` only when a timeout retry
-    reseeded the run.  ``attempts`` counts attempts made by this
-    invocation (0 for cache hits and journal-carried quarantines);
-    ``failures`` is the cumulative count including journaled history.
+    reseeded the run, in which case ``reseeded`` is ``True``; cache hits
+    report the stored effective seed, so a reseeded entry keeps honest
+    provenance across sweeps.  A reseeded result is *not* a pure
+    function of the config's own seed (the timeout that triggered
+    reseeding depends on machine speed).  ``attempts`` counts attempts
+    made by this invocation (0 for cache hits and journal-carried
+    quarantines); ``failures`` is the cumulative count including
+    journaled history.
     """
 
     config: RunConfig
@@ -205,6 +213,7 @@ class SweepOutcome:
     attempts: int = 1
     failures: int = 0
     error: "str | None" = None
+    reseeded: bool = False
 
     @property
     def ok(self) -> bool:
@@ -246,23 +255,30 @@ def _cache_path(cache_dir: Path, key: str) -> Path:
     return cache_dir / f"{key}.json"
 
 
-def _cache_load(cache_dir: Path, key: str) -> "tuple[ExperimentResult | None, bool]":
-    """Load a cache entry: ``(result_or_None, entry_was_corrupt)``.
+def _cache_load(
+    cache_dir: Path, key: str
+) -> "tuple[ExperimentResult | None, int | None, bool]":
+    """Load a cache entry: ``(result_or_None, stored_seed, entry_was_corrupt)``.
 
-    Any failure mode of a stored entry — unreadable file, torn/truncated
-    JSON, a stale key, or a payload :meth:`ExperimentResult.from_dict`
-    rejects — is a *corrupt* miss: the caller recomputes and rewrites.
+    ``stored_seed`` is the *effective* seed the cached run executed with
+    — it differs from the config's own seed when a timeout retry
+    reseeded the attempt, and cache hits must report it rather than
+    misattribute the result to the original seed.  Any failure mode of a
+    stored entry — unreadable file, torn/truncated JSON, a stale key, or
+    a payload :meth:`ExperimentResult.from_dict` rejects — is a
+    *corrupt* miss: the caller recomputes and rewrites.
     """
     path = _cache_path(cache_dir, key)
     if not path.exists():
-        return None, False
+        return None, None, False
     try:
         payload = json.loads(path.read_text(encoding="utf-8"))
         if payload.get("key") != key:
-            return None, True
-        return ExperimentResult.from_dict(payload["result"]), False
-    except (OSError, ValueError, KeyError, ExperimentError):
-        return None, True
+            return None, None, True
+        seed = int(payload["config"]["seed"])
+        return ExperimentResult.from_dict(payload["result"]), seed, False
+    except (OSError, TypeError, ValueError, KeyError, ExperimentError):
+        return None, None, True
 
 
 def _cache_store(
@@ -434,6 +450,7 @@ class _Sweep:
     def finish(self, index: int, result_dict: dict, seed: int, cached: bool) -> None:
         result = ExperimentResult.from_dict(result_dict)
         cfg, key = self.configs[index], self.keys[index]
+        reseeded = int(seed) != self.seeds[index]
         if self.cache is not None and not cached:
             path = _cache_store(self.cache, key, cfg, seed, result)
             if self.faults is not None and self.faults.corrupts_cache(
@@ -457,6 +474,7 @@ class _Sweep:
             status=OK,
             attempts=self.attempts_made[index],
             failures=self.failures[index],
+            reseeded=reseeded,
         )
         self.count("completed")
         self.emit(
@@ -465,6 +483,7 @@ class _Sweep:
             seed=int(seed),
             attempt=self.failures[index],
             cached=bool(cached),
+            reseeded=bool(reseeded),
         )
         if self.on_result is not None:
             self.on_result(self.outcomes[index])
@@ -597,8 +616,10 @@ def run_sweep(
         Iterable of :class:`RunConfig` or bare experiment names (bare
         names get derived seeds and ``quick=False``).
     jobs:
-        Maximum concurrent worker processes; ``1`` executes inline when
-        the policy permits (no timeout, no process-level faults).
+        Maximum concurrent worker processes.  ``jobs > 1`` runs pending
+        configs in isolated workers, up to ``jobs`` at a time; ``1``
+        executes inline when the policy permits (no timeout, no
+        process-level faults, no forced isolation).
     cache_dir:
         Directory for the content-hash cache; ``None`` disables caching.
     base_seed:
@@ -656,6 +677,10 @@ def run_sweep(
     sweep = _Sweep(normal, seeds, keys, policy, cache, journal_obj, faults, on_result)
     sweep.emit(SWEEP_START, configs=len(normal), jobs=int(jobs), resumed=bool(resume))
     try:
+        if journal_obj is not None:
+            journal_obj.record(
+                "sweep_start", configs=len(normal), base_seed=int(base_seed)
+            )
         pending: list[_WorkItem] = []
         for i, key in enumerate(keys):
             sweep.count("tasks")
@@ -666,12 +691,16 @@ def run_sweep(
                     journal_it=False,
                 )
                 continue
-            hit, corrupt = (None, False) if cache is None else _cache_load(cache, key)
+            hit, hit_seed, corrupt = (
+                (None, None, False) if cache is None else _cache_load(cache, key)
+            )
             if corrupt:
                 sweep.count("cache.corrupt")
             if hit is not None:
                 sweep.count("cache.hits")
-                sweep.finish(i, hit.to_dict(), seeds[i], cached=True)
+                # report the seed the cached run actually executed with,
+                # which differs from seeds[i] for timeout-reseeded entries
+                sweep.finish(i, hit.to_dict(), hit_seed, cached=True)
                 continue
             if cache is not None:
                 sweep.count("cache.misses")
@@ -680,7 +709,9 @@ def run_sweep(
             )
 
         if pending:
-            if isolate:
+            # jobs > 1 needs worker processes to actually run concurrently;
+            # a single pending config gains nothing from process spin-up
+            if isolate or (jobs > 1 and len(pending) > 1):
                 _run_isolated(sweep, pending, jobs, faults)
             else:
                 _run_inline(sweep, pending)
@@ -713,10 +744,15 @@ def _run_inline(sweep: _Sweep, pending: "list[_WorkItem]") -> None:
     """Sequential in-process execution (no timeout support by design)."""
     queue = list(pending)
     while queue:
-        item = queue.pop(0)
-        delay = item.not_before - time.monotonic()
-        if delay > 0:
-            time.sleep(delay)
+        now = time.monotonic()
+        # FIFO among launch-ready items, so a backing-off retry never
+        # stalls work that could run during its delay
+        item = next((it for it in queue if it.not_before <= now), None)
+        if item is None:
+            # everything is backing off; sleep to the earliest gate
+            item = min(queue, key=lambda it: it.not_before)
+            time.sleep(max(0.0, item.not_before - now))
+        queue.remove(item)
         _launch_event(sweep, item)
         cfg = sweep.configs[item.index]
         started = time.monotonic()
@@ -732,7 +768,7 @@ def _run_inline(sweep: _Sweep, pending: "list[_WorkItem]") -> None:
                 item, "error", f"{type(exc).__name__}: {exc}"
             )
             if retry is not None:
-                queue.insert(0, retry)  # inline is sequential: retry immediately
+                queue.append(retry)  # its not_before gate schedules the rerun
             elif not sweep.policy.quarantine:
                 raise  # strict policy: surface the original exception
             continue
@@ -780,7 +816,11 @@ def _run_isolated(sweep: _Sweep, pending: "list[_WorkItem]", jobs: int, faults) 
                 continue
 
             horizon = [t.deadline for t in running if t.deadline is not None]
-            horizon.extend(it.not_before for it in todo)
+            if len(running) < jobs:
+                # a back-off gate only matters while a slot is free to
+                # launch into; with every slot busy, ready items waiting
+                # in todo must not collapse the wait into a busy-poll
+                horizon.extend(it.not_before for it in todo)
             wait_for = None
             if horizon:
                 wait_for = max(0.0, min(horizon) - time.monotonic())

@@ -335,9 +335,12 @@ def main(argv: "list[str] | None" = None) -> int:
                     if outcome.failures
                     else ""
                 )
+                # a reseeded result came from a timeout retry with a derived
+                # seed — not a pure function of the config's own seed
+                reseeded = ", reseeded by timeout retry" if outcome.reseeded else ""
                 print(
                     f"[sweep] {name}: {status} "
-                    f"(seed={outcome.seed}, key={outcome.key[:12]}{retries})",
+                    f"(seed={outcome.seed}, key={outcome.key[:12]}{retries}{reseeded})",
                     file=sys.stderr,
                 )
             else:

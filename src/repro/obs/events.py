@@ -51,7 +51,8 @@ from the exported JSONL alongside the engine-level events:
 ``sweep_task_quarantined``
     A config exhausted its failure budget and was quarantined.
 ``sweep_task_complete``
-    A config produced a result (fresh or from the cache).
+    A config produced a result (fresh or from the cache), with the
+    effective seed and whether a timeout retry reseeded it.
 
 Sweep kinds carry only deterministic payload fields (no wall-clock), so
 sweep traces can be checked in as byte-stable golden fixtures.  The

@@ -10,7 +10,9 @@ Seeds derive from the ``REPRO_TEST_SEED`` environment variable (default
 0) so CI's flaky-hunter job can re-run this suite under several seeds.
 """
 
+import json
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -108,6 +110,47 @@ def test_parallel_isolated_sweep_survives_crashes():
     assert outcomes[0].failures == 1  # order preserved despite parallelism
 
 
+def test_reseeded_result_keeps_provenance_across_cache_hits(tmp_path):
+    # a timeout retry runs under a derived seed; the cache entry stores
+    # that effective seed, and a later cache hit must report it instead
+    # of misattributing the result to the config's own seed
+    seed = seed_for("reseed-cache")
+    plan = FaultPlan(
+        (FaultSpec("hang", experiment="fig1", attempts=(0,), seconds=30.0),)
+    )
+    policy = SweepPolicy(timeout=1.0, max_retries=1, backoff_base=0.0)
+    cache = tmp_path / "cache"
+    config = RunConfig("fig1", seed=seed, quick=True)
+
+    (first,) = run_sweep([config], cache_dir=cache, policy=policy, faults=plan)
+    effective = derive_seed(seed, "retry", 1)
+    assert first.ok and first.seed == effective
+    assert first.reseeded
+
+    (second,) = run_sweep([config], cache_dir=cache)
+    assert second.cached
+    assert second.seed == effective  # honest provenance on the hit
+    assert second.reseeded
+
+
+def test_supervisor_sleeps_while_all_slots_are_busy():
+    # regression: with every job slot busy and launch-ready configs still
+    # queued, the supervisor used to spin at 100% CPU instead of blocking
+    # on the worker pipes until something finished
+    plan = FaultPlan(
+        (FaultSpec("hang", experiment="fig1", attempts=(0,), seconds=1.0),)
+    )
+    configs = [
+        RunConfig("fig1", seed=1, quick=True),
+        RunConfig("ordered", seed=1, quick=True),
+    ]
+    cpu_before = time.process_time()
+    outcomes = run_sweep(configs, jobs=1, faults=plan)
+    cpu = time.process_time() - cpu_before
+    assert [o.ok for o in outcomes] == [True, True]
+    assert cpu < 0.6, f"supervisor burned {cpu:.2f}s CPU waiting on workers"
+
+
 def test_strict_policy_aborts_on_worker_crash():
     plan = FaultPlan((FaultSpec("exit", experiment="fig1", attempts=None),))
     with pytest.raises(SweepAbortedError, match="fig1"):
@@ -174,6 +217,17 @@ def test_resume_keeps_journaled_quarantine(tmp_path):
     assert second.status == "quarantined"
     assert second.attempts == 0  # no fresh attempts were burned on poison
     assert "InjectedFault" in second.error
+
+
+def test_journal_opens_with_a_sweep_start_record(tmp_path):
+    # the documented journal format leads with a sweep_start record
+    cache = tmp_path / "cache"
+    journal = cache / DEFAULT_JOURNAL_NAME
+    run_sweep(
+        [RunConfig("fig1", seed=2, quick=True)], cache_dir=cache, journal=journal
+    )
+    first = json.loads(journal.read_text(encoding="utf-8").splitlines()[0])
+    assert first == {"event": "sweep_start", "configs": 1, "base_seed": 0}
 
 
 def test_resume_without_journal_or_cache_is_an_error():

@@ -144,6 +144,33 @@ class TestRunSweep:
             assert a.key == b.key
             assert a.result.to_dict() == b.result.to_dict()
 
+    def test_jobs_above_one_dispatch_to_isolated_workers(self, monkeypatch):
+        # regression: jobs>1 without a timeout used to fall through to the
+        # strictly sequential inline path, silently losing all parallelism
+        import repro.experiments.parallel as par
+
+        def no_inline(sweep, pending):
+            raise AssertionError("inline path used despite jobs>1")
+
+        monkeypatch.setattr(par, "_run_inline", no_inline)
+        configs = [
+            RunConfig("fig1", seed=3, quick=True),
+            RunConfig("fig1", seed=4, quick=True),
+        ]
+        outcomes = run_sweep(configs, jobs=2)
+        assert [o.ok for o in outcomes] == [True, True]
+
+    def test_single_pending_config_runs_inline_despite_jobs(self, monkeypatch):
+        # one pending config gains nothing from process spin-up
+        import repro.experiments.parallel as par
+
+        def no_isolated(sweep, pending, jobs, faults):
+            raise AssertionError("spawned workers for a single pending config")
+
+        monkeypatch.setattr(par, "_run_isolated", no_isolated)
+        (out,) = run_sweep([self.CFG], jobs=4)
+        assert out.ok
+
     def test_cache_hits_skip_the_pool(self, tmp_path, monkeypatch):
         run_sweep([self.CFG], jobs=1, cache_dir=tmp_path)
 
