@@ -8,6 +8,7 @@ from repro.control.bisection import BisectionController
 from repro.control.diagnostics import (
     HybridDiagnostics,
     RuleUsage,
+    SweepDiagnostics,
     TraceDiagnostics,
     diagnose_hybrid,
     diagnose_trace,
@@ -39,6 +40,7 @@ __all__ = [
     "clamp",
     "BisectionController",
     "HybridDiagnostics",
+    "SweepDiagnostics",
     "RuleUsage",
     "TraceDiagnostics",
     "diagnose_hybrid",

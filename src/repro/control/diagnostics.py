@@ -26,6 +26,7 @@ __all__ = [
     "RuleUsage",
     "HybridDiagnostics",
     "diagnose_hybrid",
+    "SweepDiagnostics",
     "TraceDiagnostics",
     "diagnose_trace",
 ]
@@ -122,8 +123,53 @@ def diagnose_hybrid(controller: HybridController) -> HybridDiagnostics:
 # trace-based diagnostics (controller-type agnostic, works post hoc)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
+class SweepDiagnostics:
+    """Sweep-harness lifecycle summary extracted from ``sweep_*`` events.
+
+    Traces recorded through :func:`repro.experiments.parallel.run_sweep`
+    interleave these with engine/controller events; the counts here are
+    the sweep's whole failure story — attempts, retries, quarantines —
+    as recorded, independent of any live sweep object.
+    """
+
+    sweeps: int
+    configs: int
+    attempts: int
+    completed: int
+    cached: int
+    reseeded: int
+    retries: int
+    quarantined: int
+    failures_by_kind: dict[str, int]
+
+    @property
+    def failures(self) -> int:
+        return sum(self.failures_by_kind.values())
+
+    def render(self) -> str:
+        kinds = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(self.failures_by_kind.items())
+        )
+        return (
+            f"  sweep: {self.sweeps} invocation(s), {self.configs} configs, "
+            f"{self.attempts} attempts\n"
+            f"  sweep outcomes: {self.completed} completed "
+            f"({self.cached} cached, {self.reseeded} reseeded), "
+            f"{self.quarantined} quarantined\n"
+            f"  sweep failures: {self.failures} ({kinds or 'none'}), "
+            f"{self.retries} retries"
+        )
+
+
+@dataclass(frozen=True)
 class TraceDiagnostics:
-    """Summary of one recorded run segment (see :mod:`repro.obs`)."""
+    """Summary of one recorded run segment (see :mod:`repro.obs`).
+
+    ``sweep`` is populated when the segment interleaves sweep-harness
+    lifecycle events with the engine/controller ones; ``None`` for a
+    plain engine trace.
+    """
 
     controller_type: str
     steps: int
@@ -133,6 +179,7 @@ class TraceDiagnostics:
     mean_window_r: float
     final_m: int
     r_percentiles: tuple[float, float, float]
+    sweep: "SweepDiagnostics | None" = None
 
     def render(self) -> str:
         lines = [f"trace diagnostics ({self.controller_type}, {self.steps} steps):"]
@@ -151,6 +198,8 @@ class TraceDiagnostics:
             f"{self.deadband_fraction:.0%}"
         )
         lines.append(f"  final allocation: {self.final_m}")
+        if self.sweep is not None:
+            lines.append(self.sweep.render())
         return "\n".join(lines)
 
 
@@ -162,7 +211,24 @@ def diagnose_trace(events) -> TraceDiagnostics:
     Unlike :func:`diagnose_hybrid` this needs no live controller object —
     traces loaded from JSONL work — and it understands every controller
     type, since decision events are self-describing.
+
+    Sweep-harness lifecycle events (``sweep_start``, ``sweep_task_*``,
+    …) interleaved in the same trace are summarised into the
+    :attr:`TraceDiagnostics.sweep` field; a sweep-only trace (no
+    ``run_start`` at all) yields a diagnostics object with zero engine
+    steps rather than an error.
     """
+    # deferred: repro.obs's package __init__ transitively imports the
+    # control package, so a top-level import here would close the cycle
+    from repro.obs.events import (
+        SWEEP_START,
+        SWEEP_TASK_COMPLETE,
+        SWEEP_TASK_FAILED,
+        SWEEP_TASK_QUARANTINED,
+        SWEEP_TASK_RETRY,
+        SWEEP_TASK_START,
+    )
+
     controller_type = "unknown"
     usage: dict[str, RuleUsage] = {}
     clamp_hits = 0
@@ -172,7 +238,43 @@ def diagnose_trace(events) -> TraceDiagnostics:
     step_rs: list[float] = []
     final_m = 0
     saw_run = False
+    sweeps = 0
+    sweep_configs = 0
+    sweep_attempts = 0
+    sweep_completed = 0
+    sweep_cached = 0
+    sweep_reseeded = 0
+    sweep_retries = 0
+    sweep_quarantined = 0
+    failures_by_kind: dict[str, int] = {}
+    saw_sweep = False
     for event in events:
+        if event.kind in (
+            SWEEP_START,
+            SWEEP_TASK_START,
+            SWEEP_TASK_FAILED,
+            SWEEP_TASK_RETRY,
+            SWEEP_TASK_QUARANTINED,
+            SWEEP_TASK_COMPLETE,
+        ):
+            saw_sweep = True
+            if event.kind == SWEEP_START:
+                sweeps += 1
+                sweep_configs += int(event.get("configs", 0))
+            elif event.kind == SWEEP_TASK_START:
+                sweep_attempts += 1
+            elif event.kind == SWEEP_TASK_FAILED:
+                kind = str(event.get("failure", "unknown"))
+                failures_by_kind[kind] = failures_by_kind.get(kind, 0) + 1
+            elif event.kind == SWEEP_TASK_RETRY:
+                sweep_retries += 1
+            elif event.kind == SWEEP_TASK_QUARANTINED:
+                sweep_quarantined += 1
+            elif event.kind == SWEEP_TASK_COMPLETE:
+                sweep_completed += 1
+                sweep_cached += int(bool(event.get("cached")))
+                sweep_reseeded += int(bool(event.get("reseeded")))
+            continue
         if event.kind == "run_start":
             if saw_run:
                 raise ObservabilityError(
@@ -205,8 +307,21 @@ def diagnose_trace(events) -> TraceDiagnostics:
                     first_step=prev.first_step,
                     last_step=event.step,
                 )
-    if not saw_run:
+    if not saw_run and not saw_sweep:
         raise ObservabilityError("trace segment has no run_start event")
+    sweep_diag = None
+    if saw_sweep:
+        sweep_diag = SweepDiagnostics(
+            sweeps=sweeps,
+            configs=sweep_configs,
+            attempts=sweep_attempts,
+            completed=sweep_completed,
+            cached=sweep_cached,
+            reseeded=sweep_reseeded,
+            retries=sweep_retries,
+            quarantined=sweep_quarantined,
+            failures_by_kind=failures_by_kind,
+        )
     rs = np.asarray(step_rs, dtype=float)
     percentiles = (
         tuple(float(p) for p in np.percentile(rs, [10, 50, 90]))
@@ -222,4 +337,5 @@ def diagnose_trace(events) -> TraceDiagnostics:
         mean_window_r=float(np.mean(window_rs)) if window_rs else 0.0,
         final_m=final_m,
         r_percentiles=percentiles,  # type: ignore[arg-type]
+        sweep=sweep_diag,
     )

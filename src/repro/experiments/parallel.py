@@ -79,6 +79,7 @@ from repro.obs.events import (
 )
 from repro.obs.metrics import MetricsRegistry, active_metrics
 from repro.obs.recorder import active_recorder
+from repro.obs.spans import SpanProfiler, active_profiler, activate_profiler
 from repro.utils.rng import derive_jitter, derive_seed
 
 __all__ = [
@@ -316,7 +317,21 @@ def _worker_main(conn, payload: dict) -> None:
     Reports ``{"ok": True, "result": ...}`` or ``{"ok": False,
     "error": ...}`` over the pipe; a worker that dies without reporting
     (``os._exit``, SIGKILL, OOM) is detected parent-side as EOF.
+
+    When the supervisor profiles (``payload["profile"]``), the attempt
+    runs under a fresh :class:`~repro.obs.spans.SpanProfiler` and its
+    snapshot rides along as ``"spans"`` in the report — on failures too,
+    so a crashing attempt's burned time is still attributed.
     """
+    profiler = None
+    if payload.get("profile"):
+        profiler = activate_profiler(SpanProfiler())
+
+    def ship(message: dict) -> None:
+        if profiler is not None and len(profiler):
+            message["spans"] = profiler.snapshot()
+        conn.send(message)
+
     try:
         faults = payload.get("faults")
         if faults is not None:
@@ -324,10 +339,10 @@ def _worker_main(conn, payload: dict) -> None:
 
             FaultPlan.from_dict(faults).fire(payload["experiment"], payload["attempt"])
         result = _execute((payload["experiment"], payload["seed"], payload["quick"]))
-        conn.send({"ok": True, "result": result})
+        ship({"ok": True, "result": result})
     except BaseException as exc:  # noqa: BLE001 - workers must never re-raise
         try:
-            conn.send({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+            ship({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
         except Exception:
             pass
     finally:
@@ -370,20 +385,30 @@ class _WorkerTask:
         except OSError:  # pragma: no cover - already closed
             pass
 
-    def harvest(self) -> "tuple[str, object]":
-        """Collect the attempt's verdict: (status, result_dict|message)."""
+    def harvest(self) -> "tuple[str, object, dict | None]":
+        """Collect the attempt's verdict: (status, result|message, spans).
+
+        ``spans`` is the worker's span-profiler snapshot when the sweep
+        runs with profiling on (``None`` otherwise, and always for
+        crashed workers — a dead worker ships nothing).
+        """
         try:
             message = self.conn.recv()
         except (EOFError, OSError):
             self.proc.join(5.0)
             code = self.proc.exitcode
             self.conn.close()
-            return "crash", f"worker died before reporting a result (exit code {code})"
+            return (
+                "crash",
+                f"worker died before reporting a result (exit code {code})",
+                None,
+            )
         self.proc.join(5.0)
         self.conn.close()
+        spans = message.get("spans")
         if message.get("ok"):
-            return "ok", message["result"]
-        return "error", str(message.get("error", "unknown worker error"))
+            return "ok", message["result"], spans
+        return "error", str(message.get("error", "unknown worker error")), spans
 
 
 @dataclass
@@ -399,7 +424,10 @@ class _WorkItem:
 class _Sweep:
     """Mutable state and event plumbing for one ``run_sweep`` invocation."""
 
-    def __init__(self, configs, seeds, keys, policy, cache, journal, faults, on_result):
+    def __init__(
+        self, configs, seeds, keys, policy, cache, journal, faults, on_result,
+        monitor=None,
+    ):
         self.configs = configs
         self.seeds = seeds
         self.keys = keys
@@ -408,6 +436,7 @@ class _Sweep:
         self.journal = journal
         self.faults = faults
         self.on_result = on_result
+        self.monitor = monitor
         self.outcomes: "list[SweepOutcome | None]" = [None] * len(configs)
         self.attempts_made = [0] * len(configs)
         self.failures = [0] * len(configs)
@@ -421,16 +450,34 @@ class _Sweep:
             registry = MetricsRegistry()
         self.metrics = registry.scope("sweep")
         self.recorder = active_recorder()
+        self.profiler = active_profiler()
         self._event_step = 0
 
     # -- observability -------------------------------------------------
     def emit(self, kind: str, **data) -> None:
         if self.recorder is not None:
             self.recorder.emit(kind, self._event_step, **data)
+        if self.monitor is not None:
+            self.monitor.on_event(kind, data)
+            self.monitor.maybe_emit()
         self._event_step += 1
 
     def count(self, name: str, n: int = 1) -> None:
         self.metrics.counter(name).inc(n)
+
+    def note_attempt_seconds(self, seconds: float) -> None:
+        """One attempt finished (any verdict): record its wall-clock."""
+        self.metrics.histogram("attempt_seconds").observe(seconds)
+        if self.profiler is not None:
+            self.profiler.add(("sweep.attempt",), int(seconds * 1e9))
+        if self.monitor is not None:
+            self.monitor.note_attempt_seconds(seconds)
+            self.monitor.maybe_emit()
+
+    def merge_worker_spans(self, spans: "dict | None") -> None:
+        """Fold a worker's shipped span snapshot into the supervisor profiler."""
+        if spans is not None and self.profiler is not None:
+            self.profiler.merge(spans, prefix=("sweep.worker",))
 
     # -- seeds ---------------------------------------------------------
     def attempt_seed(self, index: int) -> int:
@@ -607,6 +654,7 @@ def run_sweep(
     journal=None,
     resume: bool = False,
     faults=None,
+    monitor=None,
 ) -> list[SweepOutcome]:
     """Run many experiment configs, in parallel, with caching and retries.
 
@@ -640,6 +688,11 @@ def run_sweep(
         fault-plan attempt indices, quarantined configs stay quarantined.
     faults:
         Optional :class:`repro.testing.FaultPlan` of injected failures.
+    monitor:
+        Optional :class:`repro.obs.analysis.SweepProgress` (or anything
+        with ``on_event``/``note_attempt_seconds``/``maybe_emit``): fed
+        every lifecycle event and attempt latency as the sweep runs, for
+        periodic live status lines.
 
     Returns
     -------
@@ -674,7 +727,10 @@ def run_sweep(
         or (faults is not None and faults.needs_isolation)
     )
 
-    sweep = _Sweep(normal, seeds, keys, policy, cache, journal_obj, faults, on_result)
+    sweep = _Sweep(
+        normal, seeds, keys, policy, cache, journal_obj, faults, on_result,
+        monitor=monitor,
+    )
     sweep.emit(SWEEP_START, configs=len(normal), jobs=int(jobs), resumed=bool(resume))
     try:
         if journal_obj is not None:
@@ -723,6 +779,8 @@ def run_sweep(
             ),
             failures=sum(sweep.failures),
         )
+        if monitor is not None:
+            monitor.maybe_emit(force=True)  # final line always lands
     finally:
         if journal_obj is not None and owns_journal:
             journal_obj.close()
@@ -761,9 +819,7 @@ def _run_inline(sweep: _Sweep, pending: "list[_WorkItem]") -> None:
                 sweep.faults.fire(cfg.experiment, item.attempt)
             result_dict = _execute((cfg.experiment, item.seed, cfg.quick))
         except Exception as exc:
-            sweep.metrics.histogram("attempt_seconds").observe(
-                time.monotonic() - started
-            )
+            sweep.note_attempt_seconds(time.monotonic() - started)
             retry = sweep.register_failure(
                 item, "error", f"{type(exc).__name__}: {exc}"
             )
@@ -772,7 +828,7 @@ def _run_inline(sweep: _Sweep, pending: "list[_WorkItem]") -> None:
             elif not sweep.policy.quarantine:
                 raise  # strict policy: surface the original exception
             continue
-        sweep.metrics.histogram("attempt_seconds").observe(time.monotonic() - started)
+        sweep.note_attempt_seconds(time.monotonic() - started)
         sweep.finish(item.index, result_dict, item.seed, cached=False)
 
 
@@ -792,6 +848,7 @@ def _run_isolated(sweep: _Sweep, pending: "list[_WorkItem]", jobs: int, faults) 
             "quick": bool(cfg.quick),
             "attempt": int(item.attempt),
             "faults": fault_payload,
+            "profile": sweep.profiler is not None,
         }
         running.append(_WorkerTask(item, payload, sweep.policy.timeout, ctx))
 
@@ -829,7 +886,8 @@ def _run_isolated(sweep: _Sweep, pending: "list[_WorkItem]", jobs: int, faults) 
             now = time.monotonic()
             for task in list(running):
                 if task.conn in ready_conns:
-                    status, payload = task.harvest()
+                    status, payload, spans = task.harvest()
+                    sweep.merge_worker_spans(spans)
                 elif task.expired(now):
                     task.terminate()
                     status, payload = (
@@ -839,9 +897,7 @@ def _run_isolated(sweep: _Sweep, pending: "list[_WorkItem]", jobs: int, faults) 
                 else:
                     continue
                 running.remove(task)
-                sweep.metrics.histogram("attempt_seconds").observe(
-                    time.monotonic() - task.started
-                )
+                sweep.note_attempt_seconds(time.monotonic() - task.started)
                 if status == "ok":
                     sweep.finish(task.item.index, payload, task.item.seed, cached=False)
                     continue

@@ -17,6 +17,16 @@ Observability options (see :mod:`repro.obs`):
 * ``--metrics`` — collect the runtime metrics registry during the run and
   print it after the reports (sweep mode reports the ``sweep.*``
   failure/retry/cache counters).
+* ``--profile`` — activate the span profiler and print the hierarchical
+  phase-timing tree (and, when a ``step`` root exists, the critical-path
+  breakdown) after the reports; ``--profile-every N`` samples one step
+  in N to cut overhead on long runs.
+* ``--telemetry-out BASE`` — export the metrics registry (implied) to
+  ``BASE.prom`` (OpenMetrics text) and ``BASE.json`` (lossless snapshot)
+  after the run.
+* ``--live`` — sweep mode only: print a periodic one-line progress
+  status (done/retried/quarantined, attempt EWMA, ETA) on stderr while
+  the sweep runs.
 
 Sweep/fault-tolerance options (see :mod:`repro.experiments.parallel`):
 
@@ -187,6 +197,32 @@ def main(argv: "list[str] | None" = None) -> int:
         help="collect and print the runtime metrics registry",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="time the engine's step phases with the span profiler and "
+        "print the phase tree after the reports",
+    )
+    parser.add_argument(
+        "--profile-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --profile, time one step in N (default 1: every step)",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="BASE",
+        help="export collected metrics to BASE.prom (OpenMetrics) and "
+        "BASE.json (lossless snapshot); implies metrics collection",
+    )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="print a periodic one-line sweep progress status on stderr "
+        "(enables sweep mode)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -269,11 +305,14 @@ def main(argv: "list[str] | None" = None) -> int:
         or args.resume
         or args.inject_faults is not None
         or args.timeout is not None
+        or args.live
     )
     if args.resume and args.cache_dir is None:
         parser.error("--resume requires --cache-dir (the journal lives beside the cache)")
     if args.retries < 0:
         parser.error(f"--retries must be >= 0, got {args.retries}")
+    if args.profile_every < 1:
+        parser.error(f"--profile-every must be >= 1, got {args.profile_every}")
 
     faults = None
     if args.inject_faults is not None:
@@ -315,6 +354,11 @@ def main(argv: "list[str] | None" = None) -> int:
         if args.cache_dir is not None:
             journal = Path(args.cache_dir).expanduser() / DEFAULT_JOURNAL_NAME
         configs = [RunConfig(n, seed=args.seed, quick=args.quick) for n in names]
+        monitor = None
+        if args.live:
+            from repro.obs import SweepProgress
+
+            monitor = SweepProgress(len(configs), jobs=args.jobs)
         outcomes = run_sweep(
             configs,
             jobs=args.jobs,
@@ -324,6 +368,7 @@ def main(argv: "list[str] | None" = None) -> int:
             journal=journal,
             resume=args.resume,
             faults=faults,
+            monitor=monitor,
         )
         for outcome in outcomes:
             name = outcome.config.experiment
@@ -353,37 +398,59 @@ def main(argv: "list[str] | None" = None) -> int:
 
     body = execute_sweep if sweep_mode else execute
 
-    registry = None
-    if args.trace is not None or args.metrics:
-        from repro.obs import collecting_metrics, recording
+    # observability channels compose: each requested one is pushed onto a
+    # single ExitStack so activation order (and teardown) stays uniform.
+    from contextlib import ExitStack
 
-        if args.metrics and args.trace is not None:
-            with collecting_metrics() as registry, recording(args.trace):
-                body()
-        elif args.trace is not None:
-            with recording(args.trace):
-                body()
-        else:
-            with collecting_metrics() as registry:
-                body()
-    else:
+    want_metrics = args.metrics or args.telemetry_out is not None
+    registry = None
+    profiler = None
+    with ExitStack() as stack:
+        if want_metrics:
+            from repro.obs import collecting_metrics
+
+            registry = stack.enter_context(collecting_metrics())
+        if args.trace is not None:
+            from repro.obs import recording
+
+            stack.enter_context(recording(args.trace))
+        if args.profile:
+            from repro.obs import profiling
+
+            profiler = stack.enter_context(profiling(sample_every=args.profile_every))
         body()
-    if registry is not None:
+    if registry is not None and args.metrics:
         print(registry.render())
+    if registry is not None and args.telemetry_out is not None:
+        from repro.obs import write_telemetry
+
+        prom_path, json_path = write_telemetry(args.telemetry_out, registry)
+        print(f"telemetry: wrote {prom_path} and {json_path}")
+    if profiler is not None:
+        print(profiler.render())
+        from repro.errors import ObservabilityError
+        from repro.obs import profile_report
+
+        try:
+            print(profile_report(profiler).render())
+        except ObservabilityError:
+            pass  # no 'step' root (e.g. isolated sweep workers only)
     if args.trace is not None:
         from repro.errors import ObservabilityError
-        from repro.obs import load_jsonl, verify_trace
+        from repro.obs import load_jsonl_meta, verify_trace
 
-        events = load_jsonl(args.trace)
+        events, meta = load_jsonl_meta(args.trace)
         try:
             reports = verify_trace(events)
         except ObservabilityError as exc:
             print(f"trace: {args.trace}: replay FAILED: {exc}", file=sys.stderr)
             return 1
         total_steps = sum(r.steps for r in reports)
+        dropped = int(meta.get("dropped", 0))
+        dropped_note = f" ({dropped} dropped by the ring)" if dropped else ""
         print(
-            f"trace: {args.trace}: {len(events)} events, {len(reports)} runs, "
-            f"{total_steps} steps — deterministic replay OK"
+            f"trace: {args.trace}: {len(events)} events{dropped_note}, "
+            f"{len(reports)} runs, {total_steps} steps — deterministic replay OK"
         )
     return exit_code
 

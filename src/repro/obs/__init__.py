@@ -1,22 +1,42 @@
-"""Observability layer: structured traces, metrics, deterministic replay.
+"""Observability layer: traces, metrics, timed spans, replay, export.
 
-Three cooperating pieces (see DESIGN.md §3):
+The three channels and what each answers (see docs/observability.md):
 
 * **event traces** (:mod:`repro.obs.events`, :mod:`repro.obs.recorder`) —
-  per-step structured records of everything the runtime did and why the
-  controller decided what it decided, in a bounded ring buffer with
-  canonical JSONL export/import;
-* **metrics** (:mod:`repro.obs.metrics`) — named counters/gauges/
-  histograms aggregated across a run, cheap enough to leave on;
+  *what happened*: per-step structured records of everything the runtime
+  did and why the controller decided what it decided, in a bounded ring
+  buffer with canonical JSONL export/import;
+* **metrics** (:mod:`repro.obs.metrics`) — *how much*: named counters/
+  gauges/histograms (with bucket quantiles) aggregated across a run,
+  cheap enough to leave on;
+* **timed spans** (:mod:`repro.obs.spans`) — *where the time went*:
+  hierarchical ``perf_counter_ns`` phase timings aggregated per span
+  path, with optional 1-in-N step sampling.
+
+On top of the channels:
+
 * **deterministic replay** (:mod:`repro.obs.replay`) — a trace alone
   reproduces the controller's ``m_t`` decision trajectory; a trace plus
-  the original seed reproduces the entire engine run.
+  the original seed reproduces the entire engine run;
+* **export** (:mod:`repro.obs.export`) — OpenMetrics text exposition and
+  a lossless JSON snapshot of the metrics registry;
+* **analysis** (:mod:`repro.obs.analysis`) — span-based profiling
+  reports, controller-convergence reports from traces, and a live sweep
+  progress monitor.
 
-Everything is opt-in: engines built without a recorder/registry (and with
-no active one) skip all instrumentation at the cost of one attribute test
-per step.
+Everything is opt-in: engines built without a recorder/registry/profiler
+(and with no active one) skip all instrumentation at the cost of one
+attribute test per step phase.
 """
 
+from repro.obs.analysis import (
+    ConvergenceReport,
+    PhaseBreakdown,
+    ProfileReport,
+    SweepProgress,
+    convergence_report,
+    profile_report,
+)
 from repro.obs.events import (
     CLAMP,
     DECISION,
@@ -47,6 +67,12 @@ from repro.obs.metrics import (
     collecting_metrics,
     deactivate_metrics,
 )
+from repro.obs.export import (
+    render_openmetrics,
+    restore_registry,
+    snapshot_registry,
+    write_telemetry,
+)
 from repro.obs.recorder import (
     TraceRecorder,
     activate,
@@ -54,8 +80,19 @@ from repro.obs.recorder import (
     deactivate,
     describe_seed,
     load_jsonl,
+    load_jsonl_meta,
     recording,
 )
+from repro.obs.spans import (
+    NULL_SPAN,
+    SpanProfiler,
+    SpanStat,
+    activate_profiler,
+    active_profiler,
+    deactivate_profiler,
+    profiling,
+)
+
 from repro.obs.replay import (
     ReplayController,
     ReplayReport,
@@ -88,6 +125,7 @@ __all__ = [
     "event_from_json",
     "TraceRecorder",
     "load_jsonl",
+    "load_jsonl_meta",
     "active_recorder",
     "activate",
     "deactivate",
@@ -111,4 +149,21 @@ __all__ = [
     "replay_decisions",
     "verify_trace",
     "ReplayController",
+    "SpanStat",
+    "SpanProfiler",
+    "NULL_SPAN",
+    "active_profiler",
+    "activate_profiler",
+    "deactivate_profiler",
+    "profiling",
+    "render_openmetrics",
+    "snapshot_registry",
+    "restore_registry",
+    "write_telemetry",
+    "PhaseBreakdown",
+    "ProfileReport",
+    "profile_report",
+    "ConvergenceReport",
+    "convergence_report",
+    "SweepProgress",
 ]

@@ -21,6 +21,7 @@ switch metrics on for code that builds engines internally.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from contextlib import contextmanager
 
 from repro.errors import ObservabilityError
@@ -32,11 +33,28 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "MetricsScope",
+    "DEFAULT_BUCKETS",
     "active_metrics",
     "activate_metrics",
     "deactivate_metrics",
     "collecting_metrics",
 ]
+
+
+def _geometric_125_ladder(lo_decade: int, hi_decade: int) -> tuple[float, ...]:
+    """1-2-5 bucket bounds spanning ``[10^lo, 10^hi]`` decades."""
+    bounds: list[float] = []
+    for decade in range(lo_decade, hi_decade + 1):
+        scale = 10.0 ** decade
+        bounds.extend((1.0 * scale, 2.0 * scale, 5.0 * scale))
+    return tuple(bounds)
+
+
+#: default histogram bucket upper bounds — a 1-2-5 geometric ladder wide
+#: enough for conflict ratios (~1e-3..1), allocations (1..1e4) and span
+#: latencies in seconds (1e-9..1e3) alike, at ~2.6% worst-case relative
+#: quantile error per bucket
+DEFAULT_BUCKETS = _geometric_125_ladder(-9, 9)
 
 
 class Counter:
@@ -72,15 +90,37 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming distribution summary (Welford moments + extremes)."""
+    """Streaming distribution summary: Welford moments plus fixed buckets.
 
-    __slots__ = ("_stats",)
+    The Welford accumulator gives exact streaming mean/std/extremes; the
+    fixed geometric bucket ladder adds quantile estimates (p50/p95/p99)
+    with bounded relative error, which moments alone cannot provide.
+    Bucket bounds are *upper* bounds with cumulative ``le`` semantics, so
+    the bucket table exports directly as OpenMetrics ``_bucket{le=...}``
+    series (see :mod:`repro.obs.export`).
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("_stats", "_bounds", "_bucket_counts", "_overflow")
+
+    def __init__(self, buckets: "tuple[float, ...] | None" = None) -> None:
         self._stats = RunningStats()
+        bounds = DEFAULT_BUCKETS if buckets is None else tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ObservabilityError(
+                "histogram buckets must be a non-empty strictly increasing sequence"
+            )
+        self._bounds = bounds
+        self._bucket_counts = [0] * len(bounds)
+        self._overflow = 0
 
     def observe(self, x: float) -> None:
-        self._stats.push(float(x))
+        x = float(x)
+        self._stats.push(x)
+        i = bisect_left(self._bounds, x)
+        if i < len(self._bounds):
+            self._bucket_counts[i] += 1
+        else:
+            self._overflow += 1
 
     @property
     def count(self) -> int:
@@ -101,6 +141,41 @@ class Histogram:
     @property
     def max(self) -> float:
         return self._stats.max
+
+    def buckets(self) -> "list[tuple[float, int]]":
+        """Non-empty ``(upper_bound, count)`` pairs, plus ``(inf, n)`` overflow."""
+        out = [
+            (bound, n)
+            for bound, n in zip(self._bounds, self._bucket_counts)
+            if n
+        ]
+        if self._overflow:
+            out.append((math.inf, self._overflow))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket table.
+
+        Linear interpolation within the containing bucket, clamped to
+        the exact observed ``[min, max]``; NaN when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+        n = self._stats.count
+        if n == 0:
+            return math.nan
+        target = q * n
+        cumulative = 0
+        lower = self._stats.min
+        for bound, count in zip(self._bounds, self._bucket_counts):
+            if count:
+                cumulative += count
+                if cumulative >= target:
+                    frac = 1.0 - (cumulative - target) / count
+                    est = lower + frac * (bound - lower)
+                    return min(max(est, self._stats.min), self._stats.max)
+            lower = max(lower, bound)
+        return self._stats.max  # target falls in the overflow bucket
 
     def __repr__(self) -> str:
         return f"Histogram(count={self.count}, mean={self.mean:.6g})"
@@ -171,6 +246,9 @@ class MetricsRegistry:
                     "std": metric.std,
                     "min": metric.min,
                     "max": metric.max,
+                    "p50": metric.quantile(0.50),
+                    "p95": metric.quantile(0.95),
+                    "p99": metric.quantile(0.99),
                 }
             else:
                 out[name] = metric.value  # type: ignore[union-attr]
@@ -184,7 +262,8 @@ class MetricsRegistry:
             if isinstance(metric, Histogram):
                 lines.append(
                     f"  {name}: n={metric.count} mean={metric.mean:.6g} "
-                    f"std={metric.std:.6g} min={metric.min:.6g} max={metric.max:.6g}"
+                    f"std={metric.std:.6g} min={metric.min:.6g} max={metric.max:.6g} "
+                    f"p50={metric.quantile(0.5):.6g} p95={metric.quantile(0.95):.6g}"
                 )
             elif isinstance(metric, Counter):
                 lines.append(f"  {name}: {metric.value}")

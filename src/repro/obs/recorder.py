@@ -15,6 +15,7 @@ path costs one attribute test per step.
 
 from __future__ import annotations
 
+import json
 from collections import deque
 from contextlib import contextmanager
 from pathlib import Path
@@ -27,6 +28,7 @@ from repro.obs.events import TraceEvent, event_from_json, event_to_json
 __all__ = [
     "TraceRecorder",
     "load_jsonl",
+    "load_jsonl_meta",
     "active_recorder",
     "activate",
     "deactivate",
@@ -88,8 +90,22 @@ class TraceRecorder:
 
     # ------------------------------------------------------------------
     def to_jsonl(self) -> str:
-        """Canonical JSONL text of the whole buffer (oldest first)."""
-        return "".join(event_to_json(e) + "\n" for e in self._ring)
+        """Canonical JSONL text of the whole buffer (oldest first).
+
+        When the ring wrapped, a leading ``{"meta": ...}`` line records
+        how many events fell off the front — a truncated trace must not
+        pass itself off as complete on import.  Complete traces carry no
+        meta line, so existing golden fixtures stay byte-identical.
+        """
+        body = "".join(event_to_json(e) + "\n" for e in self._ring)
+        if not self.dropped:
+            return body
+        meta = json.dumps(
+            {"meta": {"capacity": self.capacity, "dropped": self.dropped}},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return meta + "\n" + body
 
     def save_jsonl(self, path: "str | Path") -> None:
         """Write the buffer as one canonical JSON object per line."""
@@ -97,18 +113,42 @@ class TraceRecorder:
 
 
 def load_jsonl(path: "str | Path") -> list[TraceEvent]:
-    """Reload a JSONL trace file into a list of events."""
-    events = []
+    """Reload a JSONL trace file into a list of events (meta lines skipped)."""
+    return load_jsonl_meta(path)[0]
+
+
+def load_jsonl_meta(path: "str | Path") -> "tuple[list[TraceEvent], dict]":
+    """Reload a JSONL trace plus its export metadata.
+
+    Returns ``(events, meta)`` where ``meta`` is the payload of the
+    trace's ``{"meta": ...}`` line — ``{"capacity": ..., "dropped": N}``
+    for a trace that wrapped its ring — or ``{}`` for a complete trace.
+    """
+    events: list[TraceEvent] = []
+    meta: dict = {}
     for lineno, line in enumerate(
         Path(path).read_text(encoding="utf-8").splitlines(), start=1
     ):
         if not line.strip():
             continue
         try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"{path}:{lineno}: malformed trace line: {line[:80]!r}"
+            ) from exc
+        if isinstance(payload, dict) and "meta" in payload and "kind" not in payload:
+            if not isinstance(payload["meta"], dict):
+                raise ObservabilityError(
+                    f"{path}:{lineno}: trace meta must be an object"
+                )
+            meta.update(payload["meta"])
+            continue
+        try:
             events.append(event_from_json(line))
         except ObservabilityError as exc:
             raise ObservabilityError(f"{path}:{lineno}: {exc}") from exc
-    return events
+    return events, meta
 
 
 # ----------------------------------------------------------------------

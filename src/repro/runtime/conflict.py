@@ -43,13 +43,28 @@ __all__ = ["ConflictPolicy", "ItemLockPolicy", "ExplicitGraphPolicy", "BatchOutc
 
 
 class BatchOutcome:
-    """Result of conflict resolution for one speculative batch."""
+    """Result of conflict resolution for one speculative batch.
 
-    __slots__ = ("committed", "aborted")
+    ``commit_slots`` / ``abort_slots`` optionally carry the batch
+    positions (ascending) of the two partitions when the policy computed
+    them anyway — mask-based fast paths do — sparing the engine a
+    uid→position rebuild when it records the step.  ``None`` means the
+    policy did not track positions; consumers must fall back.
+    """
 
-    def __init__(self, committed: list[Task], aborted: list[Task]):
+    __slots__ = ("committed", "aborted", "commit_slots", "abort_slots")
+
+    def __init__(
+        self,
+        committed: list[Task],
+        aborted: list[Task],
+        commit_slots: "list[int] | None" = None,
+        abort_slots: "list[int] | None" = None,
+    ):
         self.committed = committed
         self.aborted = aborted
+        self.commit_slots = commit_slots
+        self.abort_slots = abort_slots
 
     @property
     def launched(self) -> int:
@@ -95,9 +110,15 @@ class ConflictPolicy(abc.ABC):
     @classmethod
     def _split_by_mask(cls, batch: Sequence[Task], mask: np.ndarray) -> BatchOutcome:
         """Partition *batch* by a commit mask, preserving batch order."""
+        commit_idx = np.flatnonzero(mask)
+        abort_idx = np.flatnonzero(np.logical_not(mask))
+        # flatnonzero yields ascending positions — identical to the
+        # uid->position walk the engine would otherwise rebuild per step
         return BatchOutcome(
-            cls._take(batch, np.flatnonzero(mask)),
-            cls._take(batch, np.flatnonzero(np.logical_not(mask))),
+            cls._take(batch, commit_idx),
+            cls._take(batch, abort_idx),
+            commit_slots=commit_idx.tolist(),
+            abort_slots=abort_idx.tolist(),
         )
 
 

@@ -79,11 +79,13 @@ class OptimisticEngine:
         Optional :class:`~repro.runtime.costs.CostModel` pricing commits
         and aborts; totals accumulate in :attr:`costs`.  Defaults to the
         paper's unit costs.
-    recorder, metrics:
+    recorder, metrics, profiler:
         Optional :class:`~repro.obs.TraceRecorder` /
-        :class:`~repro.obs.MetricsRegistry`.  When omitted, the engine
-        attaches to the process-wide active recorder/registry if one is
-        set (see :func:`repro.obs.recording`), else records nothing.
+        :class:`~repro.obs.MetricsRegistry` /
+        :class:`~repro.obs.SpanProfiler`.  When omitted, the engine
+        attaches to the process-wide active recorder/registry/profiler if
+        one is set (see :func:`repro.obs.recording`,
+        :func:`repro.obs.profiling`), else records nothing.
     engine:
         ``"reference"`` (per-task Python walk) or ``"fast"`` (vectorised
         kernels, see :mod:`repro.runtime.kernels`).  ``None`` defers to
@@ -103,10 +105,12 @@ class OptimisticEngine:
         cost_model=None,
         recorder=None,
         metrics=None,
+        profiler=None,
         engine: "str | None" = None,
     ) -> None:
         from repro.obs.metrics import active_metrics
         from repro.obs.recorder import active_recorder, describe_seed
+        from repro.obs.spans import NULL_SPAN, active_profiler
         from repro.runtime.costs import CostTotals, UnitCostModel
 
         self.workset = workset
@@ -126,6 +130,10 @@ class OptimisticEngine:
         self.recorder = recorder if recorder is not None else active_recorder()
         registry = metrics if metrics is not None else active_metrics()
         self.metrics = None if registry is None else registry.scope("engine")
+        self.profiler = profiler if profiler is not None else active_profiler()
+        # stashed no-op span: the disabled path costs one None test plus
+        # entering this shared stateless context manager per phase
+        self._null_span = NULL_SPAN
         if self.recorder is not None or self.metrics is not None:
             controller.bind_observability(
                 self.recorder,
@@ -148,64 +156,81 @@ class OptimisticEngine:
         before = len(self.workset)
         if before == 0:
             raise RuntimeEngineError("cannot step: work-set is empty")
-        requested = int(self.controller.propose())
-        if requested < 1:
-            raise RuntimeEngineError(
-                f"controller proposed m={requested}; allocations must be >= 1"
-            )
-        batch = self.workset.take(requested, self.rng)
-        if self.recorder is not None:
-            self.recorder.emit(
-                "select",
-                step=self._step,
-                requested=requested,
-                taken=len(batch),
-                workset_before=before,
-            )
-        if self.engine_mode == "fast":
-            outcome = self.policy.resolve_fast(batch, self.operator)
-        else:
-            outcome = self.policy.resolve(batch, self.operator)
-        for task in outcome.committed:
-            new_tasks = self.operator.apply(task)
-            if new_tasks:
-                self.workset.add_all(new_tasks)
-        for task in outcome.aborted:
-            self.operator.on_abort(task)
-            self.retry_counts[task.uid] = self.retry_counts.get(task.uid, 0) + 1
-            self.workset.add(task)  # rolled back, retried later
-        for task in outcome.committed:
-            self.retry_counts.pop(task.uid, None)  # made it; stop tracking
-        self.cost_model.charge(self.costs, outcome.committed, outcome.aborted)
-        stats = StepStats(
-            step=self._step,
-            requested=requested,
-            launched=outcome.launched,
-            committed=len(outcome.committed),
-            aborted=len(outcome.aborted),
-            workset_before=before,
-            workset_after=len(self.workset),
-        )
-        if self.recorder is not None:
-            # commit order recorded as positions within the drawn batch:
-            # deterministic under the seed, unlike process-global task uids
-            position = {t.uid: i for i, t in enumerate(batch)}
-            self.recorder.emit(
-                "step",
-                commit_positions=[position[t.uid] for t in outcome.committed],
-                abort_positions=[position[t.uid] for t in outcome.aborted],
-                **stats.as_dict(),
-            )
-        if self.metrics is not None:
-            self.metrics.counter("steps").inc()
-            self.metrics.counter("commits").inc(stats.committed)
-            self.metrics.counter("aborts").inc(stats.aborted)
-            self.metrics.counter("launched").inc(stats.launched)
-            self.metrics.histogram("conflict_ratio").observe(stats.conflict_ratio)
-            self.metrics.gauge("workset").set(stats.workset_after)
-            self.metrics.gauge("m").set(requested)
-        self._step += 1
-        self.controller.observe(stats.conflict_ratio, outcome.launched)
+        prof = self.profiler
+        null = self._null_span
+        with prof.step_span(self._step) if prof is not None else null:
+            with prof.span("controller.decide") if prof is not None else null:
+                requested = int(self.controller.propose())
+            if requested < 1:
+                raise RuntimeEngineError(
+                    f"controller proposed m={requested}; allocations must be >= 1"
+                )
+            with prof.span("select") if prof is not None else null:
+                batch = self.workset.take(requested, self.rng)
+                if self.recorder is not None:
+                    self.recorder.emit(
+                        "select",
+                        step=self._step,
+                        requested=requested,
+                        taken=len(batch),
+                        workset_before=before,
+                    )
+            with prof.span("resolve") if prof is not None else null:
+                if self.engine_mode == "fast":
+                    outcome = self.policy.resolve_fast(batch, self.operator)
+                else:
+                    outcome = self.policy.resolve(batch, self.operator)
+            with prof.span("commit") if prof is not None else null:
+                for task in outcome.committed:
+                    new_tasks = self.operator.apply(task)
+                    if new_tasks:
+                        self.workset.add_all(new_tasks)
+                for task in outcome.aborted:
+                    self.operator.on_abort(task)
+                    self.retry_counts[task.uid] = self.retry_counts.get(task.uid, 0) + 1
+                    self.workset.add(task)  # rolled back, retried later
+                for task in outcome.committed:
+                    self.retry_counts.pop(task.uid, None)  # made it; stop tracking
+                self.cost_model.charge(self.costs, outcome.committed, outcome.aborted)
+                stats = StepStats(
+                    step=self._step,
+                    requested=requested,
+                    launched=outcome.launched,
+                    committed=len(outcome.committed),
+                    aborted=len(outcome.aborted),
+                    workset_before=before,
+                    workset_after=len(self.workset),
+                )
+                if self.recorder is not None:
+                    # commit order recorded as positions within the drawn
+                    # batch: deterministic under the seed, unlike
+                    # process-global task uids.  Policies that resolve by
+                    # slot hand the positions over directly; otherwise fall
+                    # back to a uid->position map.
+                    if outcome.commit_slots is not None:
+                        commit_positions = outcome.commit_slots
+                        abort_positions = outcome.abort_slots
+                    else:
+                        position = {t.uid: i for i, t in enumerate(batch)}
+                        commit_positions = [position[t.uid] for t in outcome.committed]
+                        abort_positions = [position[t.uid] for t in outcome.aborted]
+                    self.recorder.emit(
+                        "step",
+                        commit_positions=commit_positions,
+                        abort_positions=abort_positions,
+                        **stats.as_dict(),
+                    )
+                if self.metrics is not None:
+                    self.metrics.counter("steps").inc()
+                    self.metrics.counter("commits").inc(stats.committed)
+                    self.metrics.counter("aborts").inc(stats.aborted)
+                    self.metrics.counter("launched").inc(stats.launched)
+                    self.metrics.histogram("conflict_ratio").observe(stats.conflict_ratio)
+                    self.metrics.gauge("workset").set(stats.workset_after)
+                    self.metrics.gauge("m").set(requested)
+            self._step += 1
+            with prof.span("controller.update") if prof is not None else null:
+                self.controller.observe(stats.conflict_ratio, outcome.launched)
         self.result.append(stats)
         if self.step_hook is not None:
             self.step_hook(self, stats)

@@ -37,6 +37,8 @@ Kernels validate only what they need (shape/range/duplicates) and raise
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 __all__ = [
@@ -45,6 +47,32 @@ __all__ = [
     "greedy_commit_mask_from_slots",
     "greedy_lock_mask",
 ]
+
+
+def _timed(span_name: str):
+    """Attribute a kernel's run time to *span_name* in the active profiler.
+
+    The import is deferred to call time: ``repro.obs`` transitively pulls
+    in the control package, and importing it at module top would close
+    the runtime<->control cycle.  When no profiler is active the wrapper
+    costs one function call and one attribute test per kernel invocation
+    (the kernels do array work orders of magnitude above that).
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            from repro.obs.spans import active_profiler
+
+            prof = active_profiler()
+            if prof is None:
+                return fn(*args, **kwargs)
+            with prof.span(span_name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
 
 
 def _segment_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -65,6 +93,7 @@ def _segment_sum(values: np.ndarray, seg_ptr: np.ndarray) -> np.ndarray:
     return csum[seg_ptr[1:]] - csum[seg_ptr[:-1]]
 
 
+@_timed("kernel.commit_mask_batch")
 def greedy_commit_mask_batch(
     indptr: np.ndarray, indices: np.ndarray, prefixes: np.ndarray
 ) -> np.ndarray:
@@ -185,6 +214,7 @@ def _finish_sequentially(
     return state == 1
 
 
+@_timed("kernel.commit_mask_from_slots")
 def greedy_commit_mask_from_slots(
     own_slot: np.ndarray, nbr_slot: np.ndarray, m: int, *, checked: bool = True
 ) -> np.ndarray:
@@ -259,6 +289,7 @@ def greedy_commit_mask_from_slots(
     return state == 1
 
 
+@_timed("kernel.lock_mask")
 def greedy_lock_mask(
     item_ptr: np.ndarray, item_codes: np.ndarray, num_items: "int | None" = None
 ) -> np.ndarray:

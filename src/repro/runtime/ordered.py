@@ -163,10 +163,12 @@ class OrderedEngine:
         seed=None,
         recorder=None,
         metrics=None,
+        profiler=None,
         engine: "str | None" = None,
     ) -> None:
         from repro.obs.metrics import active_metrics
         from repro.obs.recorder import active_recorder, describe_seed
+        from repro.obs.spans import NULL_SPAN, active_profiler
 
         self.workset = workset
         self.operator = operator
@@ -192,6 +194,8 @@ class OrderedEngine:
         self.recorder = recorder if recorder is not None else active_recorder()
         registry = metrics if metrics is not None else active_metrics()
         self.metrics = None if registry is None else registry.scope("engine")
+        self.profiler = profiler if profiler is not None else active_profiler()
+        self._null_span = NULL_SPAN
         if self.recorder is not None or self.metrics is not None:
             controller.bind_observability(
                 self.recorder,
@@ -240,28 +244,32 @@ class OrderedEngine:
         return survivors, aborted
 
     def _resolve(self, batch: list[tuple[float, Task]]) -> OrderedBatchOutcome:
-        survivors, conflict_aborted = self._conflict_phase(batch)
+        prof = self.profiler
+        null = self._null_span
+        with prof.span("resolve") if prof is not None else null:
+            survivors, conflict_aborted = self._conflict_phase(batch)
         committed: list[tuple[float, Task]] = []
         order_aborted: list[tuple[float, Task]] = []
         # barrier: an aborted task re-executes later and creates work no
         # earlier than its own priority — nothing beyond it may commit now
         barrier = min((p for p, _ in conflict_aborted), default=float("inf"))
         horizon = barrier  # earliest possible future work
-        for prio, task in survivors:
-            if prio > horizon:
-                order_aborted.append((prio, task))
-                continue
-            new_work = self.operator.apply(task)
-            for new_task in new_work:
-                new_prio = float(self.priority_of(new_task))
-                if new_prio < prio:
-                    raise RuntimeEngineError(
-                        f"operator created work at priority {new_prio} before "
-                        f"its own task at {prio} (causality violation)"
-                    )
-                self.workset.add(new_task, new_prio)
-                horizon = min(horizon, new_prio)
-            committed.append((prio, task))
+        with prof.span("commit") if prof is not None else null:
+            for prio, task in survivors:
+                if prio > horizon:
+                    order_aborted.append((prio, task))
+                    continue
+                new_work = self.operator.apply(task)
+                for new_task in new_work:
+                    new_prio = float(self.priority_of(new_task))
+                    if new_prio < prio:
+                        raise RuntimeEngineError(
+                            f"operator created work at priority {new_prio} before "
+                            f"its own task at {prio} (causality violation)"
+                        )
+                    self.workset.add(new_task, new_prio)
+                    horizon = min(horizon, new_prio)
+                committed.append((prio, task))
         return OrderedBatchOutcome(
             committed, conflict_aborted, order_aborted, barrier=barrier, horizon=horizon
         )
@@ -271,70 +279,77 @@ class OrderedEngine:
         before = len(self.workset)
         if before == 0:
             raise RuntimeEngineError("cannot step: work-set is empty")
-        if self._seed is not None:
-            # one substream per step: draws are a pure function of
-            # (seed, step), never of earlier steps' retry history
-            self.rng = substream(self._seed, "ordered-step", self._step)
-        requested = int(self.controller.propose())
-        if requested < 1:
-            raise RuntimeEngineError(
-                f"controller proposed m={requested}; allocations must be >= 1"
-            )
-        batch = self.workset.take_earliest(requested)
-        if self.recorder is not None:
-            self.recorder.emit(
-                "select",
-                step=self._step,
-                requested=requested,
-                taken=len(batch),
-                workset_before=before,
-            )
-        outcome = self._resolve(batch)
-        for prio, task in outcome.conflict_aborted:
-            self.operator.on_abort(task)
-            self.workset.add(task, prio)
-        for prio, task in outcome.order_aborted:
-            self.operator.on_abort(task)
-            self.workset.add(task, prio)
-        self.conflict_aborts_total += len(outcome.conflict_aborted)
-        self.order_aborts_total += len(outcome.order_aborted)
-        stats = StepStats(
-            step=self._step,
-            requested=requested,
-            launched=outcome.launched,
-            committed=len(outcome.committed),
-            aborted=outcome.launched - len(outcome.committed),
-            workset_before=before,
-            workset_after=len(self.workset),
-        )
-        if self.recorder is not None:
-            position = {t.uid: i for i, (_, t) in enumerate(batch)}
-            finite = lambda x: None if x == float("inf") else float(x)  # noqa: E731
-            self.recorder.emit(
-                "step",
-                commit_positions=[position[t.uid] for _, t in outcome.committed],
-                abort_positions=sorted(
-                    position[t.uid]
-                    for _, t in outcome.conflict_aborted + outcome.order_aborted
-                ),
-                conflict_aborted=len(outcome.conflict_aborted),
-                order_aborted=len(outcome.order_aborted),
-                barrier=finite(outcome.barrier),
-                horizon=finite(outcome.horizon),
-                **stats.as_dict(),
-            )
-        if self.metrics is not None:
-            self.metrics.counter("steps").inc()
-            self.metrics.counter("commits").inc(stats.committed)
-            self.metrics.counter("aborts").inc(stats.aborted)
-            self.metrics.counter("conflict_aborts").inc(len(outcome.conflict_aborted))
-            self.metrics.counter("order_aborts").inc(len(outcome.order_aborted))
-            self.metrics.counter("launched").inc(stats.launched)
-            self.metrics.histogram("conflict_ratio").observe(stats.conflict_ratio)
-            self.metrics.gauge("workset").set(stats.workset_after)
-            self.metrics.gauge("m").set(requested)
-        self._step += 1
-        self.controller.observe(stats.conflict_ratio, outcome.launched)
+        prof = self.profiler
+        null = self._null_span
+        with prof.step_span(self._step) if prof is not None else null:
+            if self._seed is not None:
+                # one substream per step: draws are a pure function of
+                # (seed, step), never of earlier steps' retry history
+                self.rng = substream(self._seed, "ordered-step", self._step)
+            with prof.span("controller.decide") if prof is not None else null:
+                requested = int(self.controller.propose())
+            if requested < 1:
+                raise RuntimeEngineError(
+                    f"controller proposed m={requested}; allocations must be >= 1"
+                )
+            with prof.span("select") if prof is not None else null:
+                batch = self.workset.take_earliest(requested)
+                if self.recorder is not None:
+                    self.recorder.emit(
+                        "select",
+                        step=self._step,
+                        requested=requested,
+                        taken=len(batch),
+                        workset_before=before,
+                    )
+            outcome = self._resolve(batch)  # opens resolve/commit spans
+            with prof.span("record") if prof is not None else null:
+                for prio, task in outcome.conflict_aborted:
+                    self.operator.on_abort(task)
+                    self.workset.add(task, prio)
+                for prio, task in outcome.order_aborted:
+                    self.operator.on_abort(task)
+                    self.workset.add(task, prio)
+                self.conflict_aborts_total += len(outcome.conflict_aborted)
+                self.order_aborts_total += len(outcome.order_aborted)
+                stats = StepStats(
+                    step=self._step,
+                    requested=requested,
+                    launched=outcome.launched,
+                    committed=len(outcome.committed),
+                    aborted=outcome.launched - len(outcome.committed),
+                    workset_before=before,
+                    workset_after=len(self.workset),
+                )
+                if self.recorder is not None:
+                    position = {t.uid: i for i, (_, t) in enumerate(batch)}
+                    finite = lambda x: None if x == float("inf") else float(x)  # noqa: E731
+                    self.recorder.emit(
+                        "step",
+                        commit_positions=[position[t.uid] for _, t in outcome.committed],
+                        abort_positions=sorted(
+                            position[t.uid]
+                            for _, t in outcome.conflict_aborted + outcome.order_aborted
+                        ),
+                        conflict_aborted=len(outcome.conflict_aborted),
+                        order_aborted=len(outcome.order_aborted),
+                        barrier=finite(outcome.barrier),
+                        horizon=finite(outcome.horizon),
+                        **stats.as_dict(),
+                    )
+                if self.metrics is not None:
+                    self.metrics.counter("steps").inc()
+                    self.metrics.counter("commits").inc(stats.committed)
+                    self.metrics.counter("aborts").inc(stats.aborted)
+                    self.metrics.counter("conflict_aborts").inc(len(outcome.conflict_aborted))
+                    self.metrics.counter("order_aborts").inc(len(outcome.order_aborted))
+                    self.metrics.counter("launched").inc(stats.launched)
+                    self.metrics.histogram("conflict_ratio").observe(stats.conflict_ratio)
+                    self.metrics.gauge("workset").set(stats.workset_after)
+                    self.metrics.gauge("m").set(requested)
+            self._step += 1
+            with prof.span("controller.update") if prof is not None else null:
+                self.controller.observe(stats.conflict_ratio, outcome.launched)
         self.result.append(stats)
         return stats
 

@@ -8,6 +8,7 @@ from repro.errors import ExperimentError
 from repro.experiments.parallel import (
     RunConfig,
     SweepOutcome,
+    SweepPolicy,
     config_key,
     run_sweep,
 )
@@ -182,3 +183,93 @@ class TestRunSweep:
         monkeypatch.setattr(par, "_execute", boom)
         (out,) = run_sweep([self.CFG], jobs=1, cache_dir=tmp_path)
         assert out.cached is True
+
+
+class TestSweepObservability:
+    """Span aggregation and the live monitor around run_sweep."""
+
+    def test_inline_sweep_credits_attempt_span(self):
+        from repro.obs import profiling
+
+        with profiling() as prof:
+            (out,) = run_sweep([RunConfig("fig3", seed=3, quick=True)], jobs=1)
+        assert out.ok
+        stats = prof.stats()
+        assert stats["sweep.attempt"].count == 1
+        assert stats["sweep.attempt"].total_ns > 0
+        # inline attempts run engines in-process: step spans land directly
+        assert "step" in stats and stats["step"].count > 0
+
+    def test_isolated_sweep_merges_worker_spans(self):
+        from repro.obs import profiling
+
+        configs = [
+            RunConfig("fig3", seed=3, quick=True),
+            RunConfig("fig3", seed=4, quick=True),
+        ]
+        with profiling() as prof:
+            outcomes = run_sweep(configs, jobs=2)
+        assert all(o.ok for o in outcomes)
+        stats = prof.stats()
+        # worker-side engine time arrives re-rooted under sweep.worker/
+        assert stats["sweep.worker/step"].count > 0
+        assert any(p.startswith("sweep.worker/step/") for p in stats)
+        assert stats["sweep.attempt"].count == 2
+
+    def test_unprofiled_sweep_ships_no_spans(self, monkeypatch):
+        import repro.experiments.parallel as par
+
+        shipped = []
+        original = par._WorkerTask.harvest
+
+        def spy(self):
+            status, payload, spans = original(self)
+            shipped.append(spans)
+            return status, payload, spans
+
+        monkeypatch.setattr(par._WorkerTask, "harvest", spy)
+        configs = [
+            RunConfig("fig1", seed=3, quick=True),
+            RunConfig("fig1", seed=4, quick=True),
+        ]
+        outcomes = run_sweep(configs, jobs=2)
+        assert all(o.ok for o in outcomes)
+        assert shipped and all(s is None for s in shipped)
+
+    def test_monitor_sees_lifecycle_and_final_emit(self):
+        from repro.obs import SweepProgress
+
+        lines = []
+        clock = iter(float(i) for i in range(1000))
+        monitor = SweepProgress(
+            2, jobs=1, interval=0.0, sink=lines.append, clock=lambda: next(clock)
+        )
+        configs = [
+            RunConfig("fig1", seed=3, quick=True),
+            RunConfig("fig1", seed=4, quick=True),
+        ]
+        outcomes = run_sweep(configs, jobs=1, monitor=monitor)
+        assert all(o.ok for o in outcomes)
+        assert monitor.completed == 2
+        assert monitor.ewma_attempt_seconds is not None
+        assert lines and lines[-1].startswith("sweep: 2/2 done")
+
+    def test_monitor_counts_retries_and_quarantines(self):
+        from repro.obs import SweepProgress
+        from repro.testing import FaultPlan
+
+        lines = []
+        clock = iter(float(i) for i in range(1000))
+        monitor = SweepProgress(
+            1, interval=0.0, sink=lines.append, clock=lambda: next(clock)
+        )
+        (out,) = run_sweep(
+            [RunConfig("fig1", seed=3, quick=True)],
+            jobs=1,
+            policy=SweepPolicy(max_retries=0, quarantine=True, quarantine_after=1),
+            faults=FaultPlan.parse("raise:fig1:0"),
+            monitor=monitor,
+        )
+        assert not out.ok
+        assert monitor.failures == 1 and monitor.quarantined == 1
+        assert lines[-1].startswith("sweep: 0/1 done")

@@ -1,0 +1,123 @@
+"""Tests for repro.obs.export — OpenMetrics text and lossless JSON."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    MetricsRegistry,
+    render_openmetrics,
+    restore_registry,
+    snapshot_registry,
+    write_telemetry,
+)
+
+
+def _populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("engine.steps").inc(10)
+    reg.gauge("engine.m").set(16)
+    h = reg.histogram("engine.conflict_ratio")
+    for x in (0.1, 0.4, 0.25, 0.9, 0.0):
+        h.observe(x)
+    return reg
+
+
+class TestOpenMetrics:
+    def test_counter_and_gauge_lines(self):
+        text = render_openmetrics(_populated_registry())
+        assert "# TYPE engine_steps counter" in text
+        assert "engine_steps_total 10" in text
+        assert "# TYPE engine_m gauge" in text
+        assert "engine_m 16" in text
+
+    def test_histogram_series_is_cumulative_and_closed(self):
+        text = render_openmetrics(_populated_registry())
+        assert "# TYPE engine_conflict_ratio histogram" in text
+        assert 'engine_conflict_ratio_bucket{le="+Inf"} 5' in text
+        assert "engine_conflict_ratio_count 5" in text
+        # cumulative counts never decrease along the series
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("engine_conflict_ratio_bucket")
+        ]
+        assert counts == sorted(counts)
+
+    def test_ends_with_eof(self):
+        assert render_openmetrics(MetricsRegistry()).endswith("# EOF\n")
+
+    def test_unset_gauge_renders_nan(self):
+        reg = MetricsRegistry()
+        reg.gauge("m")
+        assert "m NaN" in render_openmetrics(reg)
+
+    def test_names_sanitised(self):
+        reg = MetricsRegistry()
+        reg.counter("sweep.tasks-completed").inc()
+        assert "sweep_tasks_completed_total 1" in render_openmetrics(reg)
+
+    def test_deterministic(self):
+        reg = _populated_registry()
+        assert render_openmetrics(reg) == render_openmetrics(reg)
+
+
+class TestJsonRoundTrip:
+    def test_render_identical_after_json_round_trip(self):
+        reg = _populated_registry()
+        wire = json.dumps(snapshot_registry(reg), sort_keys=True)
+        restored = restore_registry(json.loads(wire))
+        assert restored.render() == reg.render()
+
+    def test_openmetrics_identical_after_round_trip(self):
+        reg = _populated_registry()
+        restored = restore_registry(json.loads(json.dumps(snapshot_registry(reg))))
+        assert render_openmetrics(restored) == render_openmetrics(reg)
+
+    def test_histogram_quantiles_survive(self):
+        reg = _populated_registry()
+        restored = restore_registry(json.loads(json.dumps(snapshot_registry(reg))))
+        orig = reg.histogram("engine.conflict_ratio")
+        back = restored.histogram("engine.conflict_ratio")
+        for q in (0.5, 0.95, 0.99):
+            assert back.quantile(q) == orig.quantile(q)
+
+    def test_non_finite_gauge_round_trips(self):
+        reg = MetricsRegistry()
+        reg.gauge("unset")
+        reg.gauge("hot").set(math.inf)
+        wire = json.dumps(snapshot_registry(reg))
+        restored = restore_registry(json.loads(wire))
+        assert math.isnan(restored.gauge("unset").value)
+        assert restored.gauge("hot").value == math.inf
+
+    def test_snapshot_is_strict_json(self):
+        reg = MetricsRegistry()
+        reg.gauge("unset")  # NaN would poison naive serialisation
+        json.dumps(snapshot_registry(reg), allow_nan=False)
+
+    def test_restore_rejects_bad_payloads(self):
+        with pytest.raises(ObservabilityError):
+            restore_registry({"metrics": {}})  # missing schema
+        with pytest.raises(ObservabilityError):
+            restore_registry({"schema": 999, "metrics": {}})
+        with pytest.raises(ObservabilityError):
+            restore_registry(
+                {"schema": 1, "metrics": {"x": {"kind": "teapot", "value": 1}}}
+            )
+        with pytest.raises(ObservabilityError):
+            restore_registry(
+                {"schema": 1, "metrics": {"x": {"kind": "counter"}}}
+            )
+
+
+class TestWriteTelemetry:
+    def test_writes_both_files(self, tmp_path):
+        reg = _populated_registry()
+        prom, js = write_telemetry(tmp_path / "out" / "telemetry", reg)
+        assert prom.name == "telemetry.prom" and js.name == "telemetry.json"
+        assert prom.read_text(encoding="utf-8") == render_openmetrics(reg)
+        snapshot = json.loads(js.read_text(encoding="utf-8"))
+        assert restore_registry(snapshot).render() == reg.render()

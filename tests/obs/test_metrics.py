@@ -86,6 +86,83 @@ class TestRegistry:
         assert "steps: 10" in text and "r: n=1" in text
 
 
+class TestHistogramBuckets:
+    def test_quantiles_bracket_the_data(self):
+        h = MetricsRegistry().histogram("r")
+        for x in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]:
+            h.observe(x)
+        assert 0.1 <= h.quantile(0.5) <= 1.0
+        assert h.quantile(0.95) >= h.quantile(0.5)
+        assert h.quantile(0.0) == 0.1 and h.quantile(1.0) == 1.0
+
+    def test_quantile_of_empty_histogram(self):
+        h = MetricsRegistry().histogram("r")
+        assert math.isnan(h.quantile(0.5))
+
+    def test_quantile_validates_q(self):
+        from repro.errors import ObservabilityError as Err
+
+        h = MetricsRegistry().histogram("r")
+        h.observe(1.0)
+        with pytest.raises(Err):
+            h.quantile(-0.1)
+        with pytest.raises(Err):
+            h.quantile(1.5)
+
+    def test_custom_buckets_must_increase(self):
+        from repro.obs.metrics import Histogram
+
+        with pytest.raises(ObservabilityError):
+            Histogram(buckets=[1.0, 1.0, 2.0])
+        with pytest.raises(ObservabilityError):
+            Histogram(buckets=[])
+
+    def test_overflow_beyond_last_bound(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram(buckets=[1.0, 2.0])
+        h.observe(0.5)
+        h.observe(99.0)
+        pairs = h.buckets()
+        assert pairs[-1] == (math.inf, 1)  # the 99.0 landed in overflow
+
+    def test_snapshot_carries_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("r")
+        for x in (0.1, 0.2, 0.3):
+            h.observe(x)
+        snap = reg.snapshot()["r"]
+        assert {"p50", "p95", "p99"} <= set(snap)
+        assert snap["p50"] <= snap["p95"] <= snap["p99"]
+
+
+class TestSnapshotDeterminism:
+    def _build(self, order):
+        reg = MetricsRegistry()
+        for name in order:
+            reg.counter(name).inc()
+        reg.histogram("h").observe(0.5)
+        return reg
+
+    def test_snapshot_sorted_regardless_of_creation_order(self):
+        a = self._build(["b", "a", "c"])
+        b = self._build(["c", "b", "a"])
+        assert list(a.snapshot()) == ["a", "b", "c", "h"]
+        assert a.snapshot() == b.snapshot()
+
+    def test_render_deterministic(self):
+        a = self._build(["b", "a"])
+        b = self._build(["a", "b"])
+        assert a.render() == b.render()
+
+    def test_render_shows_histogram_quantiles(self):
+        reg = MetricsRegistry()
+        for x in (0.1, 0.2, 0.3):
+            reg.histogram("r").observe(x)
+        text = reg.render()
+        assert "p50=" in text and "p95=" in text
+
+
 class TestScopes:
     def test_scope_prefixes_names(self):
         reg = MetricsRegistry()

@@ -11,6 +11,7 @@ from repro.obs import (
     deactivate,
     describe_seed,
     load_jsonl,
+    load_jsonl_meta,
     recording,
 )
 
@@ -86,6 +87,49 @@ class TestJsonlIO:
         )
         with pytest.raises(ObservabilityError, match=":2:"):
             load_jsonl(path)
+
+
+class TestDroppedMetadata:
+    def test_complete_trace_has_no_meta_line(self):
+        # golden fixtures depend on this: an unwrapped export is pure events
+        rec = TraceRecorder(capacity=10)
+        rec.emit("step", step=0)
+        assert '"meta"' not in rec.to_jsonl()
+
+    def test_wrapped_ring_exports_dropped_meta(self, tmp_path):
+        rec = TraceRecorder(capacity=3)
+        for i in range(8):
+            rec.emit("step", step=i)
+        text = rec.to_jsonl()
+        first = text.splitlines()[0]
+        assert '"meta"' in first and '"dropped":5' in first
+        path = tmp_path / "wrapped.jsonl"
+        rec.save_jsonl(path)
+        events, meta = load_jsonl_meta(path)
+        assert meta == {"capacity": 3, "dropped": 5}
+        assert [e.step for e in events] == [5, 6, 7]
+
+    def test_load_jsonl_skips_meta_line(self, tmp_path):
+        rec = TraceRecorder(capacity=2)
+        for i in range(4):
+            rec.emit("step", step=i)
+        path = tmp_path / "wrapped.jsonl"
+        rec.save_jsonl(path)
+        assert load_jsonl(path) == rec.events  # meta line is not an event
+
+    def test_complete_trace_meta_is_empty(self, tmp_path):
+        rec = TraceRecorder()
+        rec.emit("step", step=0)
+        path = tmp_path / "full.jsonl"
+        rec.save_jsonl(path)
+        _events, meta = load_jsonl_meta(path)
+        assert meta == {}
+
+    def test_malformed_meta_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"meta":3}\n', encoding="utf-8")
+        with pytest.raises(ObservabilityError, match="meta"):
+            load_jsonl_meta(path)
 
 
 class TestActivePlumbing:

@@ -210,3 +210,50 @@ class TestTraceDiagnostics:
     def test_headless_trace_rejected(self):
         with pytest.raises(ObservabilityError):
             diagnose_trace([])
+
+    def test_plain_engine_trace_has_no_sweep_block(self):
+        diag = diagnose_trace(record_run(FixedController(4)))
+        assert diag.sweep is None
+        assert "sweep" not in diag.render()
+
+    def test_sweep_only_trace_diagnosed(self):
+        from pathlib import Path
+
+        from repro.obs import load_jsonl
+
+        fixture = Path(__file__).parent / "fixtures" / "golden_sweep_fault_drill.jsonl"
+        diag = diagnose_trace(load_jsonl(fixture))
+        assert diag.steps == 0  # no engine run recorded in-process
+        sweep = diag.sweep
+        assert sweep is not None
+        assert sweep.sweeps == 1 and sweep.configs == 2
+        assert sweep.attempts == sweep.completed + sweep.failures
+        assert sweep.failures == sweep.retries + sweep.quarantined
+        assert "sweep:" in diag.render()
+
+    def test_mixed_engine_and_sweep_trace(self):
+        """An inline sweep interleaves engine events with sweep lifecycle."""
+        from repro.obs import TraceEvent
+
+        events = record_run(HybridController(0.25, m_max=64))
+        sweep_events = [
+            TraceEvent(step=0, kind="sweep_start", data={"configs": 1, "jobs": 1}),
+            TraceEvent(
+                step=1,
+                kind="sweep_task_start",
+                data={"experiment": "fig3", "seed": 5, "attempt": 0},
+            ),
+            TraceEvent(
+                step=2,
+                kind="sweep_task_complete",
+                data={"experiment": "fig3", "cached": False, "reseeded": False},
+            ),
+        ]
+        mixed = sweep_events[:2] + events + sweep_events[2:]
+        diag = diagnose_trace(mixed)
+        assert diag.controller_type == "HybridController"
+        assert diag.steps > 0
+        assert diag.sweep is not None
+        assert diag.sweep.attempts == 1 and diag.sweep.completed == 1
+        text = diag.render()
+        assert "HybridController" in text and "sweep:" in text
