@@ -7,36 +7,50 @@ replays a Delaunay-style burst and a step profile and shows the hybrid
 controller re-tracking each phase's optimum within a few windows, while a
 Recurrence-A-only controller lags far behind.
 
+The two contenders are resolved by *name* through the plugin registry:
+``"recurrence-a"`` is built in, and the Fig. 3 hybrid variant is
+registered here with :func:`repro.register` — the same one-liner a
+third-party package would use to plug its own controller into
+``repro.api.run`` and the experiments CLI.
+
 Run:  python examples/adaptive_allocation.py [seed]
 """
 
 import sys
 
+import repro
 from repro.apps.profiles import (
     ScheduledReplayWorkload,
     delaunay_burst_profile,
     step_profile,
 )
-from repro.control import RecurrenceAController
+from repro.control.tuning import oracle_mu
 from repro.experiments.adaptation import transition_lags
 from repro.experiments.fig3 import default_hybrid
-from repro.control.tuning import oracle_mu
 from repro.utils import format_series, format_table
 
 SEED = int(sys.argv[1]) if len(sys.argv) > 1 else 0
 RHO = 0.20
 
+# plug the Fig. 3 hybrid into the controller registry: factories receive
+# the RunConfig and build from its fields
+repro.register("controller", "fig3-hybrid", lambda config: default_hybrid(config.rho))
+
+CONTROLLERS = repro.registry("controller")
+
 
 def run_profile(name, phases):
     print(f"--- profile: {name} ---")
+    config = repro.RunConfig(rho=RHO, seed=SEED + 1)
     mus = [oracle_mu(p.graph, RHO, grid_size=14, reps=60, seed=SEED) for p in phases]
     rows = []
-    for label, controller in [
-        ("hybrid", default_hybrid(RHO)),
-        ("recurrence A only", RecurrenceAController(RHO)),
+    for label, controller_name in [
+        ("hybrid", "fig3-hybrid"),
+        ("recurrence A only", "recurrence-a"),
     ]:
+        controller = CONTROLLERS.create(controller_name, config)
         workload = ScheduledReplayWorkload(phases)
-        engine = workload.build_engine(controller, seed=SEED + 1)
+        engine = workload.build_engine(controller, seed=config.seed)
         result = engine.run(max_steps=workload.total_steps())
         lags = transition_lags(phases, result.m_trace, mus)
         rows.append((label, " ".join(map(str, lags))))

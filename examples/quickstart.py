@@ -7,14 +7,19 @@ the allocation trajectory: watch m_t climb from the cold start m₀ = 2 to
 the optimum in a handful of steps and then hold, with the realised
 conflict ratio pinned near the target ρ = 20%.
 
+Everything is named in one typed :class:`repro.RunConfig` — the
+``workload`` and ``controller`` strings resolve through the plugin
+registry (``repro.registry``), so swapping ``"hybrid"`` for ``"aimd"``
+or a controller you registered yourself is a one-word change.
+
 Run:  python examples/quickstart.py [seed]
 """
 
 import sys
 
-from repro.control import HybridController, oracle_mu
+from repro import RunConfig, run
+from repro.control import oracle_mu
 from repro.graph import gnm_random
-from repro.runtime import ReplayGraphWorkload
 from repro.utils import format_series, format_table
 
 SEED = int(sys.argv[1]) if len(sys.argv) > 1 else 0
@@ -28,10 +33,14 @@ def main() -> None:
     mu = oracle_mu(graph, RHO, seed=SEED)
     print(f"oracle optimum: mu = {mu} (largest m with conflict ratio <= {RHO:.0%})\n")
 
-    controller = HybridController(rho=RHO)
-    workload = ReplayGraphWorkload(graph)
-    engine = workload.build_engine(controller, seed=SEED + 1)
-    result = engine.run(max_steps=100)
+    config = RunConfig(
+        workload="replay",      # registry name: stationary environment
+        controller="hybrid",    # registry name: Algorithm 1
+        rho=RHO,
+        seed=SEED + 1,
+        max_steps=100,
+    )
+    result = run(config, graph=graph)
 
     steps = list(range(len(result)))
     print(format_series("allocation m_t", steps, result.m_trace.tolist()))

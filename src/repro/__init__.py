@@ -25,6 +25,18 @@ Public API highlights
 """
 
 from repro._version import __version__
-from repro.api import for_each, for_each_ordered, solve_graph
+from repro.api import for_each, for_each_ordered, run, solve_graph
+from repro.config import RunConfig, SweepConfig
+from repro.registry import register, registry
 
-__all__ = ["__version__", "for_each", "for_each_ordered", "solve_graph"]
+__all__ = [
+    "__version__",
+    "run",
+    "for_each",
+    "for_each_ordered",
+    "solve_graph",
+    "RunConfig",
+    "SweepConfig",
+    "register",
+    "registry",
+]

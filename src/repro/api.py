@@ -1,43 +1,171 @@
-"""High-level facade — Galois-style one-call parallel loops.
+"""High-level facade — config-driven runs and Galois-style loops.
 
-For users who want the paper's machinery without assembling engines by
-hand::
+The canonical entry point is :func:`run`, which executes a typed
+:class:`repro.config.RunConfig` by resolving its named parts against
+:mod:`repro.registry`::
 
-    from repro.api import for_each
+    from repro import RunConfig, run
 
-    result = for_each(initial_tasks, operator, rho=0.25)
+    result = run(RunConfig(workload="consuming", rho=0.25, seed=0),
+                 graph=my_graph)
+    report = run(RunConfig(experiment="fig3", quick=True))
 
-mirrors Galois' ``for_each`` (unordered amorphous data-parallel loop with
-adaptive processor allocation), and :func:`for_each_ordered` the ordered
-variant.  :func:`solve_graph` runs the controller over an explicit CC
-graph directly.
+For users who want the paper's machinery without a config object,
+:func:`for_each` mirrors Galois' ``for_each`` (unordered amorphous
+data-parallel loop with adaptive processor allocation),
+:func:`for_each_ordered` the ordered variant, and :func:`solve_graph`
+runs the controller over an explicit CC graph directly — all three are
+thin wrappers over :func:`run`.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Callable, Iterable
 
+from repro.config import RunConfig
 from repro.control.base import Controller
-from repro.control.hybrid import HybridController
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.graph.ccgraph import CCGraph
-from repro.runtime.conflict import ItemLockPolicy
-from repro.runtime.engine import OptimisticEngine
+from repro.registry import CONFLICT_POLICIES, CONTROLLERS, EXPERIMENTS, WORKLOADS
 from repro.runtime.ordered import OrderedEngine, PriorityWorkset
 from repro.runtime.stats import RunResult
 from repro.runtime.task import Operator, Task
-from repro.runtime.workloads import ConsumingGraphWorkload, ReplayGraphWorkload
 from repro.runtime.workset import RandomWorkset
 
-__all__ = ["for_each", "for_each_ordered", "solve_graph"]
+__all__ = ["run", "for_each", "for_each_ordered", "solve_graph"]
 
 
 def _wrap_tasks(items: Iterable[object]) -> list[Task]:
     return [item if isinstance(item, Task) else Task(payload=item) for item in items]
 
 
-def _default_controller(rho: float, m_max: int) -> Controller:
-    return HybridController(rho, m_max=m_max)
+def _coerce_config(config) -> RunConfig:
+    if isinstance(config, RunConfig):
+        return config
+    if isinstance(config, str):
+        warnings.warn(
+            "passing a bare experiment name to repro.api.run is deprecated; "
+            f"use run(RunConfig(experiment={config!r}))",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return RunConfig(experiment=config)
+    if isinstance(config, dict):
+        return RunConfig.from_dict(config)
+    raise ConfigError(
+        f"run() takes a RunConfig, a config dict, or an experiment name, "
+        f"got {type(config).__name__}"
+    )
+
+
+def _controller_for(config: RunConfig, controller: "Controller | None") -> Controller:
+    return controller if controller is not None else CONTROLLERS.create(
+        config.controller, config
+    )
+
+
+def run(
+    config,
+    *,
+    graph: "CCGraph | None" = None,
+    initial: "Iterable | None" = None,
+    operator: "Operator | None" = None,
+    priority_of: "Callable[[Task], float] | None" = None,
+    controller: "Controller | None" = None,
+    seed=None,
+    recorder=None,
+    metrics=None,
+):
+    """Execute one :class:`~repro.config.RunConfig`.
+
+    Three mutually exclusive shapes, selected by the config and the
+    keyword inputs:
+
+    * ``config.experiment`` set — run that registered experiment and
+      return its :class:`~repro.experiments.base.ExperimentResult`;
+    * ``graph=`` given — build the configured workload
+      (``config.workload``) over the graph, wire the configured
+      controller, and return the engine's
+      :class:`~repro.runtime.stats.RunResult`;
+    * ``initial=`` + ``operator=`` given — run a task loop
+      (:class:`~repro.runtime.engine.OptimisticEngine`, or
+      :class:`~repro.runtime.ordered.OrderedEngine` when
+      ``priority_of=`` is supplied) and return its ``RunResult``.
+
+    All names (``workload``, ``controller``, ``conflict``,
+    ``experiment``) resolve through :mod:`repro.registry`, so anything a
+    third party has :func:`repro.register`-ed is accepted.  An explicit
+    *controller* instance overrides ``config.controller``; an explicit
+    *seed* (which, unlike ``config.seed``, may be a
+    ``numpy.random.Generator``) overrides ``config.seed``.  For backward
+    compatibility *config* may be a bare experiment-name string
+    (deprecated) or a config dict.
+    """
+    config = _coerce_config(config)
+    seed = seed if seed is not None else config.seed
+    if config.experiment is not None:
+        return EXPERIMENTS.create(config.experiment, seed, config.quick)
+
+    if graph is not None:
+        if initial is not None or operator is not None:
+            raise ConfigError("pass either graph= or initial=/operator=, not both")
+        if config.workload == "replay" and config.max_steps is None:
+            raise ReproError("replay workloads never drain; pass max_steps")
+        workload = WORKLOADS.create(config.workload, graph, config)
+        engine = workload.build_engine(
+            _controller_for(config, controller),
+            seed=seed,
+            recorder=recorder,
+            metrics=metrics,
+            engine=config.engine,
+        )
+        return engine.run(max_steps=config.max_steps)
+
+    if initial is not None:
+        if operator is None:
+            raise ConfigError("initial= also needs operator=")
+        if priority_of is not None:
+            pairs = list(initial)
+            if not pairs:
+                raise ReproError("for_each_ordered needs at least one initial task")
+            workset = PriorityWorkset()
+            for prio, item in pairs:
+                task = item if isinstance(item, Task) else Task(payload=item)
+                workset.add(task, float(prio))
+            engine = OrderedEngine(
+                workset=workset,
+                operator=operator,
+                controller=_controller_for(config, controller),
+                priority_of=priority_of,
+                seed=seed,
+                recorder=recorder,
+                metrics=metrics,
+                engine=config.engine,
+            )
+            return engine.run(max_steps=config.max_steps)
+        tasks = _wrap_tasks(initial)
+        if not tasks:
+            raise ReproError("for_each needs at least one initial task")
+        workset = RandomWorkset()
+        workset.add_all(tasks)
+        from repro.runtime.engine import OptimisticEngine
+
+        engine = OptimisticEngine(
+            workset=workset,
+            operator=operator,
+            policy=CONFLICT_POLICIES.create(config.conflict, config),
+            controller=_controller_for(config, controller),
+            seed=seed,
+            recorder=recorder,
+            metrics=metrics,
+            engine=config.engine,
+        )
+        return engine.run(max_steps=config.max_steps)
+
+    raise ConfigError(
+        "run() needs an experiment in the config, a graph=, or initial=/operator="
+    )
 
 
 def for_each(
@@ -60,21 +188,16 @@ def for_each(
     *metrics* attach an observability sink (see :mod:`repro.obs`); by
     default the process-wide active ones are used if set.
     """
-    tasks = _wrap_tasks(initial)
-    if not tasks:
-        raise ReproError("for_each needs at least one initial task")
-    workset = RandomWorkset()
-    workset.add_all(tasks)
-    engine = OptimisticEngine(
-        workset=workset,
+    config = RunConfig(rho=rho, m_max=m_max, max_steps=max_steps, workload="consuming")
+    return run(
+        config,
+        initial=initial,
         operator=operator,
-        policy=ItemLockPolicy(),
-        controller=controller or _default_controller(rho, m_max),
+        controller=controller,
         seed=seed,
         recorder=recorder,
         metrics=metrics,
     )
-    return engine.run(max_steps=max_steps)
 
 
 def for_each_ordered(
@@ -95,23 +218,17 @@ def for_each_ordered(
     :class:`~repro.runtime.ordered.OrderedEngine`); *priority_of* must
     return the priority of any task the operator creates.
     """
-    pairs = list(initial)
-    if not pairs:
-        raise ReproError("for_each_ordered needs at least one initial task")
-    workset = PriorityWorkset()
-    for prio, item in pairs:
-        task = item if isinstance(item, Task) else Task(payload=item)
-        workset.add(task, float(prio))
-    engine = OrderedEngine(
-        workset=workset,
+    config = RunConfig(rho=rho, m_max=m_max, max_steps=max_steps, workload="consuming")
+    return run(
+        config,
+        initial=initial,
         operator=operator,
-        controller=controller or _default_controller(rho, m_max),
         priority_of=priority_of,
+        controller=controller,
         seed=seed,
         recorder=recorder,
         metrics=metrics,
     )
-    return engine.run(max_steps=max_steps)
 
 
 def solve_graph(
@@ -131,16 +248,17 @@ def solve_graph(
     ``consuming=False`` replays it as a stationary environment (cap the
     run with *max_steps*).
     """
-    if consuming:
-        workload = ConsumingGraphWorkload(graph)
-    else:
-        if max_steps is None:
-            raise ReproError("replay workloads never drain; pass max_steps")
-        workload = ReplayGraphWorkload(graph)
-    engine = workload.build_engine(
-        controller or _default_controller(rho, m_max),
+    config = RunConfig(
+        rho=rho,
+        m_max=m_max,
+        max_steps=max_steps,
+        workload="consuming" if consuming else "replay",
+    )
+    return run(
+        config,
+        graph=graph,
+        controller=controller,
         seed=seed,
         recorder=recorder,
         metrics=metrics,
     )
-    return engine.run(max_steps=max_steps)

@@ -20,6 +20,8 @@ __all__ = [
     "ConflictDetectionError",
     "ApplicationError",
     "GeometryError",
+    "ConfigError",
+    "RegistryError",
     "ExperimentError",
     "SweepAbortedError",
     "FaultInjectionError",
@@ -90,6 +92,14 @@ class ApplicationError(ReproError):
 
 class GeometryError(ApplicationError):
     """Degenerate geometric configuration the predicates cannot resolve."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A typed run/sweep configuration failed validation."""
+
+
+class RegistryError(ReproError, ValueError):
+    """Unknown, duplicate, or malformed plugin-registry entry."""
 
 
 class ExperimentError(ReproError):

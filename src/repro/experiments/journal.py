@@ -14,7 +14,8 @@ The file format is one JSON object per line, appended with flush +
 fsync per record so a SIGKILL loses at most the line being written;
 the loader tolerates a torn trailing line.  Records:
 
-``{"event": "sweep_start", "configs": N, "base_seed": S}``
+``{"event": "sweep_start", "configs": N, "base_seed": S,
+   "sweep": <serialised SweepConfig, see repro.config>}``
 ``{"event": "failed", "key": K, "experiment": E, "attempt": A,
    "kind": "error"|"crash"|"timeout", "error": MSG}``
 ``{"event": "completed", "key": K, "experiment": E, "seed": S,

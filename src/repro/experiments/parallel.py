@@ -12,7 +12,8 @@ run configs into a supervised multi-process sweep with four guarantees:
   schedule* is reproducible.
 * **Content-addressed caching.**  Every completed run is stored under
   ``<cache_dir>/<sha256(config)>.json``; the key hashes the canonical
-  JSON of the config plus the package version and cache schema, so a
+  JSON of the *entire* serialised :class:`~repro.config.RunConfig`
+  (``to_dict()``) plus the package version and cache schema, so a
   re-sweep only recomputes configs whose inputs actually changed.
   The payload records the attempt's *effective* seed, so cache hits
   keep honest provenance even when a timeout retry reseeded the run
@@ -47,12 +48,17 @@ Deliberate failures for tests and drills come from
 :class:`repro.testing.FaultPlan` (CLI: ``--inject-faults``).
 
 Used by ``python -m repro.experiments --jobs N --cache-dir DIR`` and
-importable directly::
+importable directly — either with a typed :class:`~repro.config.SweepConfig`
+(the canonical form; its serialisation is what the journal records) or
+with the historical ``(configs, **knobs)`` calling convention::
 
-    from repro.experiments.parallel import RunConfig, SweepPolicy, run_sweep
-    outcomes = run_sweep(["fig2", "fig3"], jobs=4, cache_dir="~/.repro-cache",
-                         policy=SweepPolicy(timeout=300, max_retries=2,
-                                            quarantine=True))
+    from repro.config import RunConfig, SweepConfig
+    from repro.experiments.parallel import run_sweep
+
+    outcomes = run_sweep(SweepConfig(runs=("fig2", "fig3"), jobs=4,
+                                     cache_dir="~/.repro-cache",
+                                     timeout=300, retries=2,
+                                     quarantine=True))
 """
 
 from __future__ import annotations
@@ -65,6 +71,7 @@ from dataclasses import dataclass
 from multiprocessing.connection import wait as _wait_connections
 from pathlib import Path
 
+from repro.config import RunConfig, SweepConfig
 from repro.errors import ExperimentError, SweepAbortedError
 from repro.experiments.base import ExperimentResult
 from repro.experiments.journal import DEFAULT_JOURNAL_NAME, SweepJournal
@@ -92,31 +99,13 @@ __all__ = [
 ]
 
 #: bump when the cache payload layout changes; invalidates old entries
-CACHE_SCHEMA = 1
+#: (2: the key and payload carry the whole serialised RunConfig, not the
+#: historical ``{experiment, seed, quick}`` subset)
+CACHE_SCHEMA = 2
 
 #: outcome statuses
 OK = "ok"
 QUARANTINED = "quarantined"
-
-
-@dataclass(frozen=True)
-class RunConfig:
-    """One experiment invocation: registry name, seed, and size."""
-
-    experiment: str
-    seed: "int | None" = None
-    quick: bool = False
-
-    def resolved_seed(self, base_seed: int) -> int:
-        """The seed this run actually uses.
-
-        Explicit seeds pass through; otherwise one is derived from
-        ``(base_seed, experiment name)`` — stable across sweeps, worker
-        counts, and config ordering.
-        """
-        if self.seed is not None:
-            return int(self.seed)
-        return derive_seed(base_seed, "sweep", self.experiment)
 
 
 @dataclass(frozen=True)
@@ -235,14 +224,14 @@ def _package_version() -> str:
 def config_key(config: RunConfig, seed: int) -> str:
     """Content hash identifying one run: config + code version + schema.
 
-    Canonical JSON (sorted keys, no whitespace variance) through SHA-256;
-    two configs collide iff they would produce the same result.
+    The hash covers the *entire* serialised config (with *seed* — the
+    resolved effective seed — substituted in), canonical JSON (sorted
+    keys, no whitespace variance) through SHA-256; two configs collide
+    iff they would produce the same result.
     """
     payload = json.dumps(
         {
-            "experiment": config.experiment,
-            "seed": int(seed),
-            "quick": bool(config.quick),
+            "config": config.with_seed(int(seed)).to_dict(),
             "version": _package_version(),
             "schema": CACHE_SCHEMA,
         },
@@ -287,11 +276,7 @@ def _cache_store(
 ) -> Path:
     payload = {
         "key": key,
-        "config": {
-            "experiment": config.experiment,
-            "seed": int(seed),
-            "quick": bool(config.quick),
-        },
+        "config": config.with_seed(int(seed)).to_dict(),
         "result": result.to_dict(),
     }
     path = _cache_path(cache_dir, key)
@@ -661,8 +646,12 @@ def run_sweep(
     Parameters
     ----------
     configs:
-        Iterable of :class:`RunConfig` or bare experiment names (bare
-        names get derived seeds and ``quick=False``).
+        A :class:`~repro.config.SweepConfig` (the canonical form —
+        ``jobs``/``cache_dir``/``base_seed``/``policy``/``resume`` are
+        then taken from the config and the keyword forms must be left at
+        their defaults), or an iterable of :class:`RunConfig` / bare
+        experiment names (bare names get derived seeds and
+        ``quick=False``).
     jobs:
         Maximum concurrent worker processes.  ``jobs > 1`` runs pending
         configs in isolated workers, up to ``jobs`` at a time; ``1``
@@ -701,15 +690,44 @@ def run_sweep(
     ``policy.quarantine`` enabled, failed configs come back as
     ``status="quarantined"`` outcomes instead of aborting the sweep.
     """
-    if jobs < 1:
-        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
-    policy = policy or SweepPolicy()
+    if isinstance(configs, SweepConfig):
+        sweep_config = configs
+    else:
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        sweep_config = SweepConfig(
+            runs=tuple(
+                cfg if isinstance(cfg, RunConfig) else RunConfig(str(cfg))
+                for cfg in configs
+            ),
+            base_seed=int(base_seed),
+            jobs=int(jobs),
+            cache_dir=None if cache_dir is None else str(cache_dir),
+            resume=bool(resume),
+            **(
+                {}
+                if policy is None
+                else {
+                    "timeout": policy.timeout,
+                    "retries": policy.max_retries,
+                    "backoff_base": policy.backoff_base,
+                    "backoff_cap": policy.backoff_cap,
+                    "backoff_jitter": policy.backoff_jitter,
+                    "quarantine": policy.quarantine,
+                    "quarantine_after": policy.quarantine_after,
+                    "isolate": policy.isolate,
+                }
+            ),
+        )
+    jobs = sweep_config.jobs
+    cache_dir = sweep_config.cache_dir
+    base_seed = sweep_config.base_seed
+    resume = sweep_config.resume
+    policy = sweep_config.policy()
     if faults is not None and not faults:
         faults = None
 
-    normal: list[RunConfig] = [
-        cfg if isinstance(cfg, RunConfig) else RunConfig(str(cfg)) for cfg in configs
-    ]
+    normal: list[RunConfig] = list(sweep_config.runs)
     seeds = [cfg.resolved_seed(base_seed) for cfg in normal]
     keys = [config_key(cfg, seed) for cfg, seed in zip(normal, seeds)]
 
@@ -734,8 +752,14 @@ def run_sweep(
     sweep.emit(SWEEP_START, configs=len(normal), jobs=int(jobs), resumed=bool(resume))
     try:
         if journal_obj is not None:
+            # the serialised SweepConfig is the journal's provenance
+            # record: a resumed or audited sweep sees exactly what was
+            # asked for, not just how many configs there were
             journal_obj.record(
-                "sweep_start", configs=len(normal), base_seed=int(base_seed)
+                "sweep_start",
+                configs=len(normal),
+                base_seed=int(base_seed),
+                sweep=sweep_config.to_dict(),
             )
         pending: list[_WorkItem] = []
         for i, key in enumerate(keys):

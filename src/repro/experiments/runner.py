@@ -63,8 +63,9 @@ from repro.experiments import (
     theory,
 )
 from repro.experiments.base import ExperimentResult
+from repro.registry import EXPERIMENTS
 
-__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+__all__ = ["EXPERIMENTS", "DEFAULT_EXPERIMENTS", "run_experiment", "main"]
 
 
 def _fig1(seed, quick: bool) -> ExperimentResult:
@@ -137,7 +138,11 @@ def _ordered(seed, quick: bool) -> ExperimentResult:
     return ordered.run(seed=seed)
 
 
-EXPERIMENTS: dict[str, Callable[[object, bool], ExperimentResult]] = {
+#: the built-in experiment table; repro.registry seeds the shared
+#: ``"experiment"`` registry from this on first lookup, and third-party
+#: entries added via ``repro.register("experiment", ...)`` appear in the
+#: CLI next to these
+DEFAULT_EXPERIMENTS: dict[str, Callable[[object, bool], ExperimentResult]] = {
     "fig1": _fig1,
     "fig2": _fig2,
     "fig3": _fig3,
@@ -154,13 +159,9 @@ EXPERIMENTS: dict[str, Callable[[object, bool], ExperimentResult]] = {
 
 def run_experiment(name: str, seed=None, quick: bool = False) -> ExperimentResult:
     """Run one experiment by registry name."""
-    try:
-        fn = EXPERIMENTS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
-        ) from None
-    return fn(seed, quick)
+    # RegistryError subclasses ValueError, so unknown names keep raising
+    # the historical exception type (with every available entry listed)
+    return EXPERIMENTS.create(name, seed, quick)
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -341,32 +342,34 @@ def main(argv: "list[str] | None" = None) -> int:
         nonlocal exit_code
         from pathlib import Path
 
+        from repro.config import RunConfig, SweepConfig
         from repro.experiments.journal import DEFAULT_JOURNAL_NAME
-        from repro.experiments.parallel import RunConfig, SweepPolicy, run_sweep
+        from repro.experiments.parallel import run_sweep
 
-        policy = SweepPolicy(
+        sweep_config = SweepConfig(
+            runs=tuple(
+                RunConfig(n, seed=args.seed, quick=args.quick) for n in names
+            ),
+            base_seed=args.seed,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
             timeout=args.timeout,
-            max_retries=args.retries,
+            retries=args.retries,
             quarantine=True,
             quarantine_after=args.quarantine_after,
+            resume=args.resume,
         )
         journal = None
         if args.cache_dir is not None:
             journal = Path(args.cache_dir).expanduser() / DEFAULT_JOURNAL_NAME
-        configs = [RunConfig(n, seed=args.seed, quick=args.quick) for n in names]
         monitor = None
         if args.live:
             from repro.obs import SweepProgress
 
-            monitor = SweepProgress(len(configs), jobs=args.jobs)
+            monitor = SweepProgress(len(sweep_config.runs), jobs=args.jobs)
         outcomes = run_sweep(
-            configs,
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            base_seed=args.seed,
-            policy=policy,
+            sweep_config,
             journal=journal,
-            resume=args.resume,
             faults=faults,
             monitor=monitor,
         )

@@ -1,0 +1,304 @@
+"""Plugin registry: named factories for every pluggable layer.
+
+One :class:`Registry` per extension point — engines, order policies,
+controllers, conflict policies, workloads, experiments — each mapping a
+stable string name to a factory callable.  The built-in entries populate
+lazily on first lookup (keeping this module import-light and cycle-free);
+third parties add their own with :func:`register`::
+
+    import repro
+
+    @repro.register("controller", "my-controller")
+    def _make(config):          # factory receives the RunConfig
+        return MyController(config.rho, m_max=config.m_max)
+
+    repro.run(repro.RunConfig(workload="consuming", controller="my-controller"),
+              graph=my_graph)
+
+Factory calling conventions (what ``repro.api.run`` passes):
+
+========================  ==================================================
+registry                  factory signature
+========================  ==================================================
+``"experiment"``          ``factory(seed, quick) -> ExperimentResult``
+``"controller"``          ``factory(config: RunConfig) -> Controller``
+``"conflict-policy"``     ``factory(config: RunConfig) -> ConflictPolicy``
+``"workload"``            ``factory(graph, config: RunConfig) -> workload``
+``"order-policy"``        ``factory(**kwargs) -> OrderPolicy``
+``"engine"``              ``factory(...) -> Engine`` (constructor passthrough)
+========================  ==================================================
+
+Lookup failures are actionable: an unknown name raises
+:class:`~repro.errors.RegistryError` listing every available entry, and
+duplicate registration raises instead of silently clobbering (pass
+``overwrite=True`` to replace deliberately, e.g. in tests).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.errors import RegistryError
+
+__all__ = [
+    "Registry",
+    "register",
+    "registry",
+    "ENGINES",
+    "ORDER_POLICIES",
+    "CONTROLLERS",
+    "CONFLICT_POLICIES",
+    "WORKLOADS",
+    "EXPERIMENTS",
+]
+
+
+class Registry:
+    """Mapping of stable names to factory callables, with lazy seeding.
+
+    *populate*, when given, is called once — on first lookup or
+    mutation — with the registry itself and installs the built-in
+    entries.  This keeps ``import repro.registry`` free of heavy imports
+    and of cycles with the layers whose classes it names.
+    """
+
+    def __init__(self, kind: str, populate: "Callable[[Registry], None] | None" = None):
+        self.kind = kind
+        self._entries: dict[str, Callable] = {}
+        self._populate = populate
+        self._populated = populate is None
+
+    # -- lazy seeding ---------------------------------------------------
+    def _ensure_populated(self) -> None:
+        if not self._populated:
+            self._populated = True  # set first: populate() calls register()
+            self._populate(self)
+
+    # -- mutation -------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        factory: "Callable | None" = None,
+        *,
+        overwrite: bool = False,
+    ):
+        """Register *factory* under *name*; usable as a decorator.
+
+        Raises :class:`~repro.errors.RegistryError` if *name* is already
+        taken (unless ``overwrite=True``) so two plugins cannot silently
+        shadow each other.
+        """
+        if factory is None:  # decorator form: @REG.register("name")
+            def _decorator(fn: Callable) -> Callable:
+                self.register(name, fn, overwrite=overwrite)
+                return fn
+
+            return _decorator
+        if not isinstance(name, str) or not name:
+            raise RegistryError(
+                f"{self.kind} name must be a non-empty string, got {name!r}"
+            )
+        if not callable(factory):
+            raise RegistryError(
+                f"{self.kind} factory for {name!r} must be callable, "
+                f"got {type(factory).__name__}"
+            )
+        self._ensure_populated()
+        if name in self._entries and not overwrite:
+            raise RegistryError(
+                f"{self.kind} {name!r} is already registered; "
+                f"pass overwrite=True to replace it"
+            )
+        self._entries[name] = factory
+        return factory
+
+    def unregister(self, name: str) -> None:
+        """Remove *name* (missing names raise, like :meth:`get`)."""
+        self._ensure_populated()
+        if name not in self._entries:
+            raise RegistryError(self._unknown_message(name))
+        del self._entries[name]
+
+    # -- lookup ---------------------------------------------------------
+    def _unknown_message(self, name: str) -> str:
+        available = ", ".join(sorted(self._entries)) or "(none registered)"
+        return f"unknown {self.kind} {name!r}; available: {available}"
+
+    def get(self, name: str) -> Callable:
+        """The factory registered under *name*.
+
+        Unknown names raise with the full sorted list of available
+        entries — the error is the documentation.
+        """
+        self._ensure_populated()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise RegistryError(self._unknown_message(name)) from None
+
+    def create(self, name: str, *args, **kwargs):
+        """Look up *name* and call its factory with the given arguments."""
+        return self.get(name)(*args, **kwargs)
+
+    def names(self) -> list[str]:
+        """Sorted names of every registered entry."""
+        self._ensure_populated()
+        return sorted(self._entries)
+
+    # -- mapping protocol (read-only views) ------------------------------
+    def __contains__(self, name: object) -> bool:
+        self._ensure_populated()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure_populated()
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        state = f"{len(self._entries)} entries" if self._populated else "unpopulated"
+        return f"Registry(kind={self.kind!r}, {state})"
+
+
+# ----------------------------------------------------------------------
+# built-in entries (imports deferred into the populate hooks)
+# ----------------------------------------------------------------------
+def _populate_engines(reg: Registry) -> None:
+    from repro.runtime.engine import OptimisticEngine
+    from repro.runtime.ordered import OrderedEngine
+
+    reg.register("optimistic", OptimisticEngine)
+    reg.register("ordered", OrderedEngine)
+
+
+def _populate_order_policies(reg: Registry) -> None:
+    from repro.runtime.policies import OrderedCommitOrder, UnorderedCommitOrder
+
+    reg.register("unordered", UnorderedCommitOrder)
+    reg.register("ordered", OrderedCommitOrder)
+
+
+def _populate_controllers(reg: Registry) -> None:
+    # every factory takes the RunConfig and honours (rho, m, m_min, m_max)
+    # where the controller supports them
+    from repro.control.adaptive import NoiseAdaptiveHybridController
+    from repro.control.aimd import AIMDController
+    from repro.control.asteal import AStealController
+    from repro.control.bisection import BisectionController
+    from repro.control.fixed import FixedController
+    from repro.control.hybrid import HybridController
+    from repro.control.pid import PIController
+    from repro.control.recurrence import RecurrenceAController, RecurrenceBController
+
+    def _range_kwargs(config) -> dict:
+        kwargs = {"m_max": config.m_max}
+        if config.m_min is not None:
+            kwargs["m_min"] = config.m_min
+        return kwargs
+
+    reg.register("hybrid", lambda config: HybridController(config.rho, **_range_kwargs(config)))
+    reg.register("aimd", lambda config: AIMDController(config.rho, **_range_kwargs(config)))
+    reg.register("pi", lambda config: PIController(config.rho, **_range_kwargs(config)))
+    reg.register(
+        "bisection",
+        lambda config: BisectionController(config.rho, **_range_kwargs(config)),
+    )
+    reg.register(
+        "recurrence-a",
+        lambda config: RecurrenceAController(config.rho, **_range_kwargs(config)),
+    )
+    reg.register(
+        "recurrence-b",
+        lambda config: RecurrenceBController(config.rho, **_range_kwargs(config)),
+    )
+    reg.register(
+        "noise-adaptive",
+        lambda config: NoiseAdaptiveHybridController(config.rho, **_range_kwargs(config)),
+    )
+    reg.register(
+        "asteal", lambda config: AStealController(config.rho, **_range_kwargs(config))
+    )
+
+    def _fixed(config):
+        from repro.errors import ConfigError
+
+        if config.m is None:
+            raise ConfigError('controller="fixed" needs an explicit m in the RunConfig')
+        return FixedController(config.m)
+
+    reg.register("fixed", _fixed)
+
+
+def _populate_conflict_policies(reg: Registry) -> None:
+    from repro.runtime.conflict import ExplicitGraphPolicy, ItemLockPolicy
+
+    reg.register("item-lock", lambda config: ItemLockPolicy())
+    reg.register("explicit-graph", lambda config: ExplicitGraphPolicy())
+
+
+def _populate_workloads(reg: Registry) -> None:
+    from repro.runtime.workloads import (
+        ConsumingGraphWorkload,
+        RegeneratingGraphWorkload,
+        ReplayGraphWorkload,
+    )
+
+    reg.register("replay", lambda graph, config: ReplayGraphWorkload(graph))
+    reg.register("consuming", lambda graph, config: ConsumingGraphWorkload(graph))
+
+    def _regenerating(graph, config):
+        # keep n and mean degree stationary: regenerate at the current
+        # average degree unless the workload is built directly
+        target = max(1, round(graph.average_degree))
+        return RegeneratingGraphWorkload(graph, target_degree=target, seed=config.seed)
+
+    reg.register("regenerating", _regenerating)
+
+
+def _populate_experiments(reg: Registry) -> None:
+    from repro.experiments.runner import DEFAULT_EXPERIMENTS
+
+    for name, factory in DEFAULT_EXPERIMENTS.items():
+        reg.register(name, factory)
+
+
+ENGINES = Registry("engine", _populate_engines)
+ORDER_POLICIES = Registry("order policy", _populate_order_policies)
+CONTROLLERS = Registry("controller", _populate_controllers)
+CONFLICT_POLICIES = Registry("conflict policy", _populate_conflict_policies)
+WORKLOADS = Registry("workload", _populate_workloads)
+EXPERIMENTS = Registry("experiment", _populate_experiments)
+
+_REGISTRIES: dict[str, Registry] = {
+    "engine": ENGINES,
+    "order-policy": ORDER_POLICIES,
+    "controller": CONTROLLERS,
+    "conflict-policy": CONFLICT_POLICIES,
+    "workload": WORKLOADS,
+    "experiment": EXPERIMENTS,
+}
+
+
+def registry(kind: str) -> Registry:
+    """The :class:`Registry` for *kind* (``"controller"``, ``"workload"`` …)."""
+    try:
+        return _REGISTRIES[kind]
+    except KeyError:
+        available = ", ".join(sorted(_REGISTRIES))
+        raise RegistryError(
+            f"unknown registry kind {kind!r}; available: {available}"
+        ) from None
+
+
+def register(kind: str, name: str, factory: "Callable | None" = None, *, overwrite: bool = False):
+    """Register a third-party *factory* in the *kind* registry.
+
+    Mirrors :meth:`Registry.register`, including the decorator form::
+
+        @repro.register("experiment", "my-study")
+        def _run(seed, quick):
+            ...
+    """
+    return registry(kind).register(name, factory, overwrite=overwrite)

@@ -12,8 +12,10 @@ from repro.runtime.costs import (
     ScaledAbortCostModel,
     UnitCostModel,
 )
-from repro.runtime.engine import OptimisticEngine
+from repro.runtime.core import Engine, OrderPolicy, resolve_engine_mode
+from repro.runtime.engine import CCEngine, OptimisticEngine
 from repro.runtime.ordered import OrderedBatchOutcome, OrderedEngine, PriorityWorkset
+from repro.runtime.policies import OrderedCommitOrder, UnorderedCommitOrder
 from repro.runtime.recording import RunRecorder, diff_runs, load_run, save_run
 from repro.runtime.stats import RunResult, StepStats
 from repro.runtime.task import CallbackOperator, Operator, Task
@@ -35,10 +37,16 @@ __all__ = [
     "ConflictPolicy",
     "ExplicitGraphPolicy",
     "ItemLockPolicy",
+    "Engine",
+    "OrderPolicy",
+    "resolve_engine_mode",
+    "CCEngine",
     "OptimisticEngine",
     "OrderedBatchOutcome",
+    "OrderedCommitOrder",
     "OrderedEngine",
     "PriorityWorkset",
+    "UnorderedCommitOrder",
     "RunRecorder",
     "diff_runs",
     "load_run",

@@ -1,4 +1,4 @@
-"""The optimistic parallelization engine.
+"""The optimistic parallelization engine (unordered commit order).
 
 Discrete-time simulator of a Galois-style speculative runtime, following
 the paper's model (§2) exactly:
@@ -14,51 +14,33 @@ the paper's model (§2) exactly:
 
 All tasks take unit time (the paper's assumption), so one loop iteration
 is one "temporal step" and ``m_t`` is the number of processors in use.
+
+The step pipeline itself lives in :mod:`repro.runtime.core`;
+:class:`OptimisticEngine` is the core :class:`~repro.runtime.core.Engine`
+bound to the :class:`~repro.runtime.policies.UnorderedCommitOrder`
+policy, keeping its historical constructor signature.
 """
 
 from __future__ import annotations
 
-import os
+import warnings
 from collections.abc import Callable
 from typing import TYPE_CHECKING
 
-import numpy as np
-
-from repro.errors import RuntimeEngineError
+from repro.runtime.conflict import ConflictPolicy
+from repro.runtime.core import ENGINE_ENV_VAR, Engine, resolve_engine_mode
+from repro.runtime.policies import UnorderedCommitOrder
+from repro.runtime.stats import StepStats
+from repro.runtime.task import Operator
+from repro.runtime.workset import Workset
 
 if TYPE_CHECKING:  # avoid runtime<->control import cycle; engine only types it
     from repro.control.base import Controller
-from repro.runtime.conflict import ConflictPolicy
-from repro.runtime.stats import RunResult, StepStats
-from repro.runtime.task import Operator, Task
-from repro.runtime.workset import Workset
-from repro.utils.rng import ensure_rng
 
-__all__ = ["OptimisticEngine", "resolve_engine_mode"]
-
-#: environment variable selecting the default conflict-resolution path
-ENGINE_ENV_VAR = "REPRO_ENGINE"
-_ENGINE_MODES = ("reference", "fast")
+__all__ = ["OptimisticEngine", "CCEngine", "resolve_engine_mode", "ENGINE_ENV_VAR"]
 
 
-def resolve_engine_mode(engine: "str | None") -> str:
-    """Normalise an ``engine=`` argument against the ``REPRO_ENGINE`` env var.
-
-    ``None`` defers to the environment (default ``"reference"``); anything
-    else must be ``"reference"`` or ``"fast"``.  Both engines accept the
-    same workloads and produce bit-identical results — ``"fast"`` resolves
-    conflicts with the vectorised kernels of :mod:`repro.runtime.kernels`.
-    """
-    mode = engine if engine is not None else os.environ.get(ENGINE_ENV_VAR, "reference")
-    mode = str(mode).strip().lower() or "reference"
-    if mode not in _ENGINE_MODES:
-        raise RuntimeEngineError(
-            f"unknown engine mode {mode!r}; expected one of {_ENGINE_MODES}"
-        )
-    return mode
-
-
-class OptimisticEngine:
+class OptimisticEngine(Engine):
     """Binds work-set, operator, conflict policy and controller.
 
     Parameters
@@ -108,162 +90,36 @@ class OptimisticEngine:
         profiler=None,
         engine: "str | None" = None,
     ) -> None:
-        from repro.obs.metrics import active_metrics
-        from repro.obs.recorder import active_recorder, describe_seed
-        from repro.obs.spans import NULL_SPAN, active_profiler
-        from repro.runtime.costs import CostTotals, UnitCostModel
-
-        self.workset = workset
-        self.operator = operator
         self.policy = policy
-        self.controller = controller
-        self.engine_mode = resolve_engine_mode(engine)
-        self.rng: np.random.Generator = ensure_rng(seed)
-        self.step_hook = step_hook
-        self.cost_model = cost_model or UnitCostModel()
-        self.costs = CostTotals()
-        self.result = RunResult()
-        # per-task abort counts: starvation diagnostics (optimistic
-        # runtimes can in principle retry one unlucky task forever)
-        self.retry_counts: dict[int, int] = {}
-        self._step = 0
-        self.recorder = recorder if recorder is not None else active_recorder()
-        registry = metrics if metrics is not None else active_metrics()
-        self.metrics = None if registry is None else registry.scope("engine")
-        self.profiler = profiler if profiler is not None else active_profiler()
-        # stashed no-op span: the disabled path costs one None test plus
-        # entering this shared stateless context manager per phase
-        self._null_span = NULL_SPAN
-        if self.recorder is not None or self.metrics is not None:
-            controller.bind_observability(
-                self.recorder,
-                None if registry is None else registry.scope("controller"),
-            )
-        if self.recorder is not None:
-            self.recorder.emit(
-                "run_start",
-                step=self._step,
-                engine=type(self).__name__,
-                policy=type(policy).__name__,
-                seed=describe_seed(seed),
-                workset_size=len(workset),
-                controller=controller.describe(),
-            )
+        super().__init__(
+            workset,
+            operator,
+            controller,
+            UnorderedCommitOrder(policy),
+            seed=seed,
+            step_hook=step_hook,
+            cost_model=cost_model,
+            recorder=recorder,
+            metrics=metrics,
+            profiler=profiler,
+            engine=engine,
+        )
 
-    # ------------------------------------------------------------------
-    def step(self) -> StepStats:
-        """Execute one temporal step; raises if the work-set is empty."""
-        before = len(self.workset)
-        if before == 0:
-            raise RuntimeEngineError("cannot step: work-set is empty")
-        prof = self.profiler
-        null = self._null_span
-        with prof.step_span(self._step) if prof is not None else null:
-            with prof.span("controller.decide") if prof is not None else null:
-                requested = int(self.controller.propose())
-            if requested < 1:
-                raise RuntimeEngineError(
-                    f"controller proposed m={requested}; allocations must be >= 1"
-                )
-            with prof.span("select") if prof is not None else null:
-                batch = self.workset.take(requested, self.rng)
-                if self.recorder is not None:
-                    self.recorder.emit(
-                        "select",
-                        step=self._step,
-                        requested=requested,
-                        taken=len(batch),
-                        workset_before=before,
-                    )
-            with prof.span("resolve") if prof is not None else null:
-                if self.engine_mode == "fast":
-                    outcome = self.policy.resolve_fast(batch, self.operator)
-                else:
-                    outcome = self.policy.resolve(batch, self.operator)
-            with prof.span("commit") if prof is not None else null:
-                for task in outcome.committed:
-                    new_tasks = self.operator.apply(task)
-                    if new_tasks:
-                        self.workset.add_all(new_tasks)
-                for task in outcome.aborted:
-                    self.operator.on_abort(task)
-                    self.retry_counts[task.uid] = self.retry_counts.get(task.uid, 0) + 1
-                    self.workset.add(task)  # rolled back, retried later
-                for task in outcome.committed:
-                    self.retry_counts.pop(task.uid, None)  # made it; stop tracking
-                self.cost_model.charge(self.costs, outcome.committed, outcome.aborted)
-                stats = StepStats(
-                    step=self._step,
-                    requested=requested,
-                    launched=outcome.launched,
-                    committed=len(outcome.committed),
-                    aborted=len(outcome.aborted),
-                    workset_before=before,
-                    workset_after=len(self.workset),
-                )
-                if self.recorder is not None:
-                    # commit order recorded as positions within the drawn
-                    # batch: deterministic under the seed, unlike
-                    # process-global task uids.  Policies that resolve by
-                    # slot hand the positions over directly; otherwise fall
-                    # back to a uid->position map.
-                    if outcome.commit_slots is not None:
-                        commit_positions = outcome.commit_slots
-                        abort_positions = outcome.abort_slots
-                    else:
-                        position = {t.uid: i for i, t in enumerate(batch)}
-                        commit_positions = [position[t.uid] for t in outcome.committed]
-                        abort_positions = [position[t.uid] for t in outcome.aborted]
-                    self.recorder.emit(
-                        "step",
-                        commit_positions=commit_positions,
-                        abort_positions=abort_positions,
-                        **stats.as_dict(),
-                    )
-                if self.metrics is not None:
-                    self.metrics.counter("steps").inc()
-                    self.metrics.counter("commits").inc(stats.committed)
-                    self.metrics.counter("aborts").inc(stats.aborted)
-                    self.metrics.counter("launched").inc(stats.launched)
-                    self.metrics.histogram("conflict_ratio").observe(stats.conflict_ratio)
-                    self.metrics.gauge("workset").set(stats.workset_after)
-                    self.metrics.gauge("m").set(requested)
-            self._step += 1
-            with prof.span("controller.update") if prof is not None else null:
-                self.controller.observe(stats.conflict_ratio, outcome.launched)
-        self.result.append(stats)
-        if self.step_hook is not None:
-            self.step_hook(self, stats)
-        return stats
 
-    def run(self, max_steps: int | None = None) -> RunResult:
-        """Step until the work-set drains (or *max_steps* is reached)."""
-        if max_steps is not None and max_steps < 0:
-            raise RuntimeEngineError(f"max_steps must be >= 0, got {max_steps}")
-        while len(self.workset) > 0:
-            if max_steps is not None and self._step >= max_steps:
-                break
-            self.step()
-        if self.recorder is not None:
-            self.recorder.emit(
-                "run_end",
-                step=self._step,
-                steps=len(self.result),
-                committed=self.result.total_committed,
-                aborted=self.result.total_aborted,
-                workset=len(self.workset),
-            )
-        return self.result
+class CCEngine(OptimisticEngine):
+    """Deprecated pre-rename alias of :class:`OptimisticEngine`.
 
-    @property
-    def steps_executed(self) -> int:
-        return self._step
+    Kept so code written against the original class name keeps running;
+    instantiation raises a :class:`DeprecationWarning`.  New code should
+    construct :class:`OptimisticEngine` (or go through
+    :func:`repro.api.run` with a :class:`repro.config.RunConfig`).
+    """
 
-    def max_pending_retries(self) -> int:
-        """Largest abort count among tasks that have not yet committed.
-
-        A starvation indicator: with the random-permutation scheduler each
-        pending task eventually wins its conflicts w.p. 1, but heavy
-        contention shows up here long before it shows in the ratios.
-        """
-        return max(self.retry_counts.values(), default=0)
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "CCEngine is deprecated; use OptimisticEngine "
+            "(or repro.api.run with a RunConfig)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)

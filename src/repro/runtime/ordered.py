@@ -20,23 +20,28 @@ The observed conflict ratio therefore decomposes as
 controllers need no change — they just see a steeper ``r̄(m)``, and the
 ordered experiment shows how much exploitable parallelism the ordering
 constraint destroys.
+
+The step pipeline lives in :mod:`repro.runtime.core` and the
+barrier/horizon commit rules in
+:class:`~repro.runtime.policies.OrderedCommitOrder`;
+:class:`OrderedEngine` binds the two with its historical constructor
+signature.  :class:`~repro.runtime.policies.PriorityWorkset` and
+:class:`~repro.runtime.policies.OrderedBatchOutcome` are re-exported here
+for backwards compatibility.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Callable
-from itertools import count
 from typing import TYPE_CHECKING
 
-import numpy as np
-
-from repro.errors import RuntimeEngineError, WorksetEmptyError
-from repro.runtime.engine import resolve_engine_mode
-from repro.runtime.kernels import greedy_lock_mask
-from repro.runtime.stats import RunResult, StepStats
+from repro.runtime.core import Engine
+from repro.runtime.policies import (
+    OrderedBatchOutcome,
+    OrderedCommitOrder,
+    PriorityWorkset,
+)
 from repro.runtime.task import Operator, Task
-from repro.utils.rng import substream
 
 if TYPE_CHECKING:  # avoid runtime<->control import cycle
     from repro.control.base import Controller
@@ -44,114 +49,18 @@ if TYPE_CHECKING:  # avoid runtime<->control import cycle
 __all__ = ["PriorityWorkset", "OrderedBatchOutcome", "OrderedEngine"]
 
 
-class PriorityWorkset:
-    """Min-heap of ``(priority, tie, task)`` — earliest work first."""
-
-    def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Task]] = []
-        self._ties = count()
-
-    def add(self, task: Task, priority: float) -> None:
-        """Insert *task* at *priority* (smaller = earlier = more urgent)."""
-        heapq.heappush(self._heap, (float(priority), next(self._ties), task))
-
-    def take_earliest(self, m: int) -> list[tuple[float, Task]]:
-        """Remove the ``min(m, len)`` earliest tasks, in priority order."""
-        if not self._heap:
-            raise WorksetEmptyError("take from empty priority work-set")
-        if m < 0:
-            raise ValueError(f"cannot take {m} tasks")
-        out = []
-        for _ in range(min(m, len(self._heap))):
-            prio, _, task = heapq.heappop(self._heap)
-            out.append((prio, task))
-        return out
-
-    def peek_priority(self) -> float:
-        """Priority of the earliest pending task."""
-        if not self._heap:
-            raise WorksetEmptyError("peek into empty priority work-set")
-        return self._heap[0][0]
-
-    def __len__(self) -> int:
-        return len(self._heap)
-
-    def __bool__(self) -> bool:
-        return bool(self._heap)
-
-
-class OrderedBatchOutcome:
-    """Resolution of one ordered speculative batch.
-
-    ``barrier`` is the priority of the earliest conflict-aborted task
-    (``inf`` when none aborted); ``horizon`` is the final earliest-possible-
-    future-work priority after all commits applied (it starts at the
-    barrier and shrinks as committed tasks create new work).  Both are
-    recorded for rollback-accounting diagnostics.
-    """
-
-    __slots__ = ("committed", "conflict_aborted", "order_aborted", "barrier", "horizon")
-
-    def __init__(
-        self,
-        committed: list[tuple[float, Task]],
-        conflict_aborted: list[tuple[float, Task]],
-        order_aborted: list[tuple[float, Task]],
-        barrier: float = float("inf"),
-        horizon: float = float("inf"),
-    ):
-        self.committed = committed
-        self.conflict_aborted = conflict_aborted
-        self.order_aborted = order_aborted
-        self.barrier = barrier
-        self.horizon = horizon
-
-    @property
-    def launched(self) -> int:
-        return len(self.committed) + len(self.conflict_aborted) + len(self.order_aborted)
-
-    @property
-    def conflict_ratio(self) -> float:
-        """Total abort fraction (conflicts + order violations)."""
-        n = self.launched
-        if not n:
-            return 0.0
-        return (len(self.conflict_aborted) + len(self.order_aborted)) / n
-
-
-class OrderedEngine:
+class OrderedEngine(Engine):
     """Speculative engine for priority-ordered work.
 
     Parameters mirror :class:`~repro.runtime.engine.OptimisticEngine`
     (including the ``engine="reference"|"fast"`` switch); the operator's
-    ``apply`` must return ``list[(priority, Task)]`` pairs via the
-    *priority_of* callable: new tasks are enqueued at
-    ``priority_of(new_task)``.
+    ``apply`` must return new tasks whose priorities the *priority_of*
+    callable reports: new tasks are enqueued at ``priority_of(new_task)``.
 
-    **Per-step RNG substreams.**  Aborted tasks roll back into the
-    work-set and retry in later steps, so how much randomness one step's
-    operators consume depends on the whole retry history.  A single
-    shared stream would therefore make per-step draws irreproducible from
-    the recorded seed alone.  Instead :attr:`rng` is re-derived at the
-    top of every step as a pure function of ``(seed, step)`` — replaying
-    any step in isolation sees exactly the draws of the original run,
-    regardless of what earlier (re)executions consumed.
-
-    Commit rule per step, with the batch sorted by priority:
-
-    1. walk the batch earliest-first; a task *conflict-aborts* if its
-       neighbourhood intersects an earlier committed task's neighbourhood;
-    2. the **barrier**: no survivor later than the earliest
-       conflict-aborted task may commit — that aborted task will re-execute
-       in a future step and may create work in their past (order-abort
-       instead of implementing Time-Warp anti-message cascades);
-    3. apply surviving tasks earliest-first; after each apply, any later
-       not-yet-applied survivor whose priority exceeds the earliest
-       priority just *created* is also **order-aborted**.
-
-    Rules 2+3 together give the strong invariant the tests rely on:
-    the global committed sequence is chronologically sorted, and equals
-    the sequential execution of the same workload.
+    The commit rules (conflict phase, barrier, horizon) and the per-step
+    RNG substream scheme are documented on
+    :class:`~repro.runtime.policies.OrderedCommitOrder`, which this class
+    plugs into the shared step-pipeline core.
     """
 
     def __init__(
@@ -165,211 +74,36 @@ class OrderedEngine:
         metrics=None,
         profiler=None,
         engine: "str | None" = None,
+        step_hook=None,
+        cost_model=None,
     ) -> None:
-        from repro.obs.metrics import active_metrics
-        from repro.obs.recorder import active_recorder, describe_seed
-        from repro.obs.spans import NULL_SPAN, active_profiler
-
-        self.workset = workset
-        self.operator = operator
-        self.controller = controller
         self.priority_of = priority_of
-        self.engine_mode = resolve_engine_mode(engine)
-        # Seeds (ints / SeedSequence / None) get per-step substream
-        # derivation; a caller-owned Generator cannot be re-derived, so it
-        # is used as-is (draws then depend on prior consumption — pass a
-        # seed when step-level reproducibility matters).
-        if isinstance(seed, np.random.Generator):
-            self._seed = None
-            self.rng: np.random.Generator = seed
-        else:
-            self._seed = seed if seed is not None else int(
-                np.random.SeedSequence().generate_state(1)[0]
-            )
-            self.rng = substream(self._seed, "ordered-step", 0)
-        self.result = RunResult()
-        self.order_aborts_total = 0
-        self.conflict_aborts_total = 0
-        self._step = 0
-        self.recorder = recorder if recorder is not None else active_recorder()
-        registry = metrics if metrics is not None else active_metrics()
-        self.metrics = None if registry is None else registry.scope("engine")
-        self.profiler = profiler if profiler is not None else active_profiler()
-        self._null_span = NULL_SPAN
-        if self.recorder is not None or self.metrics is not None:
-            controller.bind_observability(
-                self.recorder,
-                None if registry is None else registry.scope("controller"),
-            )
-        if self.recorder is not None:
-            self.recorder.emit(
-                "run_start",
-                step=self._step,
-                engine=type(self).__name__,
-                policy="ordered",
-                seed=describe_seed(seed),
-                workset_size=len(workset),
-                controller=controller.describe(),
-            )
-
-    # ------------------------------------------------------------------
-    def _conflict_phase(
-        self, batch: list[tuple[float, Task]]
-    ) -> tuple[list[tuple[float, Task]], list[tuple[float, Task]]]:
-        """Greedy item-lock partition of *batch* into (survivors, aborted)."""
-        if self.engine_mode == "fast":
-            codes: dict = {}
-            flat: list[int] = []
-            ptr = np.zeros(len(batch) + 1, dtype=np.int64)
-            for i, (_, task) in enumerate(batch):
-                for item in set(self.operator.neighborhood(task)):
-                    flat.append(codes.setdefault(item, len(codes)))
-                ptr[i + 1] = len(flat)
-            mask = greedy_lock_mask(
-                ptr, np.asarray(flat, dtype=np.int64), num_items=len(codes)
-            )
-            survivors = [entry for entry, ok in zip(batch, mask) if ok]
-            aborted = [entry for entry, ok in zip(batch, mask) if not ok]
-            return survivors, aborted
-        held: set = set()
-        survivors = []
-        aborted = []
-        for prio, task in batch:  # batch is already earliest-first
-            items = set(self.operator.neighborhood(task))
-            if held.isdisjoint(items):
-                held |= items
-                survivors.append((prio, task))
-            else:
-                aborted.append((prio, task))
-        return survivors, aborted
-
-    def _resolve(self, batch: list[tuple[float, Task]]) -> OrderedBatchOutcome:
-        prof = self.profiler
-        null = self._null_span
-        with prof.span("resolve") if prof is not None else null:
-            survivors, conflict_aborted = self._conflict_phase(batch)
-        committed: list[tuple[float, Task]] = []
-        order_aborted: list[tuple[float, Task]] = []
-        # barrier: an aborted task re-executes later and creates work no
-        # earlier than its own priority — nothing beyond it may commit now
-        barrier = min((p for p, _ in conflict_aborted), default=float("inf"))
-        horizon = barrier  # earliest possible future work
-        with prof.span("commit") if prof is not None else null:
-            for prio, task in survivors:
-                if prio > horizon:
-                    order_aborted.append((prio, task))
-                    continue
-                new_work = self.operator.apply(task)
-                for new_task in new_work:
-                    new_prio = float(self.priority_of(new_task))
-                    if new_prio < prio:
-                        raise RuntimeEngineError(
-                            f"operator created work at priority {new_prio} before "
-                            f"its own task at {prio} (causality violation)"
-                        )
-                    self.workset.add(new_task, new_prio)
-                    horizon = min(horizon, new_prio)
-                committed.append((prio, task))
-        return OrderedBatchOutcome(
-            committed, conflict_aborted, order_aborted, barrier=barrier, horizon=horizon
+        self._order_policy = OrderedCommitOrder(priority_of)
+        super().__init__(
+            workset,
+            operator,
+            controller,
+            self._order_policy,
+            seed=seed,
+            step_hook=step_hook,
+            cost_model=cost_model,
+            recorder=recorder,
+            metrics=metrics,
+            profiler=profiler,
+            engine=engine,
         )
 
-    def step(self) -> StepStats:
-        """Execute one ordered speculative step."""
-        before = len(self.workset)
-        if before == 0:
-            raise RuntimeEngineError("cannot step: work-set is empty")
-        prof = self.profiler
-        null = self._null_span
-        with prof.step_span(self._step) if prof is not None else null:
-            if self._seed is not None:
-                # one substream per step: draws are a pure function of
-                # (seed, step), never of earlier steps' retry history
-                self.rng = substream(self._seed, "ordered-step", self._step)
-            with prof.span("controller.decide") if prof is not None else null:
-                requested = int(self.controller.propose())
-            if requested < 1:
-                raise RuntimeEngineError(
-                    f"controller proposed m={requested}; allocations must be >= 1"
-                )
-            with prof.span("select") if prof is not None else null:
-                batch = self.workset.take_earliest(requested)
-                if self.recorder is not None:
-                    self.recorder.emit(
-                        "select",
-                        step=self._step,
-                        requested=requested,
-                        taken=len(batch),
-                        workset_before=before,
-                    )
-            outcome = self._resolve(batch)  # opens resolve/commit spans
-            with prof.span("record") if prof is not None else null:
-                for prio, task in outcome.conflict_aborted:
-                    self.operator.on_abort(task)
-                    self.workset.add(task, prio)
-                for prio, task in outcome.order_aborted:
-                    self.operator.on_abort(task)
-                    self.workset.add(task, prio)
-                self.conflict_aborts_total += len(outcome.conflict_aborted)
-                self.order_aborts_total += len(outcome.order_aborted)
-                stats = StepStats(
-                    step=self._step,
-                    requested=requested,
-                    launched=outcome.launched,
-                    committed=len(outcome.committed),
-                    aborted=outcome.launched - len(outcome.committed),
-                    workset_before=before,
-                    workset_after=len(self.workset),
-                )
-                if self.recorder is not None:
-                    position = {t.uid: i for i, (_, t) in enumerate(batch)}
-                    finite = lambda x: None if x == float("inf") else float(x)  # noqa: E731
-                    self.recorder.emit(
-                        "step",
-                        commit_positions=[position[t.uid] for _, t in outcome.committed],
-                        abort_positions=sorted(
-                            position[t.uid]
-                            for _, t in outcome.conflict_aborted + outcome.order_aborted
-                        ),
-                        conflict_aborted=len(outcome.conflict_aborted),
-                        order_aborted=len(outcome.order_aborted),
-                        barrier=finite(outcome.barrier),
-                        horizon=finite(outcome.horizon),
-                        **stats.as_dict(),
-                    )
-                if self.metrics is not None:
-                    self.metrics.counter("steps").inc()
-                    self.metrics.counter("commits").inc(stats.committed)
-                    self.metrics.counter("aborts").inc(stats.aborted)
-                    self.metrics.counter("conflict_aborts").inc(len(outcome.conflict_aborted))
-                    self.metrics.counter("order_aborts").inc(len(outcome.order_aborted))
-                    self.metrics.counter("launched").inc(stats.launched)
-                    self.metrics.histogram("conflict_ratio").observe(stats.conflict_ratio)
-                    self.metrics.gauge("workset").set(stats.workset_after)
-                    self.metrics.gauge("m").set(requested)
-            self._step += 1
-            with prof.span("controller.update") if prof is not None else null:
-                self.controller.observe(stats.conflict_ratio, outcome.launched)
-        self.result.append(stats)
-        return stats
+    # ------------------------------------------------------------------
+    def _resolve(self, batch: "list[tuple[float, Task]]") -> OrderedBatchOutcome:
+        """Resolve one ordered batch (swap point for tests/subclasses)."""
+        return self._order_policy.resolve(batch)
 
-    def run(self, max_steps: int | None = None) -> RunResult:
-        """Step until the work-set drains (or *max_steps*)."""
-        if max_steps is not None and max_steps < 0:
-            raise RuntimeEngineError(f"max_steps must be >= 0, got {max_steps}")
-        while len(self.workset) > 0:
-            if max_steps is not None and self._step >= max_steps:
-                break
-            self.step()
-        if self.recorder is not None:
-            self.recorder.emit(
-                "run_end",
-                step=self._step,
-                steps=len(self.result),
-                committed=self.result.total_committed,
-                aborted=self.result.total_aborted,
-                conflict_aborts=self.conflict_aborts_total,
-                order_aborts=self.order_aborts_total,
-                workset=len(self.workset),
-            )
-        return self.result
+    @property
+    def conflict_aborts_total(self) -> int:
+        """Cumulative conflict-aborted tasks across the whole run."""
+        return self._order_policy.conflict_aborts_total
+
+    @property
+    def order_aborts_total(self) -> int:
+        """Cumulative order-aborted (barrier/horizon) tasks across the run."""
+        return self._order_policy.order_aborts_total

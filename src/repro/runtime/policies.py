@@ -1,0 +1,362 @@
+"""Commit-order policies: the two engine variants as core plugins.
+
+:class:`UnorderedCommitOrder` is the paper's §2 model — the batch is a
+uniform draw from the work-set and the draw order *is* the commit order
+``π_m``; a pluggable :class:`~repro.runtime.conflict.ConflictPolicy`
+partitions it into committed/aborted tasks.
+
+:class:`OrderedCommitOrder` is the §5 extension — tasks carry priorities
+(virtual time), the batch is the ``m`` *earliest* pending tasks, and two
+extra abort rules (*barrier* and *horizon*) guarantee the committed
+sequence is globally chronological, hence equal to the sequential
+execution.
+
+Both policies plug into :class:`repro.runtime.core.Engine`; the
+fast/reference kernel dispatch honours the engine's ``engine_mode`` so
+byte-identical traces hold across both kernel paths.  The historical
+:class:`~repro.runtime.ordered.PriorityWorkset` and
+:class:`~repro.runtime.ordered.OrderedBatchOutcome` types live here now
+(``repro.runtime.ordered`` re-exports them).
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import RuntimeEngineError, WorksetEmptyError
+from repro.runtime.core import OrderPolicy
+from repro.runtime.kernels import greedy_lock_mask
+from repro.utils.rng import ensure_rng, substream
+
+if TYPE_CHECKING:
+    from collections.abc import Callable
+
+    from repro.runtime.conflict import ConflictPolicy
+    from repro.runtime.task import Task
+
+__all__ = [
+    "PriorityWorkset",
+    "OrderedBatchOutcome",
+    "UnorderedCommitOrder",
+    "OrderedCommitOrder",
+]
+
+
+class PriorityWorkset:
+    """Min-heap of ``(priority, tie, task)`` — earliest work first."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, "Task"]] = []
+        self._ties = count()
+
+    def add(self, task: "Task", priority: float) -> None:
+        """Insert *task* at *priority* (smaller = earlier = more urgent)."""
+        heapq.heappush(self._heap, (float(priority), next(self._ties), task))
+
+    def take_earliest(self, m: int) -> "list[tuple[float, Task]]":
+        """Remove the ``min(m, len)`` earliest tasks, in priority order."""
+        if not self._heap:
+            raise WorksetEmptyError("take from empty priority work-set")
+        if m < 0:
+            raise ValueError(f"cannot take {m} tasks")
+        out = []
+        for _ in range(min(m, len(self._heap))):
+            prio, _, task = heapq.heappop(self._heap)
+            out.append((prio, task))
+        return out
+
+    def peek_priority(self) -> float:
+        """Priority of the earliest pending task."""
+        if not self._heap:
+            raise WorksetEmptyError("peek into empty priority work-set")
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class OrderedBatchOutcome:
+    """Resolution of one ordered speculative batch.
+
+    ``barrier`` is the priority of the earliest conflict-aborted task
+    (``inf`` when none aborted); ``horizon`` is the final earliest-possible-
+    future-work priority after all commits applied (it starts at the
+    barrier and shrinks as committed tasks create new work).  Both are
+    recorded for rollback-accounting diagnostics.
+    """
+
+    __slots__ = ("committed", "conflict_aborted", "order_aborted", "barrier", "horizon")
+
+    def __init__(
+        self,
+        committed: "list[tuple[float, Task]]",
+        conflict_aborted: "list[tuple[float, Task]]",
+        order_aborted: "list[tuple[float, Task]]",
+        barrier: float = float("inf"),
+        horizon: float = float("inf"),
+    ):
+        self.committed = committed
+        self.conflict_aborted = conflict_aborted
+        self.order_aborted = order_aborted
+        self.barrier = barrier
+        self.horizon = horizon
+
+    @property
+    def launched(self) -> int:
+        return len(self.committed) + len(self.conflict_aborted) + len(self.order_aborted)
+
+    @property
+    def conflict_ratio(self) -> float:
+        """Total abort fraction (conflicts + order violations)."""
+        n = self.launched
+        if not n:
+            return 0.0
+        return (len(self.conflict_aborted) + len(self.order_aborted)) / n
+
+
+class UnorderedCommitOrder(OrderPolicy):
+    """Random commit order over a uniform-draw work-set (§2 model).
+
+    Wraps a :class:`~repro.runtime.conflict.ConflictPolicy`; the trace's
+    ``policy`` field keeps naming the conflict policy class, exactly as
+    the pre-core :class:`~repro.runtime.engine.OptimisticEngine` did.
+    """
+
+    def __init__(self, conflict_policy: "ConflictPolicy") -> None:
+        self.conflict_policy = conflict_policy
+
+    def label(self) -> str:
+        return type(self.conflict_policy).__name__
+
+    def init_rng(self, seed) -> None:
+        self.engine.rng = ensure_rng(seed)
+
+    def select(self, requested: int) -> "list[Task]":
+        eng = self.engine
+        return eng.workset.take(requested, eng.rng)
+
+    def execute(self, batch: "list[Task]"):
+        eng = self.engine
+        with eng.phase_span("resolve"):
+            if eng.engine_mode == "fast":
+                return self.conflict_policy.resolve_fast(batch, eng.operator)
+            return self.conflict_policy.resolve(batch, eng.operator)
+
+    def apply(self, outcome) -> None:
+        # runs inside the core's "commit" span (commit_span_name default)
+        eng = self.engine
+        for task in outcome.committed:
+            new_tasks = eng.operator.apply(task)
+            if new_tasks:
+                eng.workset.add_all(new_tasks)
+        for task in outcome.aborted:
+            eng.operator.on_abort(task)
+            eng.workset.add(task)  # rolled back, retried later
+
+    def committed_tasks(self, outcome) -> "list[Task]":
+        return outcome.committed
+
+    def aborted_tasks(self, outcome) -> "list[Task]":
+        return outcome.aborted
+
+    def step_event_fields(self, batch: "list[Task]", outcome) -> dict:
+        # commit order recorded as positions within the drawn batch:
+        # deterministic under the seed, unlike process-global task uids.
+        # Policies that resolve by slot hand the positions over directly;
+        # otherwise fall back to a uid->position map.
+        if outcome.commit_slots is not None:
+            return {
+                "commit_positions": outcome.commit_slots,
+                "abort_positions": outcome.abort_slots,
+            }
+        position = {t.uid: i for i, t in enumerate(batch)}
+        return {
+            "commit_positions": [position[t.uid] for t in outcome.committed],
+            "abort_positions": [position[t.uid] for t in outcome.aborted],
+        }
+
+
+class OrderedCommitOrder(OrderPolicy):
+    """Priority commit order with barrier/horizon abort rules (§5).
+
+    Commit rule per step, with the batch sorted by priority:
+
+    1. walk the batch earliest-first; a task *conflict-aborts* if its
+       neighbourhood intersects an earlier committed task's neighbourhood;
+    2. the **barrier**: no survivor later than the earliest
+       conflict-aborted task may commit — that aborted task will re-execute
+       in a future step and may create work in their past (order-abort
+       instead of implementing Time-Warp anti-message cascades);
+    3. apply surviving tasks earliest-first; after each apply, any later
+       not-yet-applied survivor whose priority exceeds the earliest
+       priority just *created* is also **order-aborted**.
+
+    Rules 2+3 together give the strong invariant the tests rely on:
+    the global committed sequence is chronologically sorted, and equals
+    the sequential execution of the same workload.
+
+    **Per-step RNG substreams.**  Aborted tasks roll back into the
+    work-set and retry in later steps, so how much randomness one step's
+    operators consume depends on the whole retry history.  A single
+    shared stream would therefore make per-step draws irreproducible from
+    the recorded seed alone.  Instead ``engine.rng`` is re-derived at the
+    top of every step as a pure function of ``(seed, step)`` — replaying
+    any step in isolation sees exactly the draws of the original run,
+    regardless of what earlier (re)executions consumed.
+    """
+
+    def __init__(self, priority_of: "Callable[[Task], float]") -> None:
+        self.priority_of = priority_of
+        self.conflict_aborts_total = 0
+        self.order_aborts_total = 0
+        self._seed: "int | None" = None
+
+    def label(self) -> str:
+        return "ordered"
+
+    def init_rng(self, seed) -> None:
+        # Seeds (ints / SeedSequence / None) get per-step substream
+        # derivation; a caller-owned Generator cannot be re-derived, so it
+        # is used as-is (draws then depend on prior consumption — pass a
+        # seed when step-level reproducibility matters).
+        if isinstance(seed, np.random.Generator):
+            self._seed = None
+            self.engine.rng = seed
+        else:
+            self._seed = seed if seed is not None else int(
+                np.random.SeedSequence().generate_state(1)[0]
+            )
+            self.engine.rng = substream(self._seed, "ordered-step", 0)
+
+    def begin_step(self) -> None:
+        if self._seed is not None:
+            # one substream per step: draws are a pure function of
+            # (seed, step), never of earlier steps' retry history
+            self.engine.rng = substream(self._seed, "ordered-step", self.engine._step)
+
+    def select(self, requested: int) -> "list[tuple[float, Task]]":
+        return self.engine.workset.take_earliest(requested)
+
+    def execute(self, batch: "list[tuple[float, Task]]"):
+        # route through the engine attribute so tests (and subclasses)
+        # can swap the resolution step wholesale
+        return self.engine._resolve(batch)  # opens resolve/commit spans
+
+    def commit_span_name(self) -> str:
+        return "record"
+
+    def apply(self, outcome) -> None:
+        # runs inside the core's "record" span: committed operators were
+        # already applied during the horizon walk; only aborts roll back
+        eng = self.engine
+        for prio, task in outcome.conflict_aborted:
+            eng.operator.on_abort(task)
+            eng.workset.add(task, prio)
+        for prio, task in outcome.order_aborted:
+            eng.operator.on_abort(task)
+            eng.workset.add(task, prio)
+        self.conflict_aborts_total += len(outcome.conflict_aborted)
+        self.order_aborts_total += len(outcome.order_aborted)
+
+    # -- resolution (the engine delegates its ``_resolve`` here) --------
+    def _conflict_phase(
+        self, batch: "list[tuple[float, Task]]"
+    ) -> "tuple[list[tuple[float, Task]], list[tuple[float, Task]]]":
+        """Greedy item-lock partition of *batch* into (survivors, aborted)."""
+        eng = self.engine
+        if eng.engine_mode == "fast":
+            codes: dict = {}
+            flat: list[int] = []
+            ptr = np.zeros(len(batch) + 1, dtype=np.int64)
+            for i, (_, task) in enumerate(batch):
+                for item in set(eng.operator.neighborhood(task)):
+                    flat.append(codes.setdefault(item, len(codes)))
+                ptr[i + 1] = len(flat)
+            mask = greedy_lock_mask(
+                ptr, np.asarray(flat, dtype=np.int64), num_items=len(codes)
+            )
+            survivors = [entry for entry, ok in zip(batch, mask) if ok]
+            aborted = [entry for entry, ok in zip(batch, mask) if not ok]
+            return survivors, aborted
+        held: set = set()
+        survivors = []
+        aborted = []
+        for prio, task in batch:  # batch is already earliest-first
+            items = set(eng.operator.neighborhood(task))
+            if held.isdisjoint(items):
+                held |= items
+                survivors.append((prio, task))
+            else:
+                aborted.append((prio, task))
+        return survivors, aborted
+
+    def resolve(self, batch: "list[tuple[float, Task]]") -> OrderedBatchOutcome:
+        """Conflict phase + barrier/horizon commit walk over *batch*."""
+        eng = self.engine
+        with eng.phase_span("resolve"):
+            survivors, conflict_aborted = self._conflict_phase(batch)
+        committed: "list[tuple[float, Task]]" = []
+        order_aborted: "list[tuple[float, Task]]" = []
+        # barrier: an aborted task re-executes later and creates work no
+        # earlier than its own priority — nothing beyond it may commit now
+        barrier = min((p for p, _ in conflict_aborted), default=float("inf"))
+        horizon = barrier  # earliest possible future work
+        with eng.phase_span("commit"):
+            for prio, task in survivors:
+                if prio > horizon:
+                    order_aborted.append((prio, task))
+                    continue
+                new_work = eng.operator.apply(task)
+                for new_task in new_work:
+                    new_prio = float(self.priority_of(new_task))
+                    if new_prio < prio:
+                        raise RuntimeEngineError(
+                            f"operator created work at priority {new_prio} before "
+                            f"its own task at {prio} (causality violation)"
+                        )
+                    eng.workset.add(new_task, new_prio)
+                    horizon = min(horizon, new_prio)
+                committed.append((prio, task))
+        return OrderedBatchOutcome(
+            committed, conflict_aborted, order_aborted, barrier=barrier, horizon=horizon
+        )
+
+    def committed_tasks(self, outcome) -> "list[Task]":
+        return [task for _, task in outcome.committed]
+
+    def aborted_tasks(self, outcome) -> "list[Task]":
+        return [
+            task for _, task in outcome.conflict_aborted + outcome.order_aborted
+        ]
+
+    def step_event_fields(self, batch, outcome) -> dict:
+        position = {t.uid: i for i, (_, t) in enumerate(batch)}
+        finite = lambda x: None if x == float("inf") else float(x)  # noqa: E731
+        return {
+            "commit_positions": [position[t.uid] for _, t in outcome.committed],
+            "abort_positions": sorted(
+                position[t.uid]
+                for _, t in outcome.conflict_aborted + outcome.order_aborted
+            ),
+            "conflict_aborted": len(outcome.conflict_aborted),
+            "order_aborted": len(outcome.order_aborted),
+            "barrier": finite(outcome.barrier),
+            "horizon": finite(outcome.horizon),
+        }
+
+    def step_metrics(self, metrics, outcome) -> None:
+        metrics.counter("conflict_aborts").inc(len(outcome.conflict_aborted))
+        metrics.counter("order_aborts").inc(len(outcome.order_aborted))
+
+    def run_end_fields(self) -> dict:
+        return {
+            "conflict_aborts": self.conflict_aborts_total,
+            "order_aborts": self.order_aborts_total,
+        }

@@ -17,6 +17,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.config import SweepConfig
 from repro.errors import ExperimentError, SweepAbortedError
 from repro.experiments.journal import DEFAULT_JOURNAL_NAME, load_journal
 from repro.experiments.parallel import RunConfig, SweepPolicy, run_sweep
@@ -227,7 +228,12 @@ def test_journal_opens_with_a_sweep_start_record(tmp_path):
         [RunConfig("fig1", seed=2, quick=True)], cache_dir=cache, journal=journal
     )
     first = json.loads(journal.read_text(encoding="utf-8").splitlines()[0])
-    assert first == {"event": "sweep_start", "configs": 1, "base_seed": 0}
+    assert first["event"] == "sweep_start"
+    assert first["configs"] == 1
+    assert first["base_seed"] == 0
+    # the record carries the whole serialised SweepConfig as provenance
+    sweep = SweepConfig.from_dict(first["sweep"])
+    assert sweep.runs == (RunConfig("fig1", seed=2, quick=True),)
 
 
 def test_resume_without_journal_or_cache_is_an_error():

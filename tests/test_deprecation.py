@@ -1,0 +1,72 @@
+"""Deprecated entry points keep working — loudly."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.control.fixed import FixedController
+from repro.runtime import CCEngine, OptimisticEngine
+from repro.runtime.conflict import ItemLockPolicy
+from repro.runtime.task import CallbackOperator, Task
+from repro.runtime.workset import RandomWorkset
+
+
+def _tiny_engine(cls):
+    workset = RandomWorkset()
+    workset.add_all([Task(payload=i) for i in range(8)])
+    return cls(
+        workset=workset,
+        operator=CallbackOperator(
+            neighborhood=lambda task: {task.payload}, apply=lambda task: []
+        ),
+        policy=ItemLockPolicy(),
+        controller=FixedController(2),
+        seed=0,
+    )
+
+
+class TestCCEngineShim:
+    def test_warns_and_subclasses_optimistic_engine(self):
+        with pytest.warns(DeprecationWarning, match="CCEngine is deprecated"):
+            engine = _tiny_engine(CCEngine)
+        assert isinstance(engine, OptimisticEngine)
+
+    def test_shim_runs_identically(self):
+        reference = _tiny_engine(OptimisticEngine).run()
+        with pytest.warns(DeprecationWarning):
+            shimmed = _tiny_engine(CCEngine).run()
+        assert shimmed.total_committed == reference.total_committed
+        assert shimmed.steps == reference.steps
+
+    def test_importable_from_both_module_paths(self):
+        from repro.runtime.engine import CCEngine as from_engine
+
+        assert from_engine is CCEngine
+
+
+class TestBareExperimentNameShim:
+    def test_run_with_bare_string_warns_and_runs(self, monkeypatch):
+        seen = {}
+
+        def _fake(seed, quick):
+            seen["args"] = (seed, quick)
+            return "result"
+
+        monkeypatch.setitem(
+            repro.registry("experiment")._entries, "test-depr-exp", _fake
+        )
+        with pytest.warns(DeprecationWarning, match="bare experiment name"):
+            out = repro.run("test-depr-exp")
+        assert out == "result"
+        assert seen["args"] == (None, False)
+
+    def test_run_config_does_not_warn(self, monkeypatch):
+        monkeypatch.setitem(
+            repro.registry("experiment")._entries,
+            "test-depr-exp2",
+            lambda seed, quick: "ok",
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert repro.run(repro.RunConfig(experiment="test-depr-exp2")) == "ok"

@@ -1,0 +1,76 @@
+"""The import-layering lint: the real tree passes, back-edges are caught."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import check_layers  # noqa: E402 - needs the path tweak above
+
+
+def test_repository_has_no_back_edges(capsys):
+    src = Path(__file__).resolve().parent.parent / "src"
+    assert check_layers.main(["--src", str(src)]) == 0
+    assert "no back-edges" in capsys.readouterr().out
+
+
+def test_rank_resolution_prefers_longest_prefix():
+    assert check_layers.rank_of("repro.runtime.core") < check_layers.rank_of(
+        "repro.runtime.policies"
+    )
+    # unlisted runtime modules fall back to the repro.runtime rank
+    assert check_layers.rank_of("repro.runtime.engine") == check_layers.LAYERS[
+        "repro.runtime"
+    ]
+    assert check_layers.rank_of("numpy") is None
+    assert check_layers.rank_of("reprography") is None  # not a repro.* prefix
+
+
+@pytest.fixture
+def fake_tree(tmp_path):
+    pkg = tmp_path / "src" / "repro"
+    (pkg / "model").mkdir(parents=True)
+    (pkg / "experiments").mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "model" / "__init__.py").write_text("")
+    (pkg / "experiments" / "__init__.py").write_text("")
+    return tmp_path / "src"
+
+
+def test_back_edge_is_reported(fake_tree, capsys):
+    (fake_tree / "repro" / "model" / "bad.py").write_text(
+        "from repro.experiments.runner import run_experiment\n"
+    )
+    assert check_layers.main(["--src", str(fake_tree)]) == 1
+    err = capsys.readouterr().err
+    assert "back-edge" in err
+    assert "repro.model.bad" in err
+
+
+def test_function_level_and_type_checking_imports_are_exempt(fake_tree):
+    (fake_tree / "repro" / "model" / "ok.py").write_text(
+        "from typing import TYPE_CHECKING\n"
+        "if TYPE_CHECKING:\n"
+        "    from repro.experiments.runner import run_experiment\n"
+        "def later():\n"
+        "    from repro.experiments.runner import run_experiment\n"
+        "    return run_experiment\n"
+    )
+    assert check_layers.main(["--src", str(fake_tree)]) == 0
+
+
+def test_relative_imports_resolve(fake_tree, capsys):
+    (fake_tree / "repro" / "model" / "helper.py").write_text("")
+    (fake_tree / "repro" / "model" / "rel.py").write_text(
+        "from . import helper\n"
+    )
+    assert check_layers.main(["--src", str(fake_tree)]) == 0
+    # a relative import reaching a higher layer is still a back-edge
+    (fake_tree / "repro" / "model" / "rel2.py").write_text(
+        "from ..experiments import runner\n"
+    )
+    assert check_layers.main(["--src", str(fake_tree)]) == 1
+    assert "back-edge" in capsys.readouterr().err
