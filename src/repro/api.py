@@ -27,11 +27,16 @@ from repro.config import RunConfig
 from repro.control.base import Controller
 from repro.errors import ConfigError, ReproError
 from repro.graph.ccgraph import CCGraph
-from repro.registry import CONFLICT_POLICIES, CONTROLLERS, EXPERIMENTS, WORKLOADS
+from repro.registry import (
+    CONFLICT_POLICIES,
+    CONTROLLERS,
+    EXPERIMENTS,
+    WORKLOADS,
+    select_backend_for,
+)
 from repro.runtime.ordered import OrderedEngine, PriorityWorkset
 from repro.runtime.stats import RunResult
 from repro.runtime.task import Operator, Task
-from repro.runtime.workset import RandomWorkset
 
 __all__ = ["run", "for_each", "for_each_ordered", "solve_graph"]
 
@@ -147,7 +152,7 @@ def run(
         tasks = _wrap_tasks(initial)
         if not tasks:
             raise ReproError("for_each needs at least one initial task")
-        workset = RandomWorkset()
+        workset = select_backend_for(config)
         workset.add_all(tasks)
         from repro.runtime.engine import OptimisticEngine
 

@@ -93,6 +93,13 @@ class RunConfig:
     engine:
         ``"reference"`` / ``"fast"`` kernel path, or ``None`` to defer
         to the ``REPRO_ENGINE`` environment variable.
+    select:
+        Registered selection-backend name for the work-set
+        (``"workset"`` for the reference sampler, ``"incremental"`` for
+        the dense active set — both bit-identical under the same seed),
+        or ``None`` to defer to the ``REPRO_SELECT`` environment
+        variable.  Third-party names registered under
+        ``"select-backend"`` are accepted too.
     max_steps:
         Step cap for engine runs (required by replay workloads, which
         never drain).
@@ -109,6 +116,7 @@ class RunConfig:
     m_min: "int | None" = None
     m_max: int = 1024
     engine: "str | None" = None
+    select: "str | None" = None
     max_steps: "int | None" = None
 
     def __post_init__(self) -> None:
@@ -146,6 +154,13 @@ class RunConfig:
             _require(
                 self.engine in _ENGINE_MODES,
                 f"engine must be one of {_ENGINE_MODES} or None, got {self.engine!r}",
+            )
+        if self.select is not None:
+            # any registry name is allowed here; the "select-backend"
+            # registry rejects unknown ones with the available list
+            _require(
+                isinstance(self.select, str) and bool(self.select),
+                f"select must be a non-empty backend name or None, got {self.select!r}",
             )
         _opt_int(self.max_steps, "max_steps", minimum=0)
 

@@ -24,6 +24,7 @@ registry                  factory signature
 ``"controller"``          ``factory(config: RunConfig) -> Controller``
 ``"conflict-policy"``     ``factory(config: RunConfig) -> ConflictPolicy``
 ``"workload"``            ``factory(graph, config: RunConfig) -> workload``
+``"select-backend"``      ``factory(config: RunConfig) -> Workset``
 ``"order-policy"``        ``factory(**kwargs) -> OrderPolicy``
 ``"engine"``              ``factory(...) -> Engine`` (constructor passthrough)
 ========================  ==================================================
@@ -44,10 +45,12 @@ __all__ = [
     "Registry",
     "register",
     "registry",
+    "select_backend_for",
     "ENGINES",
     "ORDER_POLICIES",
     "CONTROLLERS",
     "CONFLICT_POLICIES",
+    "SELECT_BACKENDS",
     "WORKLOADS",
     "EXPERIMENTS",
 ]
@@ -238,6 +241,30 @@ def _populate_conflict_policies(reg: Registry) -> None:
     reg.register("explicit-graph", lambda config: ExplicitGraphPolicy())
 
 
+def _populate_select_backends(reg: Registry) -> None:
+    from repro.runtime.active_set import ActiveSet
+    from repro.runtime.workset import RandomWorkset
+
+    reg.register("workset", lambda config: RandomWorkset())
+    reg.register("incremental", lambda config: ActiveSet())
+
+
+def select_backend_for(config) -> "object":
+    """Work-set instance for ``config.select``.
+
+    ``None`` defers to the ``REPRO_SELECT`` environment variable (via
+    :func:`repro.runtime.core.resolve_select_backend`); explicit names —
+    built-in or third-party — resolve through the ``"select-backend"``
+    registry, whose unknown-name error lists every available backend.
+    """
+    name = config.select
+    if name is None:
+        from repro.runtime.core import resolve_select_backend
+
+        name = resolve_select_backend(None)
+    return SELECT_BACKENDS.create(name, config)
+
+
 def _populate_workloads(reg: Registry) -> None:
     from repro.runtime.workloads import (
         ConsumingGraphWorkload,
@@ -245,14 +272,29 @@ def _populate_workloads(reg: Registry) -> None:
         ReplayGraphWorkload,
     )
 
-    reg.register("replay", lambda graph, config: ReplayGraphWorkload(graph))
-    reg.register("consuming", lambda graph, config: ConsumingGraphWorkload(graph))
+    reg.register(
+        "replay",
+        lambda graph, config: ReplayGraphWorkload(
+            graph, workset=select_backend_for(config)
+        ),
+    )
+    reg.register(
+        "consuming",
+        lambda graph, config: ConsumingGraphWorkload(
+            graph, workset=select_backend_for(config)
+        ),
+    )
 
     def _regenerating(graph, config):
         # keep n and mean degree stationary: regenerate at the current
         # average degree unless the workload is built directly
         target = max(1, round(graph.average_degree))
-        return RegeneratingGraphWorkload(graph, target_degree=target, seed=config.seed)
+        return RegeneratingGraphWorkload(
+            graph,
+            target_degree=target,
+            seed=config.seed,
+            workset=select_backend_for(config),
+        )
 
     reg.register("regenerating", _regenerating)
 
@@ -268,6 +310,7 @@ ENGINES = Registry("engine", _populate_engines)
 ORDER_POLICIES = Registry("order policy", _populate_order_policies)
 CONTROLLERS = Registry("controller", _populate_controllers)
 CONFLICT_POLICIES = Registry("conflict policy", _populate_conflict_policies)
+SELECT_BACKENDS = Registry("select backend", _populate_select_backends)
 WORKLOADS = Registry("workload", _populate_workloads)
 EXPERIMENTS = Registry("experiment", _populate_experiments)
 
@@ -276,6 +319,7 @@ _REGISTRIES: dict[str, Registry] = {
     "order-policy": ORDER_POLICIES,
     "controller": CONTROLLERS,
     "conflict-policy": CONFLICT_POLICIES,
+    "select-backend": SELECT_BACKENDS,
     "workload": WORKLOADS,
     "experiment": EXPERIMENTS,
 }

@@ -1,5 +1,6 @@
 """Optimistic parallelization runtime: tasks, work-sets, conflicts, engine."""
 
+from repro.runtime.active_set import ActiveSet
 from repro.runtime.conflict import (
     BatchOutcome,
     ConflictPolicy,
@@ -12,7 +13,12 @@ from repro.runtime.costs import (
     ScaledAbortCostModel,
     UnitCostModel,
 )
-from repro.runtime.core import Engine, OrderPolicy, resolve_engine_mode
+from repro.runtime.core import (
+    Engine,
+    OrderPolicy,
+    resolve_engine_mode,
+    resolve_select_backend,
+)
 from repro.runtime.engine import CCEngine, OptimisticEngine
 from repro.runtime.ordered import OrderedBatchOutcome, OrderedEngine, PriorityWorkset
 from repro.runtime.policies import OrderedCommitOrder, UnorderedCommitOrder
@@ -29,6 +35,7 @@ from repro.runtime.workloads import (
 from repro.runtime.workset import FifoWorkset, LifoWorkset, RandomWorkset, Workset
 
 __all__ = [
+    "ActiveSet",
     "CostModel",
     "CostTotals",
     "ScaledAbortCostModel",
@@ -40,6 +47,7 @@ __all__ = [
     "Engine",
     "OrderPolicy",
     "resolve_engine_mode",
+    "resolve_select_backend",
     "CCEngine",
     "OptimisticEngine",
     "OrderedBatchOutcome",

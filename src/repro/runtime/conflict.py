@@ -49,22 +49,38 @@ class BatchOutcome:
     positions (ascending) of the two partitions when the policy computed
     them anyway — mask-based fast paths do — sparing the engine a
     uid→position rebuild when it records the step.  ``None`` means the
-    policy did not track positions; consumers must fall back.
+    policy did not track positions; consumers must fall back.  Index
+    arrays are accepted as-is and materialised into lists only on first
+    access (runs without a recorder never read them).
     """
 
-    __slots__ = ("committed", "aborted", "commit_slots", "abort_slots")
+    __slots__ = ("committed", "aborted", "_commit_slots", "_abort_slots")
 
     def __init__(
         self,
         committed: list[Task],
         aborted: list[Task],
-        commit_slots: "list[int] | None" = None,
-        abort_slots: "list[int] | None" = None,
+        commit_slots: "list[int] | np.ndarray | None" = None,
+        abort_slots: "list[int] | np.ndarray | None" = None,
     ):
         self.committed = committed
         self.aborted = aborted
-        self.commit_slots = commit_slots
-        self.abort_slots = abort_slots
+        self._commit_slots = commit_slots
+        self._abort_slots = abort_slots
+
+    @property
+    def commit_slots(self) -> "list[int] | None":
+        slots = self._commit_slots
+        if slots is not None and not isinstance(slots, list):
+            slots = self._commit_slots = slots.tolist()
+        return slots
+
+    @property
+    def abort_slots(self) -> "list[int] | None":
+        slots = self._abort_slots
+        if slots is not None and not isinstance(slots, list):
+            slots = self._abort_slots = slots.tolist()
+        return slots
 
     @property
     def launched(self) -> int:
@@ -117,8 +133,8 @@ class ConflictPolicy(abc.ABC):
         return BatchOutcome(
             cls._take(batch, commit_idx),
             cls._take(batch, abort_idx),
-            commit_slots=commit_idx.tolist(),
-            abort_slots=abort_idx.tolist(),
+            commit_slots=commit_idx,
+            abort_slots=abort_idx,
         )
 
 
@@ -178,10 +194,21 @@ class ExplicitGraphPolicy(ConflictPolicy):
     Task payloads must be node ids of *graph*.  A task commits iff none of
     its graph neighbours belongs to an earlier committed task of the batch
     — the definition of §2.1 verbatim.
+
+    ``csr_deltas=True`` switches the fast path from the memoised
+    full-snapshot CSR (:meth:`CCGraph.csr`, invalidated by any mutation)
+    to the incrementally-maintained
+    :class:`~repro.graph.ccgraph.ConflictDeltaView`, which absorbs the
+    morphs of commits and new work in O(delta).  Resolution results are
+    identical either way; the flag only moves where the projection state
+    comes from.  Workloads set it when their work-set advertises
+    ``incremental`` maintenance (see
+    :class:`~repro.runtime.active_set.ActiveSet`).
     """
 
-    def __init__(self, graph: CCGraph):
+    def __init__(self, graph: CCGraph, *, csr_deltas: bool = False):
         self._graph = graph
+        self._csr_deltas = bool(csr_deltas)
 
     @property
     def graph(self) -> CCGraph:
@@ -224,6 +251,8 @@ class ExplicitGraphPolicy(ConflictPolicy):
         m = len(batch)
         if m == 0:
             return BatchOutcome([], [])
+        if self._csr_deltas:
+            return self._resolve_fast_delta(batch, operator)
         snapshot = self._graph.csr()
         n = snapshot.num_nodes
         payloads = np.asarray([task.payload for task in batch])
@@ -252,6 +281,41 @@ class ExplicitGraphPolicy(ConflictPolicy):
             both = np.flatnonzero((pu >= 0) & (pv >= 0))
             pu = pu[both]
             pv = pv[both]
+        mask = greedy_commit_mask_from_slots(
+            np.maximum(pu, pv), np.minimum(pu, pv), m, checked=False
+        )
+        return self._split_by_mask(batch, mask)
+
+    def _resolve_fast_delta(self, batch: Sequence[Task], operator: Operator) -> BatchOutcome:
+        """Fast resolution over the incremental conflict view.
+
+        Identical to the snapshot-based fast path except the id → slot
+        projection and edge arrays come from
+        :meth:`CCGraph.conflict_view`, so a morphing graph costs O(delta)
+        per step instead of a snapshot rebuild.  The same degenerate
+        batches (non-int payloads, dead nodes, duplicates) fall back to
+        the reference walk; stale edges are filtered out by the live-slot
+        mask exactly like out-of-batch edges.
+        """
+        m = len(batch)
+        view = self._graph.conflict_view()
+        payloads = np.asarray([task.payload for task in batch])
+        if payloads.dtype.kind != "i":  # floats/bools/objects: let resolve() rule
+            return self.resolve(batch, operator)
+        idx = view.project(payloads)
+        if idx is None:
+            return self.resolve(batch, operator)  # dead/unknown node: exact error
+        n = view.num_slots
+        pos = np.full(n, -1, dtype=np.int64)
+        pos[idx] = np.arange(m, dtype=np.int64)
+        if int(np.count_nonzero(pos >= 0)) != m:
+            return self.resolve(batch, operator)  # duplicate payload nodes
+        u, v = view.edge_arrays()
+        pu = pos[u]
+        pv = pos[v]
+        both = np.flatnonzero((pu >= 0) & (pv >= 0))
+        pu = pu[both]
+        pv = pv[both]
         mask = greedy_commit_mask_from_slots(
             np.maximum(pu, pv), np.minimum(pu, pv), m, checked=False
         )

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
+from collections import Counter
 from typing import TYPE_CHECKING
 
 from repro.errors import RuntimeEngineError
@@ -48,11 +49,22 @@ if TYPE_CHECKING:  # avoid runtime<->control import cycle; core only types it
     from repro.control.base import Controller
     from repro.runtime.task import Task
 
-__all__ = ["Engine", "OrderPolicy", "resolve_engine_mode", "ENGINE_ENV_VAR"]
+__all__ = [
+    "Engine",
+    "OrderPolicy",
+    "resolve_engine_mode",
+    "resolve_select_backend",
+    "ENGINE_ENV_VAR",
+    "SELECT_ENV_VAR",
+]
 
 #: environment variable selecting the default conflict-resolution path
 ENGINE_ENV_VAR = "REPRO_ENGINE"
 _ENGINE_MODES = ("reference", "fast")
+
+#: environment variable selecting the default work-set selection backend
+SELECT_ENV_VAR = "REPRO_SELECT"
+_SELECT_MODES = ("workset", "incremental")
 
 
 def resolve_engine_mode(engine: "str | None") -> str:
@@ -68,6 +80,29 @@ def resolve_engine_mode(engine: "str | None") -> str:
     if mode not in _ENGINE_MODES:
         raise RuntimeEngineError(
             f"unknown engine mode {mode!r}; expected one of {_ENGINE_MODES}"
+        )
+    return mode
+
+
+def resolve_select_backend(select: "str | None") -> str:
+    """Normalise a ``select=`` argument against the ``REPRO_SELECT`` env var.
+
+    ``None`` defers to the environment (default ``"workset"``); anything
+    else must be ``"workset"`` (the reference
+    :class:`~repro.runtime.workset.RandomWorkset`) or ``"incremental"``
+    (the dense :class:`~repro.runtime.active_set.ActiveSet`).  Both
+    backends draw the same uniform ``π_m`` prefixes and are bit-identical
+    under the same seed, so either may serve any workload on either
+    engine mode.  Third-party backends registered under
+    ``"select-backend"`` in :mod:`repro.registry` are addressed by their
+    registry name through :class:`repro.config.RunConfig` instead of this
+    resolver.
+    """
+    mode = select if select is not None else os.environ.get(SELECT_ENV_VAR, "workset")
+    mode = str(mode).strip().lower() or "workset"
+    if mode not in _SELECT_MODES:
+        raise RuntimeEngineError(
+            f"unknown select backend {mode!r}; expected one of {_SELECT_MODES}"
         )
     return mode
 
@@ -232,8 +267,9 @@ class Engine:
         self.costs = CostTotals()
         self.result = RunResult()
         # per-task abort counts: starvation diagnostics (optimistic
-        # runtimes can in principle retry one unlucky task forever)
-        self.retry_counts: dict[int, int] = {}
+        # runtimes can in principle retry one unlucky task forever);
+        # a Counter so batched increments run at C speed
+        self.retry_counts: Counter[int] = Counter()
         self._step = 0
         self.recorder = recorder if recorder is not None else active_recorder()
         registry = metrics if metrics is not None else active_metrics()
@@ -297,12 +333,11 @@ class Engine:
                 order.apply(outcome)
                 committed = order.committed_tasks(outcome)
                 aborted = order.aborted_tasks(outcome)
-                for task in aborted:
-                    self.retry_counts[task.uid] = (
-                        self.retry_counts.get(task.uid, 0) + 1
-                    )
+                retries = self.retry_counts
+                if aborted:
+                    retries.update([task.uid for task in aborted])
                 for task in committed:
-                    self.retry_counts.pop(task.uid, None)  # made it; stop tracking
+                    retries.pop(task.uid, None)  # made it; stop tracking
                 self.cost_model.charge(self.costs, committed, aborted)
                 stats = StepStats(
                     step=self._step,

@@ -24,6 +24,10 @@ bit** (the differential suite in ``tests/runtime`` enforces this):
   variant used by :class:`~repro.runtime.conflict.ItemLockPolicy` and
   the ordered engine: a slot commits iff none of its abstract data items
   is touched by an earlier committed slot.
+* :func:`sample_prefix_draws` — the selection-side kernel: the bounded
+  draws of the m-out-of-n swap-removal sampler
+  (:class:`~repro.runtime.workset.RandomWorkset`'s ``π_m`` prefix) as a
+  single vectorised call, bit-identical to the sequential scalar loop.
 
 All kernels resolve fates in *rounds* of pure array arithmetic: a slot
 aborts as soon as an earlier neighbour is known to commit, and commits
@@ -46,6 +50,7 @@ __all__ = [
     "greedy_commit_mask_batch",
     "greedy_commit_mask_from_slots",
     "greedy_lock_mask",
+    "sample_prefix_draws",
 ]
 
 
@@ -287,6 +292,38 @@ def greedy_commit_mask_from_slots(
         own2 = own2[alive]
     state[state == 0] = 1  # every conflict decided non-committed
     return state == 1
+
+
+@_timed("kernel.sample_prefix")
+def sample_prefix_draws(n: int, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Vectorised bounded draws of the m-out-of-n swap-removal sampler.
+
+    :class:`~repro.runtime.workset.RandomWorkset` draws its batch with a
+    partial Fisher–Yates walk: at step ``i`` it draws ``j ~ U[0, n-i)``,
+    swaps slot ``j`` with the current tail, and pops the tail.  This
+    kernel produces exactly those ``k`` draws — ``draws[i] ~ U[0, n-i)``
+    — in one call, by handing NumPy the whole descending bound vector
+    ``[n, n-1, ..., n-k+1]`` at once.
+
+    **Bit-parity contract**: ``Generator.integers`` with a broadcast
+    array of bounds consumes the bit stream exactly as ``k`` sequential
+    scalar ``rng.integers(0, n-i)`` calls do — same values *and* same
+    generator state afterwards — so a caller replaying these draws
+    through the swap loop reproduces the reference sampler's batches and
+    RNG trajectory exactly (the selection distribution tests enforce
+    both properties).
+
+    Returns ``int64[k]``; ``k == 0`` returns an empty array without
+    touching the generator.
+    """
+    if k < 0:
+        raise ValueError(f"cannot draw {k} samples")
+    if k > n:
+        raise ValueError(f"cannot draw {k} samples from a pool of {n}")
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    highs = np.arange(n, n - k, -1, dtype=np.int64)
+    return rng.integers(0, highs, dtype=np.int64)
 
 
 @_timed("kernel.lock_mask")

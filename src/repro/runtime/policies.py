@@ -30,6 +30,7 @@ import numpy as np
 from repro.errors import RuntimeEngineError, WorksetEmptyError
 from repro.runtime.core import OrderPolicy
 from repro.runtime.kernels import greedy_lock_mask
+from repro.runtime.task import Operator
 from repro.utils.rng import ensure_rng, substream
 
 if TYPE_CHECKING:
@@ -152,13 +153,49 @@ class UnorderedCommitOrder(OrderPolicy):
     def apply(self, outcome) -> None:
         # runs inside the core's "commit" span (commit_span_name default)
         eng = self.engine
-        for task in outcome.committed:
-            new_tasks = eng.operator.apply(task)
+        workset = eng.workset
+        operator = eng.operator
+        add_batch = getattr(workset, "add_batch", None)
+        if add_batch is None:
+            # reference work-sets: the historical per-task walk, verbatim
+            for task in outcome.committed:
+                new_tasks = operator.apply(task)
+                if new_tasks:
+                    workset.add_all(new_tasks)
+            for task in outcome.aborted:
+                operator.on_abort(task)
+                workset.add(task)  # rolled back, retried later
+            return
+        # incremental work-sets: identical semantics, O(delta) inserts.
+        # New tasks are created in the same order (apply_batch defaults
+        # to the apply loop) and nothing reads the work-set mid-apply,
+        # so one extend lands them in the exact slots the per-task walk
+        # would have — the differential suite holds this to the bit.
+        committed = outcome.committed
+        if committed:
+            apply_batch = getattr(operator, "apply_batch", None)
+            if apply_batch is not None:
+                new_tasks = apply_batch(committed)
+            else:
+                # duck-typed operators (for_each accepts any object with
+                # neighborhood/apply) — same concatenation order as the
+                # default apply_batch, so slots stay bit-identical
+                new_tasks = []
+                for task in committed:
+                    created = operator.apply(task)
+                    if created:
+                        new_tasks.extend(created)
             if new_tasks:
-                eng.workset.add_all(new_tasks)
-        for task in outcome.aborted:
-            eng.operator.on_abort(task)
-            eng.workset.add(task)  # rolled back, retried later
+                add_batch(new_tasks)
+        aborted = outcome.aborted
+        if aborted:
+            # getattr, not attribute access: duck-typed operators without
+            # on_abort fail at the call below (like the reference walk
+            # would), not at this skip-the-default-no-op check
+            if getattr(type(operator), "on_abort", None) is not Operator.on_abort:
+                for task in aborted:
+                    operator.on_abort(task)
+            add_batch(aborted)  # rolled back, retried later
 
     def committed_tasks(self, outcome) -> "list[Task]":
         return outcome.committed

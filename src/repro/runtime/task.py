@@ -64,6 +64,25 @@ class Operator(abc.ABC):
         state (the runtime may replay aborted tasks at later steps).
         """
 
+    def apply_batch(self, tasks: "list[Task]") -> list[Task]:
+        """Commit *tasks* in order; return every new task, in creation order.
+
+        The default loops :meth:`apply` and flattens the results, so it
+        is exactly equivalent to the engine's per-task commit walk.
+        Operators with a cheaper bulk formulation (e.g. a workload whose
+        commit effect is uniform across the batch) may override it, but
+        must preserve that equivalence bit for bit — the incremental
+        selection backend routes commits through here and the
+        differential suite compares its traces against the per-task
+        path.
+        """
+        new_tasks: list[Task] = []
+        for task in tasks:
+            created = self.apply(task)
+            if created:
+                new_tasks.extend(created)
+        return new_tasks
+
     def on_abort(self, task: Task) -> None:
         """Hook invoked when *task* aborts (for rollback accounting).
 

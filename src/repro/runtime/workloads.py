@@ -32,7 +32,9 @@ from repro.errors import RuntimeEngineError
 if TYPE_CHECKING:  # avoid runtime<->control import cycle
     from repro.control.base import Controller
 from repro.graph.ccgraph import CCGraph
+from repro.runtime.active_set import ActiveSet
 from repro.runtime.conflict import ConflictPolicy, ExplicitGraphPolicy
+from repro.runtime.core import resolve_select_backend
 from repro.runtime.engine import OptimisticEngine
 from repro.runtime.task import Operator, Task
 from repro.runtime.workset import RandomWorkset, Workset
@@ -58,20 +60,61 @@ class _GraphOperator(Operator):
     def apply(self, task: Task) -> list[Task]:
         return self._workload.on_commit(task)
 
+    def apply_batch(self, tasks: "list[Task]") -> list[Task]:
+        return self._workload.on_commit_batch(tasks)
+
 
 class GraphWorkloadBase:
-    """Common plumbing: graph, random work-set, explicit-graph policy."""
+    """Common plumbing: graph, work-set, explicit-graph conflict policy.
 
-    def __init__(self, graph: CCGraph):
+    The work-set comes from the selection backend: ``select=`` names a
+    built-in backend (``"workset"`` for the reference
+    :class:`~repro.runtime.workset.RandomWorkset`, ``"incremental"`` for
+    the dense :class:`~repro.runtime.active_set.ActiveSet`; ``None``
+    defers to the ``REPRO_SELECT`` environment variable), or pass a
+    ready-made instance via ``workset=`` (how registry-named third-party
+    backends arrive).  Backends advertising ``incremental`` maintenance
+    also switch the conflict policy onto memoised CSR deltas.  Both
+    built-ins are bit-identical under the same seed, so the choice is
+    purely a performance knob.
+    """
+
+    def __init__(
+        self,
+        graph: CCGraph,
+        *,
+        select: "str | None" = None,
+        workset: "Workset | None" = None,
+    ):
+        if workset is not None and select is not None:
+            raise RuntimeEngineError("pass select= or workset=, not both")
+        if workset is None:
+            mode = resolve_select_backend(select)
+            workset = ActiveSet() if mode == "incremental" else RandomWorkset()
         self.graph = graph
         self.operator: Operator = _GraphOperator(self)
-        self.policy: ConflictPolicy = ExplicitGraphPolicy(graph)
-        self.workset: Workset = RandomWorkset()
-        for node in graph.nodes():
-            self.workset.add(Task(payload=node))
+        self.policy: ConflictPolicy = ExplicitGraphPolicy(
+            graph, csr_deltas=bool(getattr(workset, "incremental", False))
+        )
+        self.workset: Workset = workset
+        self.workset.add_all([Task(payload=node) for node in graph.nodes()])
 
     def on_commit(self, task: Task) -> list[Task]:  # pragma: no cover - abstract-ish
         raise NotImplementedError
+
+    def on_commit_batch(self, tasks: "list[Task]") -> list[Task]:
+        """Commit *tasks* in order; return all new tasks in creation order.
+
+        Default loops :meth:`on_commit`; subclasses whose commit effect
+        is uniform may override it, preserving exact equivalence (the
+        batched path must stay bit-identical to the per-task walk).
+        """
+        new_tasks: list[Task] = []
+        for task in tasks:
+            created = self.on_commit(task)
+            if created:
+                new_tasks.extend(created)
+        return new_tasks
 
     def build_engine(
         self,
@@ -107,6 +150,9 @@ class ReplayGraphWorkload(GraphWorkloadBase):
     def on_commit(self, task: Task) -> list[Task]:
         return [task]  # straight back into the work-set
 
+    def on_commit_batch(self, tasks: "list[Task]") -> list[Task]:
+        return list(tasks)  # all straight back, in commit order
+
 
 class ConsumingGraphWorkload(GraphWorkloadBase):
     """Draining workload: a committed node is removed from the CC graph."""
@@ -124,10 +170,18 @@ class RegeneratingGraphWorkload(GraphWorkloadBase):
     average degree stay approximately constant while the topology churns.
     """
 
-    def __init__(self, graph: CCGraph, target_degree: int, seed=None):
+    def __init__(
+        self,
+        graph: CCGraph,
+        target_degree: int,
+        seed=None,
+        *,
+        select: "str | None" = None,
+        workset: "Workset | None" = None,
+    ):
         if target_degree < 0:
             raise RuntimeEngineError(f"target degree must be >= 0, got {target_degree}")
-        super().__init__(graph)
+        super().__init__(graph, select=select, workset=workset)
         self.target_degree = target_degree
         self._rng: np.random.Generator = ensure_rng(seed)
 

@@ -48,11 +48,17 @@ SEED = 2011
 MAX_STEPS = 35
 
 WORKLOADS = {
-    "gnm_replay": lambda: ReplayGraphWorkload(gnm_random(N, 8, seed=SEED)),
-    "gnm_consuming": lambda: ConsumingGraphWorkload(gnm_random(N, 8, seed=SEED)),
-    "clique_consuming": lambda: ConsumingGraphWorkload(union_of_cliques(20, 6)),
-    "morphing": lambda: RegeneratingGraphWorkload(
-        gnm_random(N, 6, seed=SEED), target_degree=6, seed=7
+    "gnm_replay": lambda select=None: ReplayGraphWorkload(
+        gnm_random(N, 8, seed=SEED), select=select
+    ),
+    "gnm_consuming": lambda select=None: ConsumingGraphWorkload(
+        gnm_random(N, 8, seed=SEED), select=select
+    ),
+    "clique_consuming": lambda select=None: ConsumingGraphWorkload(
+        union_of_cliques(20, 6), select=select
+    ),
+    "morphing": lambda select=None: RegeneratingGraphWorkload(
+        gnm_random(N, 6, seed=SEED), target_degree=6, seed=7, select=select
     ),
 }
 
@@ -71,10 +77,10 @@ CONTROLLERS = {
 }
 
 
-def _run(workload_key: str, controller_key: str, mode: str):
+def _run(workload_key: str, controller_key: str, mode: str, select: "str | None" = None):
     """One seeded run; returns (jsonl trace, step-stat dicts)."""
     recorder = TraceRecorder()
-    workload = WORKLOADS[workload_key]()
+    workload = WORKLOADS[workload_key](select=select)
     controller = CONTROLLERS[controller_key]()
     engine = workload.build_engine(
         controller, seed=SEED, recorder=recorder, engine=mode
@@ -97,6 +103,130 @@ class TestUnorderedDifferential:
         _, steps = _run("gnm_consuming", "fixed", "reference")
         assert sum(s["aborted"] for s in steps) > 0
         assert sum(s["committed"] for s in steps) > 0
+
+
+class TestIncrementalSelectDifferential:
+    """The incremental selection backend must be invisible in every trace.
+
+    ``select="incremental"`` swaps the work-set onto :class:`ActiveSet`
+    and the conflict policy onto memoised CSR deltas; byte-identical
+    observability traces against the reference backend are the hard gate.
+    """
+
+    @pytest.mark.parametrize("workload_key", sorted(WORKLOADS))
+    @pytest.mark.parametrize("mode", ["reference", "fast"])
+    def test_incremental_equals_workset(self, workload_key, mode):
+        ref_trace, ref_steps = _run(workload_key, "hybrid", mode, select="workset")
+        inc_trace, inc_steps = _run(workload_key, "hybrid", mode, select="incremental")
+        assert inc_steps == ref_steps
+        assert inc_trace == ref_trace  # byte-identical obs traces
+
+    @pytest.mark.parametrize("controller_key", sorted(CONTROLLERS))
+    def test_all_controllers_on_morphing_graph(self, controller_key):
+        ref_trace, ref_steps = _run("morphing", controller_key, "fast", select="workset")
+        inc_trace, inc_steps = _run(
+            "morphing", controller_key, "fast", select="incremental"
+        )
+        assert inc_steps == ref_steps
+        assert inc_trace == ref_trace
+
+
+class TestSelectBackendSelection:
+    def test_unknown_backend_rejected(self):
+        from repro.runtime.core import resolve_select_backend
+
+        with pytest.raises(RuntimeEngineError):
+            resolve_select_backend("quantum")
+
+    def test_env_var_default(self, monkeypatch):
+        from repro.runtime.core import resolve_select_backend
+
+        monkeypatch.delenv("REPRO_SELECT", raising=False)
+        assert resolve_select_backend(None) == "workset"
+        monkeypatch.setenv("REPRO_SELECT", "incremental")
+        assert resolve_select_backend(None) == "incremental"
+        assert resolve_select_backend("workset") == "workset"  # explicit wins
+
+    def test_workload_builds_active_set_from_env(self, monkeypatch):
+        from repro.runtime.active_set import ActiveSet
+
+        monkeypatch.setenv("REPRO_SELECT", "incremental")
+        workload = ReplayGraphWorkload(gnm_random(20, 2, seed=0))
+        assert isinstance(workload.workset, ActiveSet)
+        monkeypatch.setenv("REPRO_SELECT", "workset")
+        workload = ReplayGraphWorkload(gnm_random(20, 2, seed=0))
+        assert isinstance(workload.workset, RandomWorkset)
+
+    def test_select_and_workset_are_exclusive(self):
+        with pytest.raises(RuntimeEngineError):
+            ReplayGraphWorkload(
+                gnm_random(20, 2, seed=0),
+                select="incremental",
+                workset=RandomWorkset(),
+            )
+
+    def test_api_run_honours_config_select(self):
+        from repro import RunConfig
+        from repro.api import run
+
+        def result(select):
+            res = run(
+                RunConfig(workload="consuming", seed=5, max_steps=30, select=select),
+                graph=gnm_random(80, 6, seed=3),
+            )
+            return [s.as_dict() for s in res.steps]
+
+        assert result("incremental") == result("workset")
+
+    def test_duck_typed_operator_without_apply_batch(self, monkeypatch):
+        # for_each accepts any object with neighborhood/apply — the
+        # batched commit path must fall back to the per-task walk for
+        # operators that define neither apply_batch nor on_abort
+        from repro.api import for_each
+
+        class DuckOp:
+            def neighborhood(self, task):
+                return [task.payload % 7]  # collisions force aborts
+
+            def apply(self, task):
+                return [Task(payload=task.payload + 100)] if task.payload < 50 else []
+
+            def on_abort(self, task):
+                pass
+
+        def trace(select):
+            monkeypatch.setenv("REPRO_SELECT", select)
+            res = for_each(range(50), DuckOp(), max_steps=400, seed=11)
+            return [s.as_dict() for s in res.steps]
+
+        assert trace("incremental") == trace("workset")
+
+    def test_duck_typed_operator_without_on_abort(self, monkeypatch):
+        # no on_abort and no aborts (empty neighbourhoods): both the
+        # commit fallback and the abort-override check must tolerate it
+        from repro.api import for_each
+
+        class MinimalOp:
+            def neighborhood(self, task):
+                return []
+
+            def apply(self, task):
+                return []
+
+        monkeypatch.setenv("REPRO_SELECT", "incremental")
+        res = for_each(range(30), MinimalOp(), max_steps=100, seed=2)
+        assert res.total_committed == 30
+
+    def test_registry_rejects_unknown_select_name(self):
+        from repro import RunConfig
+        from repro.api import run
+        from repro.errors import RegistryError
+
+        with pytest.raises(RegistryError):
+            run(
+                RunConfig(workload="consuming", select="quantum"),
+                graph=gnm_random(10, 2, seed=0),
+            )
 
 
 class TestItemLockDifferential:

@@ -123,6 +123,126 @@ class TestOrderedEngineChronology:
         assert len(committed_order) == len(spec)
 
 
+class TestActiveSetMatchesModel:
+    """Incremental active set == from-scratch model under arbitrary op mixes.
+
+    The model is a plain list with linear-search discard implementing the
+    documented semantics independently (swap-removal, reference take
+    loop); the invariant is *full slot-order equality* after every
+    operation, plus uid -> slot map agreement.
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10**6), st.data())
+    def test_slot_list_equals_model(self, seed, data):
+        from repro.runtime.active_set import ActiveSet
+
+        ws = ActiveSet()
+        model: list[Task] = []
+        rng_ws = np.random.default_rng(seed)
+        rng_model = np.random.default_rng(seed)
+        payload = 0
+        ops = data.draw(
+            st.lists(st.sampled_from(["add", "batch", "take", "discard"]),
+                     min_size=1, max_size=60)
+        )
+        for op in ops:
+            if op == "add":
+                t = Task(payload=payload)
+                payload += 1
+                ws.add(t)
+                model.append(t)
+            elif op == "batch":
+                count = data.draw(st.integers(0, 5))
+                fresh = [Task(payload=payload + i) for i in range(count)]
+                payload += count
+                ws.add_batch(fresh)
+                model.extend(fresh)
+            elif op == "take" and model:
+                k = data.draw(st.integers(0, len(model) + 2))
+                got = ws.take(k, rng_ws)
+                want = []
+                for _ in range(min(k, len(model))):
+                    j = int(rng_model.integers(0, len(model)))
+                    model[j], model[-1] = model[-1], model[j]
+                    want.append(model.pop())
+                assert [t.uid for t in got] == [t.uid for t in want]
+            elif op == "discard" and model:
+                j = data.draw(st.integers(0, len(model) - 1))
+                victim = model[j]
+                assert ws.discard(victim) is True
+                model[j] = model[-1]
+                model.pop()
+            # the load-bearing invariant: identical slot lists...
+            assert [t.uid for t in ws.tasks()] == [t.uid for t in model]
+            # ...and an agreeing uid -> slot map
+            for i, t in enumerate(model):
+                assert ws.index_of(t) == i
+        assert rng_ws.bit_generator.state == rng_model.bit_generator.state
+
+
+class TestConflictDeltaViewMatchesReference:
+    """Memoised CSR deltas == full reference resolution under morphs.
+
+    Arbitrary add_node / add_edge / remove_node / remove_edge sequences
+    interleaved with conflict resolutions: the delta-backed fast path
+    must partition every batch exactly like the reference walk.
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10**6), st.data())
+    def test_delta_resolution_equals_reference(self, seed, data):
+        from repro.runtime.conflict import ExplicitGraphPolicy
+
+        g = gnm_random(12, 3, seed=seed)
+        policy = ExplicitGraphPolicy(g, csr_deltas=True)
+        reference = ExplicitGraphPolicy(g)
+        rng = np.random.default_rng(seed)
+        ops = data.draw(
+            st.lists(
+                st.sampled_from(
+                    ["add_node", "add_edge", "remove_node", "remove_edge", "resolve"]
+                ),
+                min_size=1,
+                max_size=50,
+            )
+        )
+        for op in ops:
+            nodes = list(g.nodes())
+            if op == "add_node":
+                new = g.add_node()
+                if nodes and data.draw(st.booleans()):
+                    g.add_edge(new, int(rng.choice(nodes)))
+            elif op == "add_edge" and len(nodes) >= 2:
+                u, v = rng.choice(nodes, size=2, replace=False)
+                g.add_edge(int(u), int(v))
+            elif op == "remove_node" and len(nodes) > 2:
+                g.remove_node(int(rng.choice(nodes)))
+            elif op == "remove_edge":
+                edges = [(u, v) for u in nodes for v in g.neighbors(u) if u < v]
+                if edges:
+                    u, v = edges[int(rng.integers(0, len(edges)))]
+                    g.remove_edge(u, v)
+            else:  # resolve on a random batch of distinct live nodes
+                if not nodes:
+                    continue
+                m = int(rng.integers(1, len(nodes) + 1))
+                picks = rng.choice(nodes, size=m, replace=False)
+                batch = [Task(payload=int(p)) for p in picks]
+                fast = policy.resolve_fast(batch, operator=None)
+                ref = reference.resolve(batch, operator=None)
+                assert [t.uid for t in fast.committed] == [t.uid for t in ref.committed]
+                assert [t.uid for t in fast.aborted] == [t.uid for t in ref.aborted]
+        # one final resolution so op mixes ending in morphs are covered too
+        nodes = list(g.nodes())
+        if nodes:
+            batch = [Task(payload=int(p)) for p in nodes]
+            fast = policy.resolve_fast(batch, operator=None)
+            ref = reference.resolve(batch, operator=None)
+            assert [t.uid for t in fast.committed] == [t.uid for t in ref.committed]
+            assert [t.uid for t in fast.aborted] == [t.uid for t in ref.aborted]
+
+
 class TestAnalyticKernelStability:
     @settings(max_examples=20, deadline=None)
     @given(st.integers(2, 50), st.floats(0.0, 5.0), st.integers(0, 10**6))

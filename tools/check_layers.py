@@ -56,6 +56,7 @@ LAYERS: dict[str, int] = {
     "repro.runtime.task": 4,
     "repro.runtime.stats": 4,
     "repro.runtime.workset": 4,
+    "repro.runtime.active_set": 4,
     "repro.runtime.costs": 4,
     "repro.runtime.conflict": 4,
     "repro.runtime.threads": 4,
