@@ -31,9 +31,14 @@ from repro.registry import (
     CONFLICT_POLICIES,
     CONTROLLERS,
     EXPERIMENTS,
+    ORDER_POLICIES,
     WORKLOADS,
+    order_family,
+    parse_order_spec,
     select_backend_for,
+    workset_for,
 )
+from repro.runtime.core import Engine
 from repro.runtime.ordered import OrderedEngine, PriorityWorkset
 from repro.runtime.stats import RunResult
 from repro.runtime.task import Operator, Task
@@ -70,6 +75,20 @@ def _controller_for(config: RunConfig, controller: "Controller | None") -> Contr
     )
 
 
+def _order_engine(config, order, workset, operator, controller, seed, recorder, metrics):
+    """Core :class:`Engine` over an explicit commit-order policy."""
+    return Engine(
+        workset=workset,
+        operator=operator,
+        controller=controller,
+        order=order,
+        seed=seed,
+        recorder=recorder,
+        metrics=metrics,
+        engine=config.engine,
+    )
+
+
 def run(
     config,
     *,
@@ -98,7 +117,16 @@ def run(
       :class:`~repro.runtime.ordered.OrderedEngine` when
       ``priority_of=`` is supplied) and return its ``RunResult``.
 
-    All names (``workload``, ``controller``, ``conflict``,
+    ``config.order`` selects the commit-order policy
+    (``"unordered"``, ``"ordered"``, ``"relaxed:k"``, ``"async[:w]"`` or
+    a registered third-party name): the run then executes on the
+    step-pipeline core :class:`~repro.runtime.core.Engine` with that
+    policy, over the work-set family the policy requires (graph runs
+    rank tasks by node id; ordered/relaxed task loops need
+    ``priority_of=``).  ``order=None`` keeps the historical engine
+    classes.
+
+    All names (``workload``, ``controller``, ``conflict``, ``order``,
     ``experiment``) resolve through :mod:`repro.registry`, so anything a
     third party has :func:`repro.register`-ed is accepted.  An explicit
     *controller* instance overrides ``config.controller``; an explicit
@@ -118,19 +146,52 @@ def run(
         if config.workload == "replay" and config.max_steps is None:
             raise ReproError("replay workloads never drain; pass max_steps")
         workload = WORKLOADS.create(config.workload, graph, config)
-        engine = workload.build_engine(
-            _controller_for(config, controller),
-            seed=seed,
-            recorder=recorder,
-            metrics=metrics,
-            engine=config.engine,
-        )
+        if config.order is not None:
+            # explicit commit order: the workload factory already matched
+            # its work-set to the order family (workset_for), so only the
+            # policy itself is built here.  Priority-family policies rank
+            # tasks by node id — the canonical graph priority — and every
+            # family shares the workload's conflict policy, so ordered,
+            # relaxed and unordered runs detect the same conflicts.
+            name, kwargs = parse_order_spec(config.order)
+            if order_family(name) == "priority":
+                kwargs["priority_of"] = lambda task: float(task.payload)
+            order = ORDER_POLICIES.create(
+                name, conflict_policy=workload.policy, **kwargs
+            )
+            engine = _order_engine(
+                config,
+                order,
+                workload.workset,
+                workload.operator,
+                _controller_for(config, controller),
+                seed,
+                recorder,
+                metrics,
+            )
+        else:
+            engine = workload.build_engine(
+                _controller_for(config, controller),
+                seed=seed,
+                recorder=recorder,
+                metrics=metrics,
+                engine=config.engine,
+            )
         return engine.run(max_steps=config.max_steps)
 
     if initial is not None:
         if operator is None:
             raise ConfigError("initial= also needs operator=")
+        order_spec = config.order
+        if order_spec is not None:
+            order_name, order_kwargs = parse_order_spec(order_spec)
+            family = order_family(order_name)
         if priority_of is not None:
+            if order_spec is not None and family != "priority":
+                raise ConfigError(
+                    f"order={order_spec!r} ignores priorities; "
+                    "drop priority_of= or use an ordered/relaxed order"
+                )
             pairs = list(initial)
             if not pairs:
                 raise ReproError("for_each_ordered needs at least one initial task")
@@ -138,20 +199,63 @@ def run(
             for prio, item in pairs:
                 task = item if isinstance(item, Task) else Task(payload=item)
                 workset.add(task, float(prio))
-            engine = OrderedEngine(
-                workset=workset,
-                operator=operator,
-                controller=_controller_for(config, controller),
-                priority_of=priority_of,
-                seed=seed,
-                recorder=recorder,
-                metrics=metrics,
-                engine=config.engine,
-            )
+            if order_spec is not None:
+                # conflict_policy stays None: task loops keep the
+                # historical greedy item-lock over operator
+                # neighbourhoods, which is what makes relaxed:1 traces
+                # byte-identical to the OrderedEngine's
+                order = ORDER_POLICIES.create(
+                    order_name, priority_of=priority_of, **order_kwargs
+                )
+                engine = _order_engine(
+                    config,
+                    order,
+                    workset,
+                    operator,
+                    _controller_for(config, controller),
+                    seed,
+                    recorder,
+                    metrics,
+                )
+            else:
+                engine = OrderedEngine(
+                    workset=workset,
+                    operator=operator,
+                    controller=_controller_for(config, controller),
+                    priority_of=priority_of,
+                    seed=seed,
+                    recorder=recorder,
+                    metrics=metrics,
+                    engine=config.engine,
+                )
             return engine.run(max_steps=config.max_steps)
         tasks = _wrap_tasks(initial)
         if not tasks:
             raise ReproError("for_each needs at least one initial task")
+        if order_spec is not None:
+            if family == "priority":
+                raise ConfigError(
+                    f"order={order_spec!r} ranks tasks by priority; pass "
+                    "priority_of= and (priority, payload) initial pairs"
+                )
+            workset = workset_for(config)
+            workset.add_all(tasks)
+            order = ORDER_POLICIES.create(
+                order_name,
+                conflict_policy=CONFLICT_POLICIES.create(config.conflict, config),
+                **order_kwargs,
+            )
+            engine = _order_engine(
+                config,
+                order,
+                workset,
+                operator,
+                _controller_for(config, controller),
+                seed,
+                recorder,
+                metrics,
+            )
+            return engine.run(max_steps=config.max_steps)
         workset = select_backend_for(config)
         workset.add_all(tasks)
         from repro.runtime.engine import OptimisticEngine

@@ -99,7 +99,21 @@ class RunConfig:
         the dense active set — both bit-identical under the same seed),
         or ``None`` to defer to the ``REPRO_SELECT`` environment
         variable.  Third-party names registered under
-        ``"select-backend"`` are accepted too.
+        ``"select-backend"`` are accepted too.  Only meaningful for
+        unordered runs: priority/arrival commit orders bring their own
+        work-set, so combining them with an explicit ``select`` is a
+        :class:`~repro.errors.ConfigError`.
+    order:
+        Commit-order policy spec: ``"unordered"`` (the §2 uniform-draw
+        model), ``"ordered"`` (strict priority order with
+        barrier/horizon rules), ``"relaxed:k"`` (k-of-top priority
+        relaxation, ``k >= 1``), ``"async"`` / ``"async:w"``
+        (arrival order with staleness window ``w``), or ``None`` to
+        infer the policy from the run inputs (the historical
+        behaviour).  The base name is validated **eagerly** against the
+        ``"order-policy"`` registry — an unknown name raises
+        :class:`~repro.errors.RegistryError` listing every available
+        policy at construction time, not steps later inside an engine.
     max_steps:
         Step cap for engine runs (required by replay workloads, which
         never drain).
@@ -117,6 +131,7 @@ class RunConfig:
     m_max: int = 1024
     engine: "str | None" = None
     select: "str | None" = None
+    order: "str | None" = None
     max_steps: "int | None" = None
 
     def __post_init__(self) -> None:
@@ -162,6 +177,26 @@ class RunConfig:
                 isinstance(self.select, str) and bool(self.select),
                 f"select must be a non-empty backend name or None, got {self.select!r}",
             )
+        if self.order is not None:
+            _require(
+                isinstance(self.order, str) and bool(self.order),
+                f"order must be a non-empty policy spec or None, got {self.order!r}",
+            )
+            # eager registry validation: an unknown order-policy name
+            # raises RegistryError (listing every registered policy) at
+            # construction time, not steps later inside an engine.  The
+            # import is function-level — config sits below the registry
+            # layer, and that is the sanctioned way to reach up at call
+            # time (tools/check_layers.py exempts it).
+            from repro.registry import ORDER_POLICIES, order_family, parse_order_spec
+
+            name, _ = parse_order_spec(self.order)
+            ORDER_POLICIES.get(name)
+            if self.select is not None and order_family(name) != "unordered":
+                raise ConfigError(
+                    f"order={self.order!r} brings its own work-set; "
+                    f"it cannot be combined with select={self.select!r}"
+                )
         _opt_int(self.max_steps, "max_steps", minimum=0)
 
     # -- seeds ----------------------------------------------------------

@@ -60,6 +60,7 @@ from repro.experiments import (
     fig3,
     ordered,
     pareto,
+    relaxation,
     theory,
 )
 from repro.experiments.base import ExperimentResult
@@ -130,6 +131,14 @@ def _pareto(seed, quick: bool) -> ExperimentResult:
     return pareto.run(seed=seed)
 
 
+def _relaxation(seed, quick: bool) -> ExperimentResult:
+    if quick:
+        return relaxation.run(
+            n=120, d=8, ks=(1, 2, 4, 120), fixed_m=16, max_steps=40, seed=seed
+        )
+    return relaxation.run(seed=seed)
+
+
 def _ordered(seed, quick: bool) -> ExperimentResult:
     if quick:
         return ordered.run(
@@ -153,6 +162,7 @@ DEFAULT_EXPERIMENTS: dict[str, Callable[[object, bool], ExperimentResult]] = {
     "ablation": _ablation,
     "ordered": _ordered,
     "pareto": _pareto,
+    "relaxation": _relaxation,
     "costs": _costs,
 }
 

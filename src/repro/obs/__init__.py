@@ -40,6 +40,7 @@ from repro.obs.analysis import (
 from repro.obs.events import (
     CLAMP,
     DECISION,
+    ORDER_DECISION,
     RUN_END,
     RUN_START,
     SELECT,
@@ -110,6 +111,7 @@ __all__ = [
     "RUN_START",
     "SELECT",
     "STEP",
+    "ORDER_DECISION",
     "DECISION",
     "CLAMP",
     "RUN_END",

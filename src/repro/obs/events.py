@@ -24,6 +24,12 @@ Event kinds emitted by the runtime:
     without process-dependent task uids, so traces stay byte-stable).
     Ordered engines add the conflict/order abort split and the
     barrier/horizon values.
+``order_decision``
+    A relaxed/async commit-order policy drew its batch through a bounded
+    window: the window size and the per-round in-window ranks chosen.
+    Strict policies (and depth-1 relaxation) emit nothing, keeping their
+    traces byte-identical to the historical engines; the replayer treats
+    the kind as informational.
 ``decision``
     A controller window closed and a rule fired (or explicitly held):
     windowed ``r``, the branch taken, old and new ``m``.
@@ -72,6 +78,7 @@ __all__ = [
     "RUN_START",
     "SELECT",
     "STEP",
+    "ORDER_DECISION",
     "DECISION",
     "CLAMP",
     "RUN_END",
@@ -90,6 +97,7 @@ __all__ = [
 RUN_START = "run_start"
 SELECT = "select"
 STEP = "step"
+ORDER_DECISION = "order_decision"
 DECISION = "decision"
 CLAMP = "clamp"
 RUN_END = "run_end"
@@ -116,7 +124,8 @@ SWEEP_KINDS = frozenset(
 )
 
 _KNOWN_KINDS = (
-    frozenset({RUN_START, SELECT, STEP, DECISION, CLAMP, RUN_END}) | SWEEP_KINDS
+    frozenset({RUN_START, SELECT, STEP, ORDER_DECISION, DECISION, CLAMP, RUN_END})
+    | SWEEP_KINDS
 )
 
 

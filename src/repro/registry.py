@@ -46,6 +46,9 @@ __all__ = [
     "register",
     "registry",
     "select_backend_for",
+    "parse_order_spec",
+    "order_family",
+    "workset_for",
     "ENGINES",
     "ORDER_POLICIES",
     "CONTROLLERS",
@@ -177,10 +180,106 @@ def _populate_engines(reg: Registry) -> None:
 
 
 def _populate_order_policies(reg: Registry) -> None:
-    from repro.runtime.policies import OrderedCommitOrder, UnorderedCommitOrder
+    from repro.runtime.policies import (
+        AsyncCommitOrder,
+        OrderedCommitOrder,
+        RelaxedCommitOrder,
+        UnorderedCommitOrder,
+    )
 
     reg.register("unordered", UnorderedCommitOrder)
     reg.register("ordered", OrderedCommitOrder)
+    reg.register("relaxed", RelaxedCommitOrder)
+    reg.register("async", AsyncCommitOrder)
+
+
+#: numeric-suffix parameter of each built-in order spec ("relaxed:4" ->
+#: RelaxedCommitOrder(k=4), "async:8" -> AsyncCommitOrder(window=8))
+_ORDER_SPEC_PARAMS = {"relaxed": "k", "async": "window"}
+
+#: which work-set family each built-in order policy draws from; names
+#: absent here (third-party policies) default to the unordered family
+_ORDER_FAMILIES = {
+    "unordered": "unordered",
+    "ordered": "priority",
+    "relaxed": "priority",
+    "async": "arrival",
+}
+
+
+def parse_order_spec(order: str) -> "tuple[str, dict]":
+    """Split an ``order=`` spec into ``(registry name, factory kwargs)``.
+
+    ``"relaxed:4"`` parses to ``("relaxed", {"k": 4})`` and
+    ``"async:8"`` to ``("async", {"window": 8})``; bare ``"async"``
+    keeps the policy's default window, while bare ``"relaxed"`` is
+    rejected — a relaxation without a depth is meaningless.  Names that
+    take no parameter reject a suffix; anything else (including exotic
+    third-party names containing ``":"``) passes through verbatim for
+    the ``"order-policy"`` registry to accept or reject.
+    """
+    from repro.errors import ConfigError
+
+    if not isinstance(order, str) or not order:
+        raise ConfigError(f"order spec must be a non-empty string, got {order!r}")
+    name, sep, suffix = order.partition(":")
+    if name == "relaxed" and not sep:
+        raise ConfigError(
+            'order="relaxed" needs a depth, e.g. "relaxed:4" '
+            "(k=1 is the strict ordered policy)"
+        )
+    if not sep:
+        return order, {}
+    param = _ORDER_SPEC_PARAMS.get(name)
+    if param is None:
+        if name in _ORDER_FAMILIES:
+            raise ConfigError(f"order policy {name!r} takes no parameter, got {order!r}")
+        return order, {}  # third-party name that happens to contain ":"
+    try:
+        value = int(suffix)
+    except ValueError:
+        raise ConfigError(
+            f"order spec {order!r} needs an integer {param}, got {suffix!r}"
+        ) from None
+    if value < 1:
+        raise ConfigError(f"order spec {order!r} needs {param} >= 1, got {value}")
+    return name, {param: value}
+
+
+def order_family(name: str) -> str:
+    """Work-set family of an order-policy name.
+
+    ``"unordered"`` (bag with uniform draw), ``"priority"``
+    (:class:`~repro.runtime.policies.PriorityWorkset`), or ``"arrival"``
+    (:class:`~repro.runtime.workset.ArrivalWorkset`).  Third-party names
+    default to ``"unordered"``, the family whose work-set protocol any
+    :class:`~repro.runtime.workset.Workset` satisfies.
+    """
+    return _ORDER_FAMILIES.get(name, "unordered")
+
+
+def workset_for(config) -> "object":
+    """Work-set instance matching ``config.order`` (and ``config.select``).
+
+    Unordered-family orders (including ``order=None``) resolve through
+    :func:`select_backend_for`; priority-family orders get a fresh
+    :class:`~repro.runtime.policies.PriorityWorkset` and arrival-family
+    orders an :class:`~repro.runtime.workset.ArrivalWorkset`.
+    """
+    order = getattr(config, "order", None)
+    if order is None:
+        return select_backend_for(config)
+    name, _ = parse_order_spec(order)
+    family = order_family(name)
+    if family == "priority":
+        from repro.runtime.policies import PriorityWorkset
+
+        return PriorityWorkset()
+    if family == "arrival":
+        from repro.runtime.workset import ArrivalWorkset
+
+        return ArrivalWorkset()
+    return select_backend_for(config)
 
 
 def _populate_controllers(reg: Registry) -> None:
@@ -272,16 +371,17 @@ def _populate_workloads(reg: Registry) -> None:
         ReplayGraphWorkload,
     )
 
+    # workset_for matches the work-set to config.order (PriorityWorkset
+    # for ordered/relaxed runs, ArrivalWorkset for async, the selection
+    # backend otherwise); the workload seeds it accordingly
     reg.register(
         "replay",
-        lambda graph, config: ReplayGraphWorkload(
-            graph, workset=select_backend_for(config)
-        ),
+        lambda graph, config: ReplayGraphWorkload(graph, workset=workset_for(config)),
     )
     reg.register(
         "consuming",
         lambda graph, config: ConsumingGraphWorkload(
-            graph, workset=select_backend_for(config)
+            graph, workset=workset_for(config)
         ),
     )
 
@@ -293,7 +393,7 @@ def _populate_workloads(reg: Registry) -> None:
             graph,
             target_degree=target,
             seed=config.seed,
-            workset=select_backend_for(config),
+            workset=workset_for(config),
         )
 
     reg.register("regenerating", _regenerating)

@@ -21,7 +21,13 @@ from repro.runtime.core import (
 )
 from repro.runtime.engine import CCEngine, OptimisticEngine
 from repro.runtime.ordered import OrderedBatchOutcome, OrderedEngine, PriorityWorkset
-from repro.runtime.policies import OrderedCommitOrder, UnorderedCommitOrder
+from repro.runtime.policies import (
+    ASYNC_DEFAULT_WINDOW,
+    AsyncCommitOrder,
+    OrderedCommitOrder,
+    RelaxedCommitOrder,
+    UnorderedCommitOrder,
+)
 from repro.runtime.recording import RunRecorder, diff_runs, load_run, save_run
 from repro.runtime.stats import RunResult, StepStats
 from repro.runtime.task import CallbackOperator, Operator, Task
@@ -32,7 +38,13 @@ from repro.runtime.workloads import (
     RegeneratingGraphWorkload,
     ReplayGraphWorkload,
 )
-from repro.runtime.workset import FifoWorkset, LifoWorkset, RandomWorkset, Workset
+from repro.runtime.workset import (
+    ArrivalWorkset,
+    FifoWorkset,
+    LifoWorkset,
+    RandomWorkset,
+    Workset,
+)
 
 __all__ = [
     "ActiveSet",
@@ -54,6 +66,9 @@ __all__ = [
     "OrderedCommitOrder",
     "OrderedEngine",
     "PriorityWorkset",
+    "RelaxedCommitOrder",
+    "AsyncCommitOrder",
+    "ASYNC_DEFAULT_WINDOW",
     "UnorderedCommitOrder",
     "RunRecorder",
     "diff_runs",
@@ -69,6 +84,7 @@ __all__ = [
     "GraphWorkloadBase",
     "RegeneratingGraphWorkload",
     "ReplayGraphWorkload",
+    "ArrivalWorkset",
     "FifoWorkset",
     "LifoWorkset",
     "RandomWorkset",

@@ -28,6 +28,10 @@ bit** (the differential suite in ``tests/runtime`` enforces this):
   draws of the m-out-of-n swap-removal sampler
   (:class:`~repro.runtime.workset.RandomWorkset`'s ``π_m`` prefix) as a
   single vectorised call, bit-identical to the sequential scalar loop.
+* :func:`sample_window_draws` — the bounded-window variant backing the
+  relaxed/async commit-order policies: draw ``i`` is uniform over the
+  first ``min(window, n - i)`` remaining entries, degenerating to
+  :func:`sample_prefix_draws` when the window covers the whole pool.
 
 All kernels resolve fates in *rounds* of pure array arithmetic: a slot
 aborts as soon as an earlier neighbour is known to commit, and commits
@@ -51,6 +55,7 @@ __all__ = [
     "greedy_commit_mask_from_slots",
     "greedy_lock_mask",
     "sample_prefix_draws",
+    "sample_window_draws",
 ]
 
 
@@ -323,6 +328,49 @@ def sample_prefix_draws(n: int, k: int, rng: np.random.Generator) -> np.ndarray:
     if k == 0:
         return np.empty(0, dtype=np.int64)
     highs = np.arange(n, n - k, -1, dtype=np.int64)
+    return rng.integers(0, highs, dtype=np.int64)
+
+
+@_timed("kernel.sample_window")
+def sample_window_draws(
+    n: int, k: int, window: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Vectorised bounded draws of the k-of-top windowed sampler.
+
+    The relaxed commit-order policies draw each of their ``k`` batch
+    entries uniformly from the first ``window`` remaining entries of an
+    ordered pool (priority order for :class:`RelaxedCommitOrder`, arrival
+    order for :class:`AsyncCommitOrder` — both in
+    :mod:`repro.runtime.policies`).  Draw ``i`` is therefore uniform over
+    ``[0, min(window, n - i))`` — the window, clipped once the pool runs
+    low — and this kernel produces all ``k`` draws in one
+    ``Generator.integers`` call over the clipped bound vector.
+
+    When ``window >= n`` every bound clips to the pool size and the draw
+    *is* the uniform ``π_m`` prefix sampler, so the call delegates to
+    :func:`sample_prefix_draws` — the bridge behind the theory-conformance
+    claim that relaxation depth ``k >= n`` recovers the paper's §2 model.
+
+    **Bit-parity contract**: as with :func:`sample_prefix_draws`, the
+    broadcast-bounds call consumes the bit stream exactly as ``k``
+    sequential scalar ``rng.integers(0, bound_i)`` calls do, so scalar
+    replays of the windowed draw reproduce both the values and the
+    generator state.
+
+    Returns ``int64[k]``; ``k == 0`` returns an empty array without
+    touching the generator.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window >= n:
+        return sample_prefix_draws(n, k, rng)
+    if k < 0:
+        raise ValueError(f"cannot draw {k} samples")
+    if k > n:
+        raise ValueError(f"cannot draw {k} samples from a pool of {n}")
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    highs = np.minimum(window, np.arange(n, n - k, -1, dtype=np.int64))
     return rng.integers(0, highs, dtype=np.int64)
 
 

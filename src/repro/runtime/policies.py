@@ -11,6 +11,19 @@ extra abort rules (*barrier* and *horizon*) guarantee the committed
 sequence is globally chronological, hence equal to the sequential
 execution.
 
+Two *relaxed* policies interpolate between those extremes (Alistarh
+et al.'s relaxed schedulers; Atos-style async GPU scheduling):
+
+* :class:`RelaxedCommitOrder` — k-of-top priority relaxation: each batch
+  entry is drawn uniformly from the ``k`` earliest pending tasks.
+  ``k=1`` *is* the strict ordered policy (bit-identical, RNG
+  trajectory included); ``k >= n`` recovers the §2 uniform-draw model in
+  distribution — the theory bridge the relaxed conformance suite
+  quantifies.
+* :class:`AsyncCommitOrder` — fully asynchronous: tasks commit in
+  arrival order subject to a bounded-staleness window, over an
+  :class:`~repro.runtime.workset.ArrivalWorkset`.
+
 Both policies plug into :class:`repro.runtime.core.Engine`; the
 fast/reference kernel dispatch honours the engine's ``engine_mode`` so
 byte-identical traces hold across both kernel paths.  The historical
@@ -29,7 +42,7 @@ import numpy as np
 
 from repro.errors import RuntimeEngineError, WorksetEmptyError
 from repro.runtime.core import OrderPolicy
-from repro.runtime.kernels import greedy_lock_mask
+from repro.runtime.kernels import greedy_lock_mask, sample_window_draws
 from repro.runtime.task import Operator
 from repro.utils.rng import ensure_rng, substream
 
@@ -44,7 +57,13 @@ __all__ = [
     "OrderedBatchOutcome",
     "UnorderedCommitOrder",
     "OrderedCommitOrder",
+    "RelaxedCommitOrder",
+    "AsyncCommitOrder",
+    "ASYNC_DEFAULT_WINDOW",
 ]
+
+#: staleness window used when ``order="async"`` carries no explicit size
+ASYNC_DEFAULT_WINDOW = 16
 
 
 class PriorityWorkset:
@@ -69,6 +88,68 @@ class PriorityWorkset:
             prio, _, task = heapq.heappop(self._heap)
             out.append((prio, task))
         return out
+
+    def take_window(
+        self, m: int, window: int, rng
+    ) -> "tuple[list[tuple[float, Task]], list[int]]":
+        """Remove up to *m* tasks, each drawn from the ``window`` earliest.
+
+        The k-of-top relaxed draw: every round picks uniformly among the
+        ``min(window, pending)`` earliest remaining tasks, so a task can
+        be overtaken by at most ``window - 1`` later-priority ones.
+        Returns ``(batch, draws)`` where ``draws[i]`` is the in-window
+        rank (0 = earliest) chosen at round ``i`` — the scheduling
+        decision the relaxed policy records in its trace.
+
+        ``window=1`` delegates to :meth:`take_earliest` and never touches
+        *rng*, which is what makes depth-1 relaxation bit-identical to
+        the strict ordered policy.  Draws are vectorised through
+        :func:`~repro.runtime.kernels.sample_window_draws`; only the
+        ``min(pending, m + window - 1)`` earliest heap entries are popped
+        into a staging buffer, and unused ones are pushed back with their
+        original tie-breakers, so the heap's FIFO-within-priority order
+        is preserved.
+        """
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if window == 1:
+            batch = self.take_earliest(m)
+            return batch, [0] * len(batch)
+        if not self._heap:
+            raise WorksetEmptyError("take from empty priority work-set")
+        if m < 0:
+            raise ValueError(f"cannot take {m} tasks")
+        heap = self._heap
+        pending = len(heap)
+        k = min(m, pending)
+        draws = sample_window_draws(pending, k, window, rng)
+        # stage just enough of the heap head: after i removals the
+        # window never reaches past entry m + window - 2 of the original
+        # priority order, so depth entries always cover every draw
+        depth = min(pending, k + window - 1)
+        heappop = heapq.heappop
+        buffer = [heappop(heap) for _ in range(depth)]
+        # the draws only ever index the `window` earliest remaining
+        # entries, so slide a window-sized head slice over the sorted
+        # buffer instead of popping from its front: O(m * window)
+        # element moves, not O(m * depth).  The staging cursor always
+        # drains the whole buffer (depth <= k + window - 1), so the
+        # only push-backs are the final window leftovers.
+        draws_list: "list[int]" = draws.tolist()
+        win = buffer[:window]
+        nxt = len(win)
+        pop = win.pop
+        refill = win.append
+        taken: "list[tuple[float, int, Task]]" = []
+        take = taken.append
+        for j in draws_list:
+            take(pop(j))
+            if nxt < depth:
+                refill(buffer[nxt])
+                nxt += 1
+        for entry in win:  # at most window - 1 leftovers
+            heapq.heappush(heap, entry)
+        return [(prio, task) for prio, _, task in taken], draws_list
 
     def peek_priority(self) -> float:
         """Priority of the earliest pending task."""
@@ -249,8 +330,19 @@ class OrderedCommitOrder(OrderPolicy):
     regardless of what earlier (re)executions consumed.
     """
 
-    def __init__(self, priority_of: "Callable[[Task], float]") -> None:
+    def __init__(
+        self,
+        priority_of: "Callable[[Task], float]",
+        conflict_policy: "ConflictPolicy | None" = None,
+    ) -> None:
         self.priority_of = priority_of
+        #: optional :class:`~repro.runtime.conflict.ConflictPolicy`
+        #: deciding the conflict phase; ``None`` keeps the historical
+        #: greedy item-lock semantics over operator neighbourhoods.
+        #: Graph runs pass their ``ExplicitGraphPolicy`` here so ordered
+        #: and unordered engines detect the *same* conflicts — the
+        #: precondition for the relaxed theory bridge.
+        self.conflict_policy = conflict_policy
         self.conflict_aborts_total = 0
         self.order_aborts_total = 0
         self._seed: "int | None" = None
@@ -283,8 +375,12 @@ class OrderedCommitOrder(OrderPolicy):
 
     def execute(self, batch: "list[tuple[float, Task]]"):
         # route through the engine attribute so tests (and subclasses)
-        # can swap the resolution step wholesale
-        return self.engine._resolve(batch)  # opens resolve/commit spans
+        # can swap the resolution step wholesale; policies driven by the
+        # bare core Engine (no _resolve seam) resolve directly
+        resolve = getattr(self.engine, "_resolve", None)
+        if resolve is None:
+            return self.resolve(batch)  # opens resolve/commit spans
+        return resolve(batch)
 
     def commit_span_name(self) -> str:
         return "record"
@@ -308,6 +404,23 @@ class OrderedCommitOrder(OrderPolicy):
     ) -> "tuple[list[tuple[float, Task]], list[tuple[float, Task]]]":
         """Greedy item-lock partition of *batch* into (survivors, aborted)."""
         eng = self.engine
+        if self.conflict_policy is not None:
+            # delegate to the pluggable policy (graph-edge semantics for
+            # graph runs); positions map straight back because resolve
+            # slots are ascending within the walked order
+            tasks = [task for _, task in batch]
+            if eng.engine_mode == "fast":
+                outcome = self.conflict_policy.resolve_fast(tasks, eng.operator)
+            else:
+                outcome = self.conflict_policy.resolve(tasks, eng.operator)
+            if outcome.commit_slots is not None:
+                survivors = [batch[i] for i in outcome.commit_slots]
+                aborted = [batch[i] for i in outcome.abort_slots]
+                return survivors, aborted
+            committed_uids = {task.uid for task in outcome.committed}
+            survivors = [entry for entry in batch if entry[1].uid in committed_uids]
+            aborted = [entry for entry in batch if entry[1].uid not in committed_uids]
+            return survivors, aborted
         if eng.engine_mode == "fast":
             codes: dict = {}
             flat: list[int] = []
@@ -397,3 +510,157 @@ class OrderedCommitOrder(OrderPolicy):
             "conflict_aborts": self.conflict_aborts_total,
             "order_aborts": self.order_aborts_total,
         }
+
+
+class RelaxedCommitOrder(OrderedCommitOrder):
+    """k-of-top priority relaxation of the ordered policy.
+
+    Each batch entry is drawn uniformly from the ``k`` *earliest* pending
+    tasks (via :meth:`PriorityWorkset.take_window`), so a task may be
+    overtaken by at most ``k - 1`` later-priority tasks — the bounded
+    rank error of Alistarh et al.'s relaxed priority schedulers.  The
+    draw order is the commit order; conflicts resolve greedily along it
+    exactly as in the strict policy.
+
+    The two endpoints anchor the theory bridge the relaxed conformance
+    suite (``tests/model/test_relaxed_conformance.py``) verifies:
+
+    * ``k = 1`` — the window holds only the head, no randomness is
+      consumed, and the policy **is** :class:`OrderedCommitOrder`:
+      byte-identical traces, RNG trajectory included (``label()``
+      reports ``"ordered"`` accordingly).
+    * ``k >= n`` — the window always covers the whole work-set, the draw
+      degenerates to the uniform ordered sample without replacement, and
+      (with the same conflict policy) the commit distribution equals the
+      paper's §2 ``π_m`` model.
+
+    For ``k > 1`` the strict policy's barrier/horizon *order-abort* rules
+    are deliberately dropped: bounded out-of-order commits are the point
+    of relaxation, and re-executed or newly created earlier-priority work
+    simply commits in a later round (staleness stays bounded by the
+    window).  Conflict aborts and the barrier/horizon diagnostics are
+    still reported, so the step-event schema matches the ordered engine's.
+
+    Each windowed draw is emitted as an ``order_decision`` trace event
+    (window size plus per-round in-window ranks), keeping relaxed traces
+    replayable decision by decision.
+    """
+
+    def __init__(
+        self,
+        priority_of: "Callable[[Task], float]",
+        k: int,
+        conflict_policy: "ConflictPolicy | None" = None,
+    ) -> None:
+        if isinstance(k, bool) or not isinstance(k, int) or k < 1:
+            raise RuntimeEngineError(
+                f"relaxation depth k must be an int >= 1, got {k!r}"
+            )
+        super().__init__(priority_of, conflict_policy=conflict_policy)
+        self.k = k
+        #: in-window ranks of the most recent batch draw (diagnostics)
+        self.last_draws: "list[int]" = []
+
+    def label(self) -> str:
+        # depth 1 IS the strict ordered policy — label it as such so
+        # run_start events (and the byte-identity acceptance gate) agree
+        return "ordered" if self.k == 1 else f"relaxed:{self.k}"
+
+    def select(self, requested: int) -> "list[tuple[float, Task]]":
+        if self.k == 1:
+            return super().select(requested)  # no RNG: strict head take
+        eng = self.engine
+        take_window = getattr(eng.workset, "take_window", None)
+        if take_window is None:
+            raise RuntimeEngineError(
+                f"relaxed commit order needs a work-set with take_window(), "
+                f"got {type(eng.workset).__name__}"
+            )
+        batch, draws = take_window(requested, self.k, eng.rng)
+        self.last_draws = draws
+        if eng.recorder is not None:
+            eng.recorder.emit(
+                "order_decision",
+                step=eng.steps_executed,
+                policy=self.label(),
+                window=self.k,
+                draws=draws,
+            )
+        return batch
+
+    def resolve(self, batch: "list[tuple[float, Task]]") -> OrderedBatchOutcome:
+        """Conflict phase + unconditional commit walk (no order aborts)."""
+        if self.k == 1:
+            return super().resolve(batch)
+        eng = self.engine
+        with eng.phase_span("resolve"):
+            survivors, conflict_aborted = self._conflict_phase(batch)
+        committed: "list[tuple[float, Task]]" = []
+        # barrier/horizon are reported as diagnostics only: relaxation
+        # tolerates bounded out-of-order commits instead of aborting them
+        barrier = min((p for p, _ in conflict_aborted), default=float("inf"))
+        horizon = barrier
+        with eng.phase_span("commit"):
+            for prio, task in survivors:
+                for new_task in eng.operator.apply(task):
+                    new_prio = float(self.priority_of(new_task))
+                    eng.workset.add(new_task, new_prio)
+                    horizon = min(horizon, new_prio)
+                committed.append((prio, task))
+        return OrderedBatchOutcome(
+            committed, conflict_aborted, [], barrier=barrier, horizon=horizon
+        )
+
+
+class AsyncCommitOrder(UnorderedCommitOrder):
+    """Fully asynchronous commit order with a bounded-staleness window.
+
+    Models Atos-style asynchronous task scheduling: tasks commit in
+    *arrival* order, except that each batch entry may be drawn from the
+    oldest ``window`` pending tasks (an
+    :class:`~repro.runtime.workset.ArrivalWorkset`), so stale work is
+    overtaken by at most ``window - 1`` younger tasks.  Conflict
+    resolution and roll-back semantics are inherited unchanged from
+    :class:`UnorderedCommitOrder` — aborted tasks re-enter at the queue
+    tail (asynchronous resubmission) — and the step-event schema is
+    identical to the unordered engine's, so every trace consumer works
+    on async runs unmodified.  Windowed draws with ``window > 1`` are
+    additionally emitted as ``order_decision`` events.
+    """
+
+    def __init__(
+        self,
+        conflict_policy: "ConflictPolicy",
+        window: int = ASYNC_DEFAULT_WINDOW,
+    ) -> None:
+        if isinstance(window, bool) or not isinstance(window, int) or window < 1:
+            raise RuntimeEngineError(
+                f"staleness window must be an int >= 1, got {window!r}"
+            )
+        super().__init__(conflict_policy)
+        self.window = window
+        #: in-window indices of the most recent batch draw (diagnostics)
+        self.last_draws: "list[int]" = []
+
+    def label(self) -> str:
+        return f"async:{self.window}"
+
+    def select(self, requested: int) -> "list[Task]":
+        eng = self.engine
+        take_window = getattr(eng.workset, "take_window", None)
+        if take_window is None:
+            raise RuntimeEngineError(
+                f"async commit order needs a work-set with take_window(), "
+                f"got {type(eng.workset).__name__}"
+            )
+        batch, draws = take_window(requested, self.window, eng.rng)
+        self.last_draws = draws
+        if eng.recorder is not None and self.window > 1:
+            eng.recorder.emit(
+                "order_decision",
+                step=eng.steps_executed,
+                policy=self.label(),
+                window=self.window,
+                draws=draws,
+            )
+        return batch

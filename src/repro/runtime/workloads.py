@@ -97,7 +97,14 @@ class GraphWorkloadBase:
             graph, csr_deltas=bool(getattr(workset, "incremental", False))
         )
         self.workset: Workset = workset
-        self.workset.add_all([Task(payload=node) for node in graph.nodes()])
+        tasks = [Task(payload=node) for node in graph.nodes()]
+        if hasattr(workset, "take_earliest"):
+            # priority work-set (ordered/relaxed commit orders): the node
+            # id is the canonical graph priority — smaller id = earlier
+            for task in tasks:
+                workset.add(task, float(task.payload))
+        else:
+            workset.add_all(tasks)
 
     def on_commit(self, task: Task) -> list[Task]:  # pragma: no cover - abstract-ish
         raise NotImplementedError

@@ -19,6 +19,7 @@ class TestRegistry:
             "ordered",
             "pareto",
             "costs",
+            "relaxation",
         }
 
     def test_unknown_name_raises(self):

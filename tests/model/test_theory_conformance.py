@@ -11,14 +11,24 @@ claims, each within the estimator's own confidence interval:
   closed form of the ``K_d^n`` family, and ``K_d^n`` itself attains it.
 * **Seating** — the Freedman–Shepp recurrences for paths/cycles match
   the MC greedy-MIS expectation.
+* **Relaxed regime** — Props. 1 and 2 survive commit-order relaxation:
+  under :class:`~repro.runtime.policies.RelaxedCommitOrder` the engine's
+  measured ``r̄(m)`` stays non-decreasing for every depth ``k``, and the
+  initial slope averaged over exchangeable random graph instances is the
+  same ``d/(2(n−1))`` at *any* ``k`` (the draw picks a fixed set of node
+  labels; edge exchangeability does the rest), hitting the per-graph
+  closed form once ``k ≥ n``.
 
 Every check uses fixed seeds derived from one base constant, so the
 suite is deterministic: it either passes forever or a real semantic
 change broke an estimator.
 """
 
+import numpy as np
 import pytest
 
+from repro.api import run
+from repro.config import RunConfig
 from repro.graph.generators import (
     cycle_graph,
     gnm_random,
@@ -144,6 +154,95 @@ class TestTheorem3:
         bounds = [worst_case_conflict_ratio(self.N, self.D, m) for m in self.MS]
         assert bounds == sorted(bounds)
         assert worst_case_conflict_ratio(self.N, self.D, 1) == pytest.approx(0.0)
+
+
+# ----------------------------------------------------------------------
+# Relaxed regime: Props. 1 and 2 under RelaxedCommitOrder
+# ----------------------------------------------------------------------
+def _relaxed_step_ratio(graph, m: int, k: int, run_seed) -> float:
+    """Conflict ratio of one engine step at depth *k* and allocation *m*."""
+    config = RunConfig(
+        workload="consuming",
+        controller="fixed",
+        m=m,
+        order="ordered" if k == 1 else f"relaxed:{k}",
+        max_steps=1,
+    )
+    return run(config, graph=graph, seed=run_seed).mean_conflict_ratio
+
+
+class TestRelaxedRegime:
+    N, D = 150, 8.0
+    MS = [1, 2, 5, 10, 20, 40, 80]
+
+    @pytest.mark.parametrize(
+        "k", [1, 2, 75, 150], ids=["k1", "k2", "k=n/2", "k=n"]
+    )
+    def test_prop1_monotone_at_every_depth(self, k):
+        # the engine's measured r̄(m) over the initial pool of one fixed
+        # graph; k=1 consumes no randomness, so one run is exact
+        reps = 1 if k == 1 else 60
+        means, halves = [], []
+        for m in self.MS:
+            vals = np.array(
+                [
+                    _relaxed_step_ratio(
+                        gnm_random(self.N, self.D, seed=seed("relax1", "graph")),
+                        m,
+                        k,
+                        seed("relax1", k, m, rep),
+                    )
+                    for rep in range(reps)
+                ]
+            )
+            means.append(float(vals.mean()))
+            halves.append(
+                0.0 if reps == 1 else 1.96 * float(vals.std(ddof=1)) / reps**0.5
+            )
+        assert means[0] == 0.0  # a single task can never conflict
+        for i in range(len(means) - 1):
+            assert means[i + 1] >= means[i] - (halves[i] + halves[i + 1] + 1e-9)
+        assert means[-1] > means[0]
+
+    @pytest.mark.parametrize("k", [1, 2, 20, 40], ids=["k1", "k2", "k=n/2", "k=n"])
+    def test_prop2_initial_slope_over_exchangeable_instances(self, k):
+        # the k-of-top draw always picks nodes from a fixed label window,
+        # but averaged over exchangeable gnm instances every labelled
+        # pair is adjacent w.p. d/(n-1) — the slope is depth-invariant
+        n, d, reps = 40, 6.0, 800
+        vals = np.array(
+            [
+                _relaxed_step_ratio(
+                    gnm_random(n, d, seed=seed("relax2", "graph", k, rep)),
+                    2,
+                    k,
+                    seed("relax2", "run", k, rep),
+                )
+                for rep in range(reps)
+            ]
+        )
+        exact = initial_derivative(n, d)
+        half_width = 1.96 * float(vals.std(ddof=1)) / reps**0.5
+        assert abs(float(vals.mean()) - exact) <= 1.5 * half_width
+
+    def test_prop2_exact_closed_form_at_k_ge_n(self):
+        # k >= n is the uniform ordered sample: on one FIXED graph the
+        # engine's mean must match the model's exact enumeration
+        n, d, reps = 40, 6.0, 1500
+        exact = exact_conflict_ratio(gnm_random(n, d, seed=seed("relax3")), 2)
+        vals = np.array(
+            [
+                _relaxed_step_ratio(
+                    gnm_random(n, d, seed=seed("relax3")),
+                    2,
+                    n,
+                    seed("relax3", "run", rep),
+                )
+                for rep in range(reps)
+            ]
+        )
+        half_width = 1.96 * float(vals.std(ddof=1)) / reps**0.5
+        assert abs(float(vals.mean()) - exact) <= 1.5 * half_width
 
 
 # ----------------------------------------------------------------------

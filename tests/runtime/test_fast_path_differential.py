@@ -279,6 +279,77 @@ class TestOrderedDifferential:
         assert fast_history == ref_history
 
 
+class TestRelaxedDifferential:
+    """Relaxed/async commit orders obey the same bit-identity contract."""
+
+    ORDERS = ["ordered", "relaxed:1", "relaxed:4", "async", "async:4"]
+
+    @staticmethod
+    def _ordered_run(order: str, mode: str, workload: str = "gnm_consuming"):
+        from repro import RunConfig
+        from repro.api import run
+
+        graphs = {
+            "gnm_replay": lambda: gnm_random(N, 8, seed=SEED),
+            "gnm_consuming": lambda: gnm_random(N, 8, seed=SEED),
+            "clique_consuming": lambda: union_of_cliques(20, 6),
+        }
+        recorder = TraceRecorder()
+        run(
+            RunConfig(
+                workload="replay" if workload == "gnm_replay" else "consuming",
+                rho=0.25,
+                order=order,
+                max_steps=MAX_STEPS,
+                engine=mode,
+            ),
+            graph=graphs[workload](),
+            seed=SEED,
+            recorder=recorder,
+        )
+        return recorder.to_jsonl()
+
+    @pytest.mark.parametrize(
+        "workload_key", ["gnm_replay", "gnm_consuming", "clique_consuming"]
+    )
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_fast_equals_reference(self, order, workload_key):
+        ref = self._ordered_run(order, "reference", workload_key)
+        fast = self._ordered_run(order, "fast", workload_key)
+        assert fast == ref  # byte-identical obs traces
+
+    @pytest.mark.parametrize("mode", ["reference", "fast"])
+    def test_depth_one_equals_strict_ordered(self, mode):
+        assert self._ordered_run("relaxed:1", mode) == self._ordered_run(
+            "ordered", mode
+        )
+
+    def test_async_trace_schema_matches_unordered(self):
+        # async runs must be drop-in for every unordered trace consumer:
+        # same event kinds and same step/run_end payload fields (plus the
+        # policy's own order_decision channel)
+        import json
+
+        unordered = [
+            json.loads(line)
+            for line in self._ordered_run("unordered", "reference").splitlines()
+            if not line.startswith('{"dropped"')
+        ]
+        asynchronous = [
+            json.loads(line)
+            for line in self._ordered_run("async:4", "reference").splitlines()
+            if not line.startswith('{"dropped"')
+        ]
+
+        def fields(events, kind):
+            return {frozenset(e["data"]) for e in events if e["kind"] == kind}
+
+        for kind in ("run_start", "select", "step", "run_end"):
+            assert fields(asynchronous, kind) == fields(unordered, kind)
+        extra = {e["kind"] for e in asynchronous} - {e["kind"] for e in unordered}
+        assert extra <= {"order_decision"}
+
+
 class TestEngineModeSelection:
     def test_unknown_mode_rejected(self):
         with pytest.raises(RuntimeEngineError):

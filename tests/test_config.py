@@ -76,12 +76,59 @@ class TestRunConfigValidation:
         assert RunConfig("fig1").seed is None  # original untouched
 
 
+class TestRunConfigOrderValidation:
+    @pytest.mark.parametrize(
+        "order",
+        ["unordered", "ordered", "relaxed:1", "relaxed:16", "async", "async:4"],
+    )
+    def test_known_specs_accepted_verbatim(self, order):
+        assert RunConfig(order=order).order == order
+
+    def test_unknown_policy_name_rejected_at_construction(self):
+        from repro.errors import RegistryError
+
+        with pytest.raises(RegistryError, match="order policy") as err:
+            RunConfig(order="chaotic")
+        # the error enumerates the registry so typos are self-diagnosing
+        for name in ("unordered", "ordered", "relaxed", "async"):
+            assert name in str(err.value)
+
+    @pytest.mark.parametrize(
+        "order",
+        [
+            "",            # empty spec
+            "relaxed",     # depth is mandatory
+            "relaxed:0",   # depth must be >= 1
+            "relaxed:two", # depth must be an int
+            "ordered:3",   # strict order takes no parameter
+            "async:x",     # window must be an int
+        ],
+    )
+    def test_malformed_specs_rejected_at_construction(self, order):
+        with pytest.raises(ConfigError):
+            RunConfig(order=order)
+
+    def test_priority_order_incompatible_with_select_backend(self):
+        with pytest.raises(ConfigError, match="work-set"):
+            RunConfig(order="relaxed:4", select="incremental")
+
+    def test_unordered_order_composes_with_select_backend(self):
+        cfg = RunConfig(order="unordered", select="incremental")
+        assert (cfg.order, cfg.select) == ("unordered", "incremental")
+
+    def test_order_round_trips_through_dict_and_json(self):
+        cfg = RunConfig(workload="consuming", order="relaxed:8", seed=3)
+        assert RunConfig.from_dict(cfg.to_dict()) == cfg
+        assert RunConfig.from_json(cfg.to_json()) == cfg
+        assert RunConfig.from_json(cfg.to_json()).order == "relaxed:8"
+
+
 class TestRunConfigSerialisation:
     def test_round_trip_is_exact(self):
         cfg = RunConfig(
             "fig3", seed=11, quick=True, workload="consuming",
             controller="aimd", conflict="explicit-graph", rho=0.4,
-            m_min=2, m_max=256, engine="fast", max_steps=50,
+            m_min=2, m_max=256, engine="fast", max_steps=50, order="async:8",
         )
         assert RunConfig.from_dict(cfg.to_dict()) == cfg
         assert RunConfig.from_json(cfg.to_json()) == cfg
