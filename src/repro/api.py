@@ -156,6 +156,12 @@ def run(
             name, kwargs = parse_order_spec(config.order)
             if order_family(name) == "priority":
                 kwargs["priority_of"] = lambda task: float(task.payload)
+            if (
+                name == "sharded"
+                and "shards" not in kwargs
+                and config.shards is not None
+            ):
+                kwargs["shards"] = config.shards
             order = ORDER_POLICIES.create(
                 name, conflict_policy=workload.policy, **kwargs
             )

@@ -108,12 +108,19 @@ class RunConfig:
         model), ``"ordered"`` (strict priority order with
         barrier/horizon rules), ``"relaxed:k"`` (k-of-top priority
         relaxation, ``k >= 1``), ``"async"`` / ``"async:w"``
-        (arrival order with staleness window ``w``), or ``None`` to
-        infer the policy from the run inputs (the historical
+        (arrival order with staleness window ``w``),
+        ``"sharded"`` / ``"sharded:s"`` (partitioned two-phase
+        resolution with halo exchange over ``s`` shards), or ``None``
+        to infer the policy from the run inputs (the historical
         behaviour).  The base name is validated **eagerly** against the
         ``"order-policy"`` registry — an unknown name raises
         :class:`~repro.errors.RegistryError` listing every available
         policy at construction time, not steps later inside an engine.
+    shards:
+        Shard count for ``order="sharded"`` (equivalent to the
+        ``"sharded:s"`` spec suffix; both given must agree).  Any other
+        order spec rejects it — a silently ignored shard count would
+        misreport what actually ran.
     max_steps:
         Step cap for engine runs (required by replay workloads, which
         never drain).
@@ -132,6 +139,7 @@ class RunConfig:
     engine: "str | None" = None
     select: "str | None" = None
     order: "str | None" = None
+    shards: "int | None" = None
     max_steps: "int | None" = None
 
     def __post_init__(self) -> None:
@@ -196,6 +204,25 @@ class RunConfig:
                 raise ConfigError(
                     f"order={self.order!r} brings its own work-set; "
                     f"it cannot be combined with select={self.select!r}"
+                )
+        _opt_int(self.shards, "shards", minimum=1)
+        if self.shards is not None:
+            # shards only means something to the sharded commit order;
+            # anywhere else a silently ignored count would be a footgun
+            from repro.registry import parse_order_spec
+
+            name, kwargs = (
+                parse_order_spec(self.order) if self.order is not None else (None, {})
+            )
+            if name != "sharded":
+                raise ConfigError(
+                    f'shards={self.shards} requires order="sharded", '
+                    f"got order={self.order!r}"
+                )
+            spec_shards = kwargs.get("shards")
+            if spec_shards is not None and spec_shards != self.shards:
+                raise ConfigError(
+                    f"order={self.order!r} and shards={self.shards} disagree"
                 )
         _opt_int(self.max_steps, "max_steps", minimum=0)
 

@@ -65,7 +65,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import multiprocessing
 import time
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _wait_connections
@@ -87,6 +86,7 @@ from repro.obs.events import (
 from repro.obs.metrics import MetricsRegistry, active_metrics
 from repro.obs.recorder import active_recorder
 from repro.obs.spans import SpanProfiler, active_profiler, activate_profiler
+from repro.runtime.supervise import SupervisedProcess, mp_context
 from repro.utils.rng import derive_jitter, derive_seed
 
 __all__ = [
@@ -337,63 +337,15 @@ def _worker_main(conn, payload: dict) -> None:
             pass
 
 
-def _mp_context():
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+_mp_context = mp_context  # supervision primitives live in repro.runtime.supervise
 
 
-class _WorkerTask:
-    """One isolated attempt: a child process plus its result pipe."""
+class _WorkerTask(SupervisedProcess):
+    """One isolated attempt: a supervised child process plus its sweep item."""
 
     def __init__(self, item: "_WorkItem", payload: dict, timeout: "float | None", ctx):
         self.item = item
-        recv_conn, send_conn = ctx.Pipe(duplex=False)
-        self.conn = recv_conn
-        self.proc = ctx.Process(target=_worker_main, args=(send_conn, payload), daemon=True)
-        self.started = time.monotonic()
-        self.proc.start()
-        send_conn.close()  # parent keeps only the read end, so EOF == dead worker
-        self.deadline = None if timeout is None else self.started + timeout
-
-    def expired(self, now: float) -> bool:
-        return self.deadline is not None and now >= self.deadline
-
-    def terminate(self) -> None:
-        if self.proc.is_alive():
-            self.proc.terminate()
-            self.proc.join(1.0)
-            if self.proc.is_alive():  # pragma: no cover - stubborn worker
-                self.proc.kill()
-                self.proc.join(1.0)
-        try:
-            self.conn.close()
-        except OSError:  # pragma: no cover - already closed
-            pass
-
-    def harvest(self) -> "tuple[str, object, dict | None]":
-        """Collect the attempt's verdict: (status, result|message, spans).
-
-        ``spans`` is the worker's span-profiler snapshot when the sweep
-        runs with profiling on (``None`` otherwise, and always for
-        crashed workers — a dead worker ships nothing).
-        """
-        try:
-            message = self.conn.recv()
-        except (EOFError, OSError):
-            self.proc.join(5.0)
-            code = self.proc.exitcode
-            self.conn.close()
-            return (
-                "crash",
-                f"worker died before reporting a result (exit code {code})",
-                None,
-            )
-        self.proc.join(5.0)
-        self.conn.close()
-        spans = message.get("spans")
-        if message.get("ok"):
-            return "ok", message["result"], spans
-        return "error", str(message.get("error", "unknown worker error")), spans
+        super().__init__(_worker_main, payload, timeout, ctx)
 
 
 @dataclass

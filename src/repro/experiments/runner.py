@@ -61,6 +61,7 @@ from repro.experiments import (
     ordered,
     pareto,
     relaxation,
+    sharding,
     theory,
 )
 from repro.experiments.base import ExperimentResult
@@ -139,6 +140,14 @@ def _relaxation(seed, quick: bool) -> ExperimentResult:
     return relaxation.run(seed=seed)
 
 
+def _sharding(seed, quick: bool) -> ExperimentResult:
+    if quick:
+        return sharding.run(
+            n=200, d=8, shard_counts=(1, 2, 4), m_max=32, max_steps=40, seed=seed
+        )
+    return sharding.run(seed=seed)
+
+
 def _ordered(seed, quick: bool) -> ExperimentResult:
     if quick:
         return ordered.run(
@@ -163,6 +172,7 @@ DEFAULT_EXPERIMENTS: dict[str, Callable[[object, bool], ExperimentResult]] = {
     "ordered": _ordered,
     "pareto": _pareto,
     "relaxation": _relaxation,
+    "sharding": _sharding,
     "costs": _costs,
 }
 

@@ -40,6 +40,7 @@ from repro.obs.analysis import (
 from repro.obs.events import (
     CLAMP,
     DECISION,
+    HALO_EXCHANGE,
     ORDER_DECISION,
     RUN_END,
     RUN_START,
@@ -100,6 +101,7 @@ from repro.obs.replay import (
     controller_from_config,
     controller_from_trace,
     recorded_seed,
+    register_controller_builder,
     replay_decisions,
     split_runs,
     trajectory,
@@ -111,6 +113,7 @@ __all__ = [
     "RUN_START",
     "SELECT",
     "STEP",
+    "HALO_EXCHANGE",
     "ORDER_DECISION",
     "DECISION",
     "CLAMP",
@@ -147,6 +150,7 @@ __all__ = [
     "recorded_seed",
     "controller_from_config",
     "controller_from_trace",
+    "register_controller_builder",
     "ReplayReport",
     "replay_decisions",
     "verify_trace",

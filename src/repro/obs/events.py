@@ -29,7 +29,15 @@ Event kinds emitted by the runtime:
     window: the window size and the per-round in-window ranks chosen.
     Strict policies (and depth-1 relaxation) emit nothing, keeping their
     traces byte-identical to the historical engines; the replayer treats
-    the kind as informational.
+    the kind as informational.  The sharded policy reuses it for the
+    per-shard launch/commit counts of one partitioned round.
+``halo_exchange``
+    A multi-shard round's phase-2 boundary resolution: locally committed
+    tasks, halo aborts, and the surviving committed nodes with their
+    owning shards — the fields the conflict-serializability trace
+    validator checks.  Single-shard runs emit nothing (byte-identity
+    with the unordered engine); the replayer treats the kind as
+    informational.
 ``decision``
     A controller window closed and a rule fired (or explicitly held):
     windowed ``r``, the branch taken, old and new ``m``.
@@ -79,6 +87,7 @@ __all__ = [
     "SELECT",
     "STEP",
     "ORDER_DECISION",
+    "HALO_EXCHANGE",
     "DECISION",
     "CLAMP",
     "RUN_END",
@@ -98,6 +107,7 @@ RUN_START = "run_start"
 SELECT = "select"
 STEP = "step"
 ORDER_DECISION = "order_decision"
+HALO_EXCHANGE = "halo_exchange"
 DECISION = "decision"
 CLAMP = "clamp"
 RUN_END = "run_end"
@@ -124,7 +134,10 @@ SWEEP_KINDS = frozenset(
 )
 
 _KNOWN_KINDS = (
-    frozenset({RUN_START, SELECT, STEP, ORDER_DECISION, DECISION, CLAMP, RUN_END})
+    frozenset(
+        {RUN_START, SELECT, STEP, ORDER_DECISION, HALO_EXCHANGE, DECISION, CLAMP,
+         RUN_END}
+    )
     | SWEEP_KINDS
 )
 

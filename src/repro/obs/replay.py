@@ -33,6 +33,7 @@ __all__ = [
     "recorded_seed",
     "controller_from_config",
     "controller_from_trace",
+    "register_controller_builder",
     "ReplayReport",
     "replay_decisions",
     "verify_trace",
@@ -154,6 +155,19 @@ _BUILDERS = {
 }
 
 
+def register_controller_builder(name: str, builder) -> None:
+    """Register a replay builder for a controller type defined upstack.
+
+    The built-in table covers :mod:`repro.control`; controllers that live
+    in higher layers (experiments, applications) register themselves here
+    at import time so their recorded runs stay replay-verifiable.
+    *builder* receives the ``run_start`` controller config (minus the
+    ``type`` key) and returns a fresh controller.  Re-registering a name
+    replaces the previous builder.
+    """
+    _BUILDERS[str(name)] = builder
+
+
 def controller_from_config(config: dict) -> Controller:
     """Rebuild a controller from a :meth:`Controller.describe` dict."""
     if "type" not in config:
@@ -218,6 +232,12 @@ def replay_decisions(
     """
     if controller is None:
         controller = controller_from_trace(events)
+        # controllers that consumed runtime-side state during the live run
+        # (e.g. per-shard statistics) re-source it from the segment's own
+        # events instead — the trace is the complete observation record
+        binder = getattr(controller, "bind_replay_segment", None)
+        if binder is not None:
+            binder(events)
     config = None
     for event in events:
         if event.kind == RUN_START:

@@ -184,6 +184,7 @@ def _populate_order_policies(reg: Registry) -> None:
         AsyncCommitOrder,
         OrderedCommitOrder,
         RelaxedCommitOrder,
+        ShardedCommitOrder,
         UnorderedCommitOrder,
     )
 
@@ -191,19 +192,24 @@ def _populate_order_policies(reg: Registry) -> None:
     reg.register("ordered", OrderedCommitOrder)
     reg.register("relaxed", RelaxedCommitOrder)
     reg.register("async", AsyncCommitOrder)
+    reg.register("sharded", ShardedCommitOrder)
 
 
 #: numeric-suffix parameter of each built-in order spec ("relaxed:4" ->
-#: RelaxedCommitOrder(k=4), "async:8" -> AsyncCommitOrder(window=8))
-_ORDER_SPEC_PARAMS = {"relaxed": "k", "async": "window"}
+#: RelaxedCommitOrder(k=4), "async:8" -> AsyncCommitOrder(window=8),
+#: "sharded:4" -> ShardedCommitOrder(shards=4))
+_ORDER_SPEC_PARAMS = {"relaxed": "k", "async": "window", "sharded": "shards"}
 
 #: which work-set family each built-in order policy draws from; names
-#: absent here (third-party policies) default to the unordered family
+#: absent here (third-party policies) default to the unordered family.
+#: "sharded" stays in the unordered family: its batch is the same global
+#: uniform draw — only conflict *resolution* is partitioned.
 _ORDER_FAMILIES = {
     "unordered": "unordered",
     "ordered": "priority",
     "relaxed": "priority",
     "async": "arrival",
+    "sharded": "unordered",
 }
 
 

@@ -26,9 +26,12 @@ from repro.runtime.policies import (
     AsyncCommitOrder,
     OrderedCommitOrder,
     RelaxedCommitOrder,
+    ShardedCommitOrder,
     UnorderedCommitOrder,
 )
 from repro.runtime.recording import RunRecorder, diff_runs, load_run, save_run
+from repro.runtime.sharded import ShardPool, run_sharded
+from repro.runtime.supervise import PersistentWorker, SupervisedProcess, mp_context
 from repro.runtime.stats import RunResult, StepStats
 from repro.runtime.task import CallbackOperator, Operator, Task
 from repro.runtime.threads import ThreadedSpeculativeExecutor
@@ -69,7 +72,13 @@ __all__ = [
     "RelaxedCommitOrder",
     "AsyncCommitOrder",
     "ASYNC_DEFAULT_WINDOW",
+    "ShardedCommitOrder",
     "UnorderedCommitOrder",
+    "ShardPool",
+    "run_sharded",
+    "PersistentWorker",
+    "SupervisedProcess",
+    "mp_context",
     "RunRecorder",
     "diff_runs",
     "load_run",

@@ -41,6 +41,11 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.errors import RuntimeEngineError, WorksetEmptyError
+from repro.graph.partition import (
+    partition_graph,
+    two_phase_commit_mask,
+    two_phase_commit_mask_fast,
+)
 from repro.runtime.core import OrderPolicy
 from repro.runtime.kernels import greedy_lock_mask, sample_window_draws
 from repro.runtime.task import Operator
@@ -59,6 +64,7 @@ __all__ = [
     "OrderedCommitOrder",
     "RelaxedCommitOrder",
     "AsyncCommitOrder",
+    "ShardedCommitOrder",
     "ASYNC_DEFAULT_WINDOW",
 ]
 
@@ -664,3 +670,145 @@ class AsyncCommitOrder(UnorderedCommitOrder):
                 draws=draws,
             )
         return batch
+
+
+class ShardedCommitOrder(UnorderedCommitOrder):
+    """Partitioned commit order with two-phase halo-exchange resolution.
+
+    The batch is still one uniform draw from the *global* work-set — the
+    paper's §2 commit order ``π_m`` and the RNG trajectory are untouched
+    — but conflict resolution is partitioned: a deterministic edge-cut
+    :class:`~repro.graph.partition.GraphPartition` splits the CC graph
+    into ``shards`` shards, each shard resolves its slice of the batch
+    greedily over intra-shard edges (phase 1), and locally committed
+    boundary tasks then survive a single halo exchange over the cut
+    edges (phase 2).  No two committed tasks of one round are adjacent —
+    conflict-serializability is preserved — while a shard may abort
+    boundary work the global greedy walk would have committed; those
+    surplus ``halo_aborts`` are the price of bounded cross-shard
+    staleness and are reported per step and per run.
+
+    ``shards=1`` *is* the unordered policy: every edge is intra-shard,
+    phase 1 is the plain greedy walk, phase 2 is a no-op — execution is
+    delegated verbatim (label, RNG, events and all), keeping traces
+    byte-identical to the historical engine.  Multi-shard rounds emit an
+    ``order_decision`` event (per-shard launch/commit counts) and a
+    ``halo_exchange`` event (committed nodes with their shards, halo
+    aborts) so a trace alone certifies the serializability claim.
+
+    An optional ``pool`` (see :mod:`repro.runtime.sharded`) offloads
+    phase 1 to supervised per-shard worker processes; the policy's own
+    in-process resolution is the byte-for-byte specification the pool is
+    held to.
+    """
+
+    def __init__(
+        self,
+        conflict_policy: "ConflictPolicy",
+        shards: int = 1,
+        pool=None,
+    ) -> None:
+        if isinstance(shards, bool) or not isinstance(shards, int) or shards < 1:
+            raise RuntimeEngineError(
+                f"shard count must be an int >= 1, got {shards!r}"
+            )
+        super().__init__(conflict_policy)
+        self.shards = shards
+        self.pool = pool
+        self._partition = None
+        self.halo_aborts_total = 0
+        #: per-shard launched/committed counts of the most recent round
+        self.last_shard_stats: "dict | None" = None
+
+    def label(self) -> str:
+        # one shard IS the unordered policy — label it as such so
+        # run_start events (and the byte-identity gate) agree
+        if self.shards == 1:
+            return super().label()
+        return f"sharded:{self.shards}"
+
+    @property
+    def partition(self):
+        """The lazily built edge-cut partition (multi-shard only)."""
+        if self._partition is None:
+            graph = getattr(self.conflict_policy, "graph", None)
+            if graph is None:
+                raise RuntimeEngineError(
+                    "sharded commit order needs a graph-backed conflict "
+                    f"policy, got {type(self.conflict_policy).__name__}"
+                )
+            self._partition = partition_graph(graph, self.shards)
+        return self._partition
+
+    def execute(self, batch: "list[Task]"):
+        if self.shards == 1:
+            return super().execute(batch)
+        eng = self.engine
+        with eng.phase_span("resolve"):
+            part = self.partition
+            graph = self.conflict_policy.graph
+            step = eng.steps_executed
+            final = local = None
+            if self.pool is not None:
+                final, local = self.pool.resolve(step, batch, part, graph)
+            elif eng.engine_mode == "fast" and batch:
+                payloads = np.asarray([task.payload for task in batch])
+                masks = two_phase_commit_mask_fast(
+                    graph.conflict_view(), part, payloads
+                )
+                if masks is not None:
+                    final, local = masks
+            if final is None:
+                final, local = two_phase_commit_mask(
+                    graph, part, [task.payload for task in batch]
+                )
+            outcome = self.conflict_policy._split_by_mask(batch, final)
+        self._note_round(batch, part, final, local)
+        return outcome
+
+    def _note_round(self, batch, part, final, local) -> None:
+        """Account one multi-shard round and emit its trace events."""
+        eng = self.engine
+        payloads = np.asarray(
+            [task.payload for task in batch] or [], dtype=np.int64
+        )
+        shard_by_pos = part.shard_of_array(payloads)
+        launched = np.bincount(shard_by_pos, minlength=self.shards)
+        committed = np.bincount(shard_by_pos[final], minlength=self.shards)
+        halo_aborts = int(np.count_nonzero(local & ~final))
+        self.halo_aborts_total += halo_aborts
+        self.last_shard_stats = {
+            "launched": [int(x) for x in launched],
+            "committed": [int(x) for x in committed],
+            "halo_aborts": halo_aborts,
+        }
+        if eng.recorder is not None:
+            step = eng.steps_executed
+            eng.recorder.emit(
+                "order_decision",
+                step=step,
+                policy=self.label(),
+                shards=self.shards,
+                launched=self.last_shard_stats["launched"],
+                committed=self.last_shard_stats["committed"],
+            )
+            eng.recorder.emit(
+                "halo_exchange",
+                step=step,
+                policy=self.label(),
+                local_commits=int(np.count_nonzero(local)),
+                halo_aborts=halo_aborts,
+                committed_nodes=[int(p) for p in payloads[final]],
+                committed_shards=[int(s) for s in shard_by_pos[final]],
+            )
+
+    def step_metrics(self, metrics, outcome) -> None:
+        if self.shards > 1 and self.last_shard_stats is not None:
+            metrics.counter("halo_aborts").inc(
+                self.last_shard_stats["halo_aborts"]
+            )
+
+    def run_end_fields(self) -> dict:
+        if self.shards == 1:
+            return super().run_end_fields()
+        return {"halo_aborts": self.halo_aborts_total}

@@ -1,0 +1,393 @@
+"""Process-backed sharded execution: one phase-1 resolver per shard.
+
+:func:`run_sharded` runs one engine exactly like
+``api.run(config, graph=..., order="sharded:k")`` — same work-set, same
+controller, same RNG trajectory, same trace — except that phase-1 (the
+per-shard local greedy walk) executes in ``k`` **persistent worker
+processes**, one per shard, supervised with the crash/timeout machinery
+of :mod:`repro.runtime.supervise`.  The in-process
+:class:`~repro.runtime.policies.ShardedCommitOrder` is the byte-for-byte
+specification this runtime is held to: the equivalence suite pins the
+two traces to each other, with and without injected faults.
+
+Design
+======
+
+* The **supervisor owns all authoritative state** — graph, work-set,
+  controller, RNG, journal.  Workers are pure functions: each holds its
+  shard's intra-shard adjacency (shipped once at spawn) and answers
+  "which of these batch positions commit locally?" per round via
+  :func:`repro.graph.partition.local_greedy_positions`.
+* **No mutation sync.**  Worker adjacency is never updated: a committed
+  node of a consuming workload leaves the work-set forever, so its stale
+  edges can never fire again — the same staleness argument the
+  incremental CSR view (:class:`~repro.graph.ccgraph.ConflictDeltaView`)
+  rests on.  Workloads that *add* edges (``regenerating``) are rejected
+  up front; use the in-process policy for those.
+* **Fault tolerance.**  Worker processes fire the run's
+  :class:`~repro.testing.FaultPlan` with the shard identity
+  ``"shard:<i>"`` and their incarnation index as the attempt, so
+  ``kill:shard:1:0`` kills shard 1's first incarnation mid-run.  A
+  crashed, hung (timeout) or erroring worker is terminated, respawned
+  with attempt+1, and the round is re-dispatched — the masks are pure
+  functions of the round, so recovery is invisible in the trace.
+* **Crash-safe resume.**  With ``journal=``, every completed round's
+  phase-1/phase-2 masks are fsynced before the engine proceeds;
+  ``resume=True`` replays journaled rounds without touching workers
+  (batch draws are deterministic), so an interrupted run — even one
+  whose journal has a torn final line — finishes byte-identical to an
+  uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ConfigError, RuntimeEngineError
+from repro.graph.partition import local_greedy_positions
+from repro.runtime.supervise import PersistentWorker, mp_context
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import RunConfig
+    from repro.graph.ccgraph import CCGraph
+
+__all__ = ["ShardPool", "run_sharded", "DEFAULT_SHARD_JOURNAL"]
+
+#: default round-journal filename (sibling idiom to the sweep journal)
+DEFAULT_SHARD_JOURNAL = "shard-journal.jsonl"
+
+#: workloads the process runtime supports: their morphs never *add*
+#: edges, so spawn-time worker adjacency stays sound (see module doc)
+_SUPPORTED_WORKLOADS = frozenset({"replay", "consuming"})
+
+
+def _shard_worker_main(conns, payload: dict) -> None:
+    """Worker entry point: serve phase-1 rounds until EOF or close.
+
+    Fires the injected fault plan (if any) once, before the first round
+    this incarnation serves, with ``("shard:<i>", attempt)`` identity —
+    the shard-process extension of the sweep harness's fault matching.
+    """
+    recv_conn, send_conn = conns
+    adjacency: "dict[int, set[int]]" = {}
+    for u, v in payload["edges"]:
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+    plan = payload.get("faults")
+    fired = plan is None
+    try:
+        while True:
+            try:
+                message = recv_conn.recv()
+            except (EOFError, OSError):
+                break
+            if message is None:  # close sentinel
+                break
+            try:
+                if not fired:
+                    fired = True
+                    from repro.testing.faults import FaultPlan
+
+                    FaultPlan.from_dict(plan).fire(
+                        f"shard:{payload['shard']}", payload["attempt"]
+                    )
+                positions = local_greedy_positions(adjacency, message["sub"])
+                send_conn.send({"ok": True, "positions": positions})
+            except BaseException as exc:  # noqa: BLE001 - workers never re-raise
+                try:
+                    send_conn.send(
+                        {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                    )
+                except Exception:
+                    pass
+                break
+    finally:
+        for conn in (recv_conn, send_conn):
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+
+class _RoundJournal:
+    """Append-only fsynced JSONL journal of completed rounds.
+
+    One ``{"step", "final", "local"}`` record per round (positions of
+    the surviving and phase-1 commits within that round's batch), after
+    a ``{"kind": "shard_journal", "shards": k}`` header.  Loading
+    tolerates a torn final line — that round simply recomputes.
+    """
+
+    def __init__(self, path, shards: int, resume: bool):
+        self.path = Path(path)
+        self.records: "dict[int, dict]" = {}
+        if resume and self.path.exists():
+            for line in self.path.read_text().splitlines():
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn tail: recompute from here
+                if record.get("kind") == "shard_journal":
+                    if record.get("shards") != shards:
+                        raise RuntimeEngineError(
+                            f"journal {self.path} was written for "
+                            f"shards={record.get('shards')}, not {shards}"
+                        )
+                    continue
+                self.records[int(record["step"])] = record
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "a", encoding="utf-8")
+        if self._file.tell() == 0:
+            self._write({"kind": "shard_journal", "shards": shards})
+
+    def _write(self, record: dict) -> None:
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def lookup(self, step: int) -> "dict | None":
+        return self.records.get(step)
+
+    def record(self, step: int, final: np.ndarray, local: np.ndarray) -> None:
+        self._write(
+            {
+                "step": int(step),
+                "final": [int(i) for i in np.flatnonzero(final)],
+                "local": [int(i) for i in np.flatnonzero(local)],
+            }
+        )
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except Exception:  # pragma: no cover - double close
+            pass
+
+
+class ShardPool:
+    """Supervised per-shard phase-1 workers plus the halo-exchange step.
+
+    Plugs into :class:`~repro.runtime.policies.ShardedCommitOrder` via
+    its ``pool=`` argument: the policy calls :meth:`resolve` once per
+    multi-shard round and receives the same ``(final, local)`` masks its
+    in-process path would compute.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        *,
+        timeout: "float | None" = None,
+        faults=None,
+        journal=None,
+        resume: bool = False,
+        max_respawns: int = 8,
+    ):
+        if shards < 2:
+            raise RuntimeEngineError(
+                f"a shard pool needs >= 2 shards, got {shards}"
+            )
+        self.shards = shards
+        self.timeout = timeout
+        self.faults = faults.to_dict() if hasattr(faults, "to_dict") else faults
+        self.max_respawns = max_respawns
+        self.respawns = 0
+        self._attempts = [0] * shards
+        self._ctx = mp_context()
+        self._workers: "dict[int, PersistentWorker]" = {}
+        self._edges: "dict[int, list] | None" = None
+        self._journal = (
+            _RoundJournal(journal, shards, resume) if journal is not None else None
+        )
+
+    # -- worker lifecycle ------------------------------------------------
+    def _ensure_edges(self, partition, graph) -> None:
+        if self._edges is None:
+            intra, _ = partition.edge_split(graph)
+            self._edges = {
+                s: pairs.tolist() for s, pairs in intra.items()
+            }
+
+    def _spawn(self, shard: int) -> PersistentWorker:
+        worker = PersistentWorker(
+            _shard_worker_main,
+            {
+                "shard": shard,
+                "attempt": self._attempts[shard],
+                "edges": self._edges[shard],
+                "faults": self.faults,
+            },
+            self._ctx,
+        )
+        self._workers[shard] = worker
+        return worker
+
+    def _worker(self, shard: int) -> PersistentWorker:
+        worker = self._workers.get(shard)
+        return worker if worker is not None else self._spawn(shard)
+
+    def _respawn(self, shard: int, why: str) -> PersistentWorker:
+        self.respawns += 1
+        if self.respawns > self.max_respawns:
+            raise RuntimeEngineError(
+                f"shard {shard} exhausted the respawn budget "
+                f"({self.max_respawns}): {why}"
+            )
+        self._attempts[shard] += 1
+        self._workers.pop(shard, None)
+        return self._spawn(shard)
+
+    # -- one round -------------------------------------------------------
+    def resolve(self, step, batch, partition, graph):
+        """Two-phase masks for one round, worker-backed and journaled."""
+        m = len(batch)
+        record = self._journal.lookup(step) if self._journal is not None else None
+        if record is not None:
+            final = np.zeros(m, dtype=bool)
+            local = np.zeros(m, dtype=bool)
+            final[np.asarray(record["final"], dtype=np.int64)] = True
+            local[np.asarray(record["local"], dtype=np.int64)] = True
+            return final, local
+        self._ensure_edges(partition, graph)
+        payloads = np.asarray(
+            [task.payload for task in batch] or [], dtype=np.int64
+        )
+        shard_by_pos = partition.shard_of_array(payloads)
+        subs: "dict[int, list[tuple[int, int]]]" = {}
+        for pos in range(m):
+            subs.setdefault(int(shard_by_pos[pos]), []).append(
+                (pos, int(payloads[pos]))
+            )
+        local = np.zeros(m, dtype=bool)
+        message = {"step": int(step)}
+        pending = []
+        for shard, sub in sorted(subs.items()):
+            self._worker(shard).post({**message, "sub": sub})
+            pending.append((shard, sub))
+        for shard, sub in pending:
+            local[self._collect(shard, sub)] = True
+        final = self._halo_exchange(graph, partition, payloads, shard_by_pos, local)
+        if self._journal is not None:
+            self._journal.record(step, final, local)
+        return final, local
+
+    def _collect(self, shard: int, sub) -> "list[int]":
+        """One shard's phase-1 reply, respawning and retrying on failure."""
+        worker = self._workers[shard]
+        while True:
+            status, reply = worker.collect(self.timeout)
+            if status == "ok" and reply.get("ok"):
+                return reply["positions"]
+            why = reply if status != "ok" else reply.get("error", "worker error")
+            if status == "ok":
+                worker.close()  # erroring worker: its loop already exited
+            worker = self._respawn(shard, str(why))
+            if not worker.post({"sub": sub}):  # pragma: no cover - instant death
+                continue
+
+    @staticmethod
+    def _halo_exchange(graph, partition, payloads, shard_by_pos, local):
+        """Phase 2, supervisor-side: cut-edge greedy over local commits.
+
+        Identical to the reference rule in
+        :func:`repro.graph.partition.two_phase_commit_mask`: walk the
+        locally committed tasks in batch order; survive iff no earlier
+        *surviving* cross-shard neighbour committed.
+        """
+        final = np.zeros(len(payloads), dtype=bool)
+        survivors: "dict[int, int]" = {}
+        for pos in np.flatnonzero(local):
+            node = int(payloads[pos])
+            shard = int(shard_by_pos[pos])
+            if all(
+                survivors.get(b, shard) == shard for b in graph.neighbors(node)
+            ):
+                final[pos] = True
+                survivors[node] = shard
+        return final
+
+    def close(self) -> None:
+        for worker in self._workers.values():
+            worker.post(None)  # polite close; terminate regardless
+            worker.close()
+        self._workers.clear()
+        if self._journal is not None:
+            self._journal.close()
+
+
+def run_sharded(
+    config: "RunConfig",
+    graph: "CCGraph",
+    *,
+    seed=None,
+    controller=None,
+    recorder=None,
+    metrics=None,
+    faults=None,
+    timeout: "float | None" = None,
+    journal=None,
+    resume: bool = False,
+):
+    """One sharded engine run with worker-process phase-1 resolution.
+
+    Accepts the same ``RunConfig`` shape as
+    ``api.run(config, graph=...)`` with ``order="sharded[:k]"`` and
+    produces a byte-identical trace and result; ``shards=1`` (or a
+    single-shard spec) runs in-process with no pool at all.  See the
+    module docstring for the fault/journal semantics of ``faults=``,
+    ``timeout=``, ``journal=`` and ``resume=``.
+    """
+    # call-time up-reach into api/registry (sanctioned; see config.py)
+    from repro.api import _controller_for, _order_engine
+    from repro.errors import ReproError
+    from repro.registry import WORKLOADS, parse_order_spec
+    from repro.runtime.policies import ShardedCommitOrder
+
+    name, kwargs = parse_order_spec(config.order or "sharded")
+    if name != "sharded":
+        raise ConfigError(
+            f'run_sharded needs order="sharded[:k]", got {config.order!r}'
+        )
+    shards = kwargs.get("shards") or config.shards or 1
+    if config.workload == "replay" and config.max_steps is None:
+        raise ReproError("replay workloads never drain; pass max_steps")
+    if shards > 1 and config.workload not in _SUPPORTED_WORKLOADS:
+        raise ConfigError(
+            f"the process-backed shard runtime supports workloads "
+            f"{sorted(_SUPPORTED_WORKLOADS)}; {config.workload!r} morphs add "
+            "edges that spawn-time worker adjacency cannot see — use the "
+            'in-process order="sharded" policy instead'
+        )
+    workload = WORKLOADS.create(config.workload, graph, config)
+    pool = (
+        ShardPool(
+            shards,
+            timeout=timeout,
+            faults=faults,
+            journal=journal,
+            resume=resume,
+        )
+        if shards > 1
+        else None
+    )
+    order = ShardedCommitOrder(workload.policy, shards=shards, pool=pool)
+    engine = _order_engine(
+        config,
+        order,
+        workload.workset,
+        workload.operator,
+        _controller_for(config, controller),
+        seed,
+        recorder,
+        metrics,
+    )
+    try:
+        return engine.run(max_steps=config.max_steps)
+    finally:
+        if pool is not None:
+            pool.close()

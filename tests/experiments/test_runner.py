@@ -20,6 +20,7 @@ class TestRegistry:
             "pareto",
             "costs",
             "relaxation",
+            "sharding",
         }
 
     def test_unknown_name_raises(self):

@@ -1,0 +1,163 @@
+"""Fault-injection tests for the process-backed shard runtime.
+
+The sweep harness's :class:`repro.testing.FaultPlan` matching extends to
+shard workers under the identity ``("shard:<i>", attempt)``, where
+*attempt* counts that shard's cumulative failures.  The headline
+guarantee mirrors the sweep suite: a run whose shard workers are killed,
+hung, or made to raise mid-run — or that is interrupted and resumed from
+a round journal with a torn final line — finishes **byte-identical** to
+an undisturbed run.  That is only possible because phase-1 resolution is
+a pure function of (adjacency, sub-batch): a respawned worker re-serves
+the round with no state to lose.
+
+Note the shard targets: the ``kill:shard:1:0`` colon DSL cannot express
+them (the shard id adds a fourth ``:`` field), so plans are built
+programmatically or passed in the JSON form — both are exercised here.
+
+Seeds derive from ``REPRO_TEST_SEED`` (default 0) so CI's flaky-hunter
+job can re-run this suite under several seeds.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import RunConfig
+from repro.errors import FaultInjectionError, RuntimeEngineError
+from repro.graph.generators import gnm_random
+from repro.obs import TraceRecorder
+from repro.runtime.sharded import run_sharded
+from repro.testing import FaultPlan, FaultSpec
+
+BASE_SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+GRAPH_SEED = 2011
+ENGINE_SEED = 8 + BASE_SEED
+MAX_STEPS = 25
+
+
+def _graph():
+    return gnm_random(200, 8, seed=GRAPH_SEED)
+
+
+def _config(max_steps: int = MAX_STEPS) -> RunConfig:
+    return RunConfig(
+        workload="consuming",
+        rho=0.25,
+        m_max=64,
+        order="sharded:3",
+        max_steps=max_steps,
+    )
+
+
+def _run(**kwargs) -> str:
+    recorder = TraceRecorder()
+    run_sharded(
+        _config(kwargs.pop("max_steps", MAX_STEPS)),
+        _graph(),
+        seed=ENGINE_SEED,
+        recorder=recorder,
+        **kwargs,
+    )
+    return recorder.to_jsonl()
+
+
+@pytest.fixture(scope="module")
+def baseline() -> str:
+    """The undisturbed reference trace every faulted run must reproduce."""
+    return _run()
+
+
+class TestShardWorkerFaults:
+    def test_killed_shard_respawns_byte_identical(self, baseline):
+        plan = FaultPlan((FaultSpec("kill", "shard:1", (0,)),))
+        assert _run(faults=plan) == baseline
+
+    def test_raising_shard_respawns_byte_identical(self, baseline):
+        plan = FaultPlan((FaultSpec("raise", "shard:0", (0,)),))
+        assert _run(faults=plan) == baseline
+
+    def test_hung_shard_killed_on_timeout(self, baseline):
+        plan = FaultPlan((FaultSpec("hang", "shard:2", (0,), seconds=30.0),))
+        assert _run(faults=plan, timeout=1.0) == baseline
+
+    def test_every_shard_faulting_once(self, baseline):
+        plan = FaultPlan(
+            (
+                FaultSpec("kill", "shard:0", (0,)),
+                FaultSpec("raise", "shard:1", (0,)),
+                FaultSpec("kill", "shard:2", (0,)),
+            )
+        )
+        assert _run(faults=plan) == baseline
+
+    def test_second_failure_of_same_shard_also_recovers(self, baseline):
+        # attempts (0, 1): the respawned worker dies once more before
+        # serving a round; the pool must keep respawning and re-dispatching
+        plan = FaultPlan((FaultSpec("kill", "shard:1", (0, 1)),))
+        assert _run(faults=plan) == baseline
+
+    def test_non_matching_plan_changes_nothing(self, baseline):
+        plan = FaultPlan((FaultSpec("kill", "shard:9", (0,)),))
+        assert _run(faults=plan) == baseline
+
+    def test_respawn_budget_exhausted_raises(self):
+        # attempts=None matches every incarnation: the shard can never
+        # come back, so the pool must give up loudly, not spin forever
+        plan = FaultPlan((FaultSpec("kill", "shard:1", None),))
+        with pytest.raises(RuntimeEngineError, match="respawn"):
+            _run(faults=plan)
+
+
+class TestPlanForms:
+    def test_colon_dsl_cannot_express_shard_targets(self):
+        # the shard id introduces a fourth ':' field — the DSL rejects it
+        with pytest.raises(FaultInjectionError, match="too many"):
+            FaultPlan.parse("kill:shard:1:0")
+
+    def test_json_form_carries_shard_targets(self, baseline):
+        plan = FaultPlan((FaultSpec("kill", "shard:1", (0,)),))
+        parsed = FaultPlan.parse(plan.to_json())
+        assert parsed == plan
+        assert _run(faults=parsed) == baseline
+
+
+class TestJournalResume:
+    def test_resume_after_torn_journal_is_byte_identical(self, baseline, tmp_path):
+        journal = tmp_path / "shard-journal.jsonl"
+        _run(max_steps=12, journal=journal)
+        # tear the final record mid-write, as a crash would
+        lines = journal.read_text(encoding="utf-8").splitlines(keepends=True)
+        journal.write_text(
+            "".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2],
+            encoding="utf-8",
+        )
+        resumed = _run(journal=journal, resume=True)
+        assert resumed == baseline
+
+    def test_resume_with_untouched_journal_is_byte_identical(
+        self, baseline, tmp_path
+    ):
+        journal = tmp_path / "shard-journal.jsonl"
+        _run(max_steps=12, journal=journal)
+        assert _run(journal=journal, resume=True) == baseline
+
+    def test_journal_shard_count_mismatch_rejected(self, tmp_path):
+        journal = tmp_path / "shard-journal.jsonl"
+        _run(max_steps=5, journal=journal)
+        config = RunConfig(
+            workload="consuming",
+            rho=0.25,
+            m_max=64,
+            order="sharded:4",
+            max_steps=5,
+        )
+        with pytest.raises(RuntimeEngineError, match="journal"):
+            run_sharded(
+                config,
+                _graph(),
+                seed=ENGINE_SEED,
+                journal=journal,
+                resume=True,
+            )

@@ -52,7 +52,12 @@ LAYERS: dict[str, int] = {
     # pure-array kernels shared by the model's estimators and the
     # runtime's fast path; depends on numpy alone, so it sits with graph
     "repro.runtime.kernels": 2,
-    # runtime primitives every runtime module builds on
+    # the edge-cut partitioner is graph vocabulary (its kernel use is
+    # call-time only), so it shares the graph layer
+    "repro.graph.partition": 2,
+    # runtime primitives every runtime module builds on; supervised
+    # child processes are such a primitive (extracted from the sweep
+    # harness so the shard runtime can use them without an up-reach)
     "repro.runtime.task": 4,
     "repro.runtime.stats": 4,
     "repro.runtime.workset": 4,
@@ -60,11 +65,14 @@ LAYERS: dict[str, int] = {
     "repro.runtime.costs": 4,
     "repro.runtime.conflict": 4,
     "repro.runtime.threads": 4,
+    "repro.runtime.supervise": 4,
     # the step pipeline, then the order policies plugged into it
     "repro.runtime.core": 5,
     "repro.runtime.policies": 6,
-    # the rest of the runtime (engine/ordered shims, workloads, recording)
+    # the rest of the runtime (engine/ordered shims, workloads,
+    # recording, the process-backed shard runtime)
     "repro.runtime": 7,
+    "repro.runtime.sharded": 7,
     "repro.control": 8,
     "repro.obs": 9,
     "repro.apps": 10,
