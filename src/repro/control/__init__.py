@@ -7,6 +7,7 @@ from repro.control.base import Controller, ControlTrace, clamp
 from repro.control.bisection import BisectionController
 from repro.control.diagnostics import (
     HybridDiagnostics,
+    OrderDiagnostics,
     RuleUsage,
     SweepDiagnostics,
     TraceDiagnostics,
@@ -40,6 +41,7 @@ __all__ = [
     "clamp",
     "BisectionController",
     "HybridDiagnostics",
+    "OrderDiagnostics",
     "SweepDiagnostics",
     "RuleUsage",
     "TraceDiagnostics",

@@ -27,6 +27,7 @@ __all__ = [
     "HybridDiagnostics",
     "diagnose_hybrid",
     "SweepDiagnostics",
+    "OrderDiagnostics",
     "TraceDiagnostics",
     "diagnose_trace",
 ]
@@ -163,12 +164,67 @@ class SweepDiagnostics:
 
 
 @dataclass(frozen=True)
+class OrderDiagnostics:
+    """Commit-order policy summary from ``order_decision`` and friends.
+
+    Covers the two shapes an ``order_decision`` event takes — windowed
+    draws from the relaxed/async policies (``window``/``draws`` fields)
+    and sharded rounds (``shards``/per-shard ``launched``/``committed``
+    lists) — plus the sharded runtime's ``halo_exchange`` supervisor
+    events and, in a *merged* distributed trace
+    (:func:`repro.obs.merge_traces`), the per-worker ``shard_round``
+    stream.
+    """
+
+    policies: tuple[str, ...]
+    decisions: int
+    windowed_draws: int
+    shard_rounds: int
+    shards: int
+    launched_by_shard: tuple[int, ...]
+    committed_by_shard: tuple[int, ...]
+    halo_exchanges: int
+    halo_aborts: int
+    worker_rounds: int
+
+    def render(self) -> str:
+        lines = [f"  order policies: {', '.join(self.policies) or 'none'}"]
+        if self.windowed_draws:
+            lines.append(
+                f"  order decisions: {self.decisions} "
+                f"({self.windowed_draws} windowed draws)"
+            )
+        if self.shard_rounds:
+            per_shard = ", ".join(
+                f"shard {i}: {l}/{c}"
+                for i, (l, c) in enumerate(
+                    zip(self.launched_by_shard, self.committed_by_shard)
+                )
+            )
+            lines.append(
+                f"  sharded rounds: {self.shard_rounds} across "
+                f"{self.shards} shards (launched/committed — {per_shard})"
+            )
+            lines.append(
+                f"  halo: {self.halo_exchanges} exchanges, "
+                f"{self.halo_aborts} aborts"
+            )
+        if self.worker_rounds:
+            lines.append(
+                f"  worker shard_round events (merged stream): {self.worker_rounds}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
 class TraceDiagnostics:
     """Summary of one recorded run segment (see :mod:`repro.obs`).
 
     ``sweep`` is populated when the segment interleaves sweep-harness
     lifecycle events with the engine/controller ones; ``None`` for a
-    plain engine trace.
+    plain engine trace.  ``order`` is populated when the segment carries
+    commit-order policy events (``order_decision``, ``halo_exchange``,
+    ``shard_round``); ``None`` for plain unordered runs.
     """
 
     controller_type: str
@@ -180,6 +236,7 @@ class TraceDiagnostics:
     final_m: int
     r_percentiles: tuple[float, float, float]
     sweep: "SweepDiagnostics | None" = None
+    order: "OrderDiagnostics | None" = None
 
     def render(self) -> str:
         lines = [f"trace diagnostics ({self.controller_type}, {self.steps} steps):"]
@@ -198,6 +255,8 @@ class TraceDiagnostics:
             f"{self.deadband_fraction:.0%}"
         )
         lines.append(f"  final allocation: {self.final_m}")
+        if self.order is not None:
+            lines.append(self.order.render())
         if self.sweep is not None:
             lines.append(self.sweep.render())
         return "\n".join(lines)
@@ -216,11 +275,16 @@ def diagnose_trace(events) -> TraceDiagnostics:
     …) interleaved in the same trace are summarised into the
     :attr:`TraceDiagnostics.sweep` field; a sweep-only trace (no
     ``run_start`` at all) yields a diagnostics object with zero engine
-    steps rather than an error.
+    steps rather than an error.  Commit-order events (``order_decision``,
+    ``halo_exchange``, and — in merged distributed traces — the workers'
+    ``shard_round`` stream) land in :attr:`TraceDiagnostics.order`.
     """
     # deferred: repro.obs's package __init__ transitively imports the
     # control package, so a top-level import here would close the cycle
     from repro.obs.events import (
+        HALO_EXCHANGE,
+        ORDER_DECISION,
+        SHARD_ROUND,
         SWEEP_START,
         SWEEP_TASK_COMPLETE,
         SWEEP_TASK_FAILED,
@@ -248,6 +312,24 @@ def diagnose_trace(events) -> TraceDiagnostics:
     sweep_quarantined = 0
     failures_by_kind: dict[str, int] = {}
     saw_sweep = False
+    saw_order = False
+    order_policies: set[str] = set()
+    order_decisions = 0
+    windowed_draws = 0
+    shard_rounds = 0
+    order_shards = 0
+    launched_by_shard: list[int] = []
+    committed_by_shard: list[int] = []
+    halo_exchanges = 0
+    halo_aborts = 0
+    worker_rounds = 0
+
+    def _tally(totals: "list[int]", counts) -> None:
+        while len(totals) < len(counts):
+            totals.append(0)
+        for i, c in enumerate(counts):
+            totals[i] += int(c)
+
     for event in events:
         if event.kind in (
             SWEEP_START,
@@ -274,6 +356,24 @@ def diagnose_trace(events) -> TraceDiagnostics:
                 sweep_completed += 1
                 sweep_cached += int(bool(event.get("cached")))
                 sweep_reseeded += int(bool(event.get("reseeded")))
+            continue
+        if event.kind in (ORDER_DECISION, HALO_EXCHANGE, SHARD_ROUND):
+            saw_order = True
+            if event.kind == ORDER_DECISION:
+                order_decisions += 1
+                order_policies.add(str(event.get("policy", "unknown")))
+                if "draws" in event.data:  # relaxed/async windowed shape
+                    windowed_draws += len(event.data["draws"])
+                if "shards" in event.data:  # sharded two-phase shape
+                    shard_rounds += 1
+                    order_shards = max(order_shards, int(event.data["shards"]))
+                    _tally(launched_by_shard, event.get("launched", ()))
+                    _tally(committed_by_shard, event.get("committed", ()))
+            elif event.kind == HALO_EXCHANGE:
+                halo_exchanges += 1
+                halo_aborts += int(event.get("halo_aborts", 0))
+            else:
+                worker_rounds += 1
             continue
         if event.kind == "run_start":
             if saw_run:
@@ -309,6 +409,20 @@ def diagnose_trace(events) -> TraceDiagnostics:
                 )
     if not saw_run and not saw_sweep:
         raise ObservabilityError("trace segment has no run_start event")
+    order_diag = None
+    if saw_order:
+        order_diag = OrderDiagnostics(
+            policies=tuple(sorted(order_policies)),
+            decisions=order_decisions,
+            windowed_draws=windowed_draws,
+            shard_rounds=shard_rounds,
+            shards=order_shards,
+            launched_by_shard=tuple(launched_by_shard),
+            committed_by_shard=tuple(committed_by_shard),
+            halo_exchanges=halo_exchanges,
+            halo_aborts=halo_aborts,
+            worker_rounds=worker_rounds,
+        )
     sweep_diag = None
     if saw_sweep:
         sweep_diag = SweepDiagnostics(
@@ -338,4 +452,5 @@ def diagnose_trace(events) -> TraceDiagnostics:
         final_m=final_m,
         r_percentiles=percentiles,  # type: ignore[arg-type]
         sweep=sweep_diag,
+        order=order_diag,
     )

@@ -147,6 +147,33 @@ def _halo_aborts(events) -> int:
     )
 
 
+def _commit_rate_skew(events) -> float:
+    """Max − min cumulative per-shard commit rate over one run's events.
+
+    The same skew statistic the distributed telemetry bus publishes live
+    (``shard.commit_rate_max``/``min``), recomputed post-hoc from the
+    recorded ``order_decision`` per-shard stats so the experiment reads
+    it off any replayable trace.
+    """
+    launched: "list[int]" = []
+    committed: "list[int]" = []
+    for ev in events:
+        per_launched = ev.data.get("launched")
+        if ev.kind != ORDER_DECISION or not isinstance(per_launched, list):
+            continue
+        per_committed = ev.data.get("committed", [])
+        if len(launched) < len(per_launched):
+            grow = len(per_launched) - len(launched)
+            launched.extend([0] * grow)
+            committed.extend([0] * grow)
+        for shard, count in enumerate(per_launched):
+            launched[shard] += int(count)
+        for shard, count in enumerate(per_committed):
+            committed[shard] += int(count)
+    rates = [c / l for c, l in zip(committed, launched) if l]
+    return max(rates) - min(rates) if rates else 0.0
+
+
 def run(
     n: int = 600,
     d: int = 10,
@@ -197,6 +224,7 @@ def run(
 
         res = api_run(config, graph=fresh_graph(), seed=run_seed, recorder=recorder)
         halo = _halo_aborts(recorder.events[start:])
+        skew = _commit_rate_skew(recorder.events[start:])
         start = len(recorder.events)
         rows.append(
             (
@@ -205,12 +233,14 @@ def run(
                 res.total_committed,
                 res.total_aborted,
                 halo,
+                round(skew, 3),
                 round(float(res.m_trace.mean()), 2),
                 round(res.mean_conflict_ratio, 4),
             )
         )
         result.scalars[f"committed_global_{k}"] = float(res.total_committed)
         result.scalars[f"ratio_global_{k}"] = res.mean_conflict_ratio
+        result.scalars[f"skew_global_{k}"] = skew
         global_committed.append(float(res.total_committed))
 
     # -- per-shard leg: one hybrid per shard, summed --------------------
@@ -234,6 +264,7 @@ def run(
         )
         res = engine.run(max_steps=max_steps)
         halo = _halo_aborts(recorder.events[start:])
+        skew = _commit_rate_skew(recorder.events[start:])
         rows.append(
             (
                 "per-shard",
@@ -241,17 +272,19 @@ def run(
                 res.total_committed,
                 res.total_aborted,
                 halo,
+                round(skew, 3),
                 round(float(res.m_trace.mean()), 2),
                 round(res.mean_conflict_ratio, 4),
             )
         )
         result.scalars[f"committed_pershard_{k}"] = float(res.total_committed)
         result.scalars[f"ratio_pershard_{k}"] = res.mean_conflict_ratio
+        result.scalars[f"skew_pershard_{k}"] = skew
         pershard_committed.append(float(res.total_committed))
 
     result.add_table(
         f"throughput vs shard count (rho={rho:g}, m_max={m_max})",
-        ["mode", "shards", "committed", "aborted", "halo aborts", "mean m", "r̄"],
+        ["mode", "shards", "committed", "aborted", "halo aborts", "rate skew", "mean m", "r̄"],
         rows,
     )
     xs = [float(k) for k in shard_counts]

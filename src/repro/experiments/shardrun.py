@@ -1,0 +1,265 @@
+"""Distributed-run CLI: ``python -m repro.experiments.shardrun``.
+
+The operational front end of the cross-shard observability layer
+(:mod:`repro.obs.distributed`).  Three subcommands:
+
+``run``
+    One process-backed sharded engine run on a G(n, m) conflict graph.
+    ``--trace DIR`` records the supervisor stream *and* every shard
+    worker's ``shard_round`` stream into *DIR*, merges them into one
+    causally ordered ``merged.jsonl`` and verifies deterministic replay
+    of the merged trace; ``--live`` prints a rate-limited per-shard
+    progress line on stderr; ``--flight-dir DIR`` arms the crash flight
+    recorder, and any bundles salvaged during the run (e.g. under
+    ``--inject-faults 'kill@shard:2'``) are diagnosed and printed.
+``merge``
+    Merge already-written per-process trace files into one stream —
+    input order is irrelevant (see :func:`repro.obs.merge_traces`).
+``diagnose``
+    Render the :func:`repro.obs.diagnose_crash` post-mortem of one
+    flight-recorder bundle.
+
+Runs are deterministic: the same arguments produce byte-identical
+supervisor, shard and merged traces (the default ``--run-id`` is derived
+from the arguments, not drawn at random).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-shardrun",
+        description="Run, trace-merge and crash-diagnose sharded engine runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="one process-backed sharded engine run")
+    run.add_argument("--shards", type=int, default=2, help="worker shard count (default 2)")
+    run.add_argument(
+        "--workload",
+        default="consuming",
+        help="workload name (default 'consuming'; 'replay' needs --steps)",
+    )
+    run.add_argument("--n", type=int, default=200, help="graph nodes (default 200)")
+    run.add_argument("--d", type=int, default=8, help="mean graph degree (default 8)")
+    run.add_argument(
+        "--graph-seed", type=int, default=0, help="graph-generator seed (default 0)"
+    )
+    run.add_argument("--rho", type=float, default=0.5, help="target ratio (default 0.5)")
+    run.add_argument("--m-max", type=int, default=16, help="allocation cap (default 16)")
+    run.add_argument(
+        "--steps", type=int, default=None, metavar="N", help="stop after N engine steps"
+    )
+    run.add_argument("--seed", type=int, default=0, help="engine seed (default 0)")
+    run.add_argument(
+        "--run-id",
+        default=None,
+        help="distributed run identifier (default: derived from the arguments)",
+    )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="record supervisor + per-shard streams into DIR, merge them "
+        "into DIR/merged.jsonl and verify deterministic replay",
+    )
+    run.add_argument(
+        "--live",
+        action="store_true",
+        help="print a rate-limited per-shard progress line on stderr",
+    )
+    run.add_argument(
+        "--live-interval",
+        type=float,
+        default=5.0,
+        metavar="SECS",
+        help="minimum seconds between --live lines (default 5)",
+    )
+    run.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help="arm the crash flight recorder under DIR/<run_id>/",
+    )
+    run.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="fault drill via repro.testing.FaultPlan; shard workers are "
+        "addressed with the '@' form, e.g. 'kill@shard:2'",
+    )
+    run.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="per-round worker reply budget (hung workers are respawned)",
+    )
+
+    merge = sub.add_parser("merge", help="merge per-process trace files")
+    merge.add_argument("out", help="merged trace output path")
+    merge.add_argument("inputs", nargs="+", help="trace files (any order)")
+
+    diagnose = sub.add_parser("diagnose", help="post-mortem of a flight bundle")
+    diagnose.add_argument("bundle", help="flight-recorder shard-<i>.jsonl bundle")
+    diagnose.add_argument(
+        "--last", type=int, default=10, metavar="N",
+        help="spill-tail records to include verbatim (default 10)",
+    )
+    return parser
+
+
+def _cmd_run(parser: argparse.ArgumentParser, args) -> int:
+    from repro.config import RunConfig
+    from repro.errors import FaultInjectionError, ObservabilityError, ReproError
+    from repro.graph.generators import gnm_random
+    from repro.obs import (
+        ShardProgress,
+        TraceRecorder,
+        load_jsonl_meta,
+        merge_trace_files,
+        new_run_id,
+        verify_trace,
+        write_trace,
+    )
+    from repro.runtime.sharded import run_sharded
+
+    if args.shards < 1:
+        parser.error(f"--shards must be >= 1, got {args.shards}")
+    faults = None
+    if args.inject_faults is not None:
+        from repro.testing import FaultPlan
+
+        try:
+            faults = FaultPlan.parse(args.inject_faults)
+        except FaultInjectionError as exc:
+            parser.error(str(exc))
+    run_id = args.run_id
+    if run_id is None and (args.trace is not None or args.flight_dir is not None):
+        run_id = new_run_id(
+            "shardrun", args.workload, args.n, args.d, args.graph_seed,
+            args.rho, args.m_max, args.steps, args.seed, args.shards,
+        )
+    graph = gnm_random(args.n, args.d, seed=args.graph_seed)
+    config = RunConfig(
+        workload=args.workload,
+        order=f"sharded:{args.shards}",
+        rho=args.rho,
+        m_max=args.m_max,
+        max_steps=args.steps,
+    )
+    recorder = TraceRecorder(capacity=None) if args.trace is not None else None
+    monitor = (
+        ShardProgress(args.shards, interval=args.live_interval)
+        if args.live
+        else None
+    )
+    trace_dir = None if args.trace is None else Path(args.trace)
+    exit_code = 0
+    result = None
+    try:
+        result = run_sharded(
+            config,
+            graph,
+            seed=args.seed,
+            recorder=recorder,
+            faults=faults,
+            timeout=args.timeout,
+            run_id=run_id,
+            trace_dir=trace_dir,
+            flight_dir=args.flight_dir,
+            monitor=monitor,
+        )
+    except ReproError as exc:
+        # the run died (e.g. respawn budget exhausted under a fault
+        # drill); flight bundles below are the whole point of the report
+        print(f"shardrun: run FAILED: {exc}", file=sys.stderr)
+        exit_code = 1
+    if result is not None:
+        print(
+            f"shardrun: {args.shards} shards, {len(result)} steps, "
+            f"{result.total_committed} committed, "
+            f"{result.total_aborted} aborted"
+            + (f" (run {run_id})" if run_id else "")
+        )
+    if recorder is not None and trace_dir is not None:
+        supervisor = write_trace(
+            trace_dir / "supervisor.jsonl",
+            recorder.events,
+            {"source": "supervisor", "run_id": run_id},
+        )
+        streams = sorted(trace_dir.glob("shard-*.jsonl")) + [supervisor]
+        events, meta = merge_trace_files(streams, out=trace_dir / "merged.jsonl")
+        merged_path = trace_dir / "merged.jsonl"
+        try:
+            reports = verify_trace(load_jsonl_meta(merged_path)[0])
+        except ObservabilityError as exc:
+            print(f"shardrun: {merged_path}: replay FAILED: {exc}", file=sys.stderr)
+            return 1
+        total_steps = sum(r.steps for r in reports)
+        print(
+            f"trace: merged {meta['streams']} streams "
+            f"(shards {meta['shards']}) into {merged_path}: "
+            f"{len(events)} events, {total_steps} steps — "
+            "deterministic replay OK"
+        )
+    if args.flight_dir is not None and run_id is not None:
+        from repro.obs import diagnose_crash
+
+        bundles = sorted((Path(args.flight_dir) / run_id).glob("shard-*.jsonl"))
+        for bundle in bundles:
+            print(diagnose_crash(bundle).render())
+        if not bundles:
+            print("flight recorder: no worker deaths, no bundles")
+    return exit_code
+
+
+def _cmd_merge(parser: argparse.ArgumentParser, args) -> int:
+    from repro.errors import ObservabilityError
+    from repro.obs import merge_trace_files
+
+    try:
+        events, meta = merge_trace_files(args.inputs, out=args.out)
+    except (OSError, ObservabilityError) as exc:
+        print(f"shardrun: merge FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"merged {meta['streams']} streams (shards {meta['shards']}) "
+        f"into {args.out}: {len(events)} events"
+    )
+    return 0
+
+
+def _cmd_diagnose(parser: argparse.ArgumentParser, args) -> int:
+    from repro.errors import ObservabilityError
+    from repro.obs import diagnose_crash
+
+    try:
+        report = diagnose_crash(args.bundle, last=args.last)
+    except ObservabilityError as exc:
+        print(f"shardrun: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(parser, args)
+    if args.command == "merge":
+        return _cmd_merge(parser, args)
+    return _cmd_diagnose(parser, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,798 @@
+"""Cross-process observability for the sharded runtime.
+
+The process-backed shard runtime (:mod:`repro.runtime.sharded`) splits
+one logical engine run across ``k + 1`` processes: the supervisor owns
+the authoritative trace, and each shard worker sees only its own slice
+of every round.  This module is the layer that stitches those views back
+together:
+
+* **Distributed traces.**  Every distributed run gets a ``run_id``;
+  every stream carries a ``source`` tag in its trace meta line
+  (``"supervisor"`` or ``"shard:<i>"``).  The supervisor threads a
+  :class:`TraceContext` through the order policy so each multi-shard
+  round's ``order_decision``/``halo_exchange`` events carry the round's
+  halo-exchange sequence number (``seq``), and workers stamp the same
+  ``seq`` on the ``shard_round`` events they ship back.
+  :func:`merge_traces` uses those sequence numbers as the causal order:
+  the merged trace interleaves every shard's round events immediately
+  before the supervisor event that consumed them, independent of input
+  file order.  The extra fields are strictly additive, so
+  :func:`repro.obs.verify_trace` replays a merged trace unchanged.
+* **Telemetry bus.**  Workers piggyback per-round metric/span deltas on
+  the reply pipe they already use (no extra channel); the supervisor's
+  :class:`TelemetryBus` folds them into the active
+  :class:`~repro.obs.metrics.MetricsRegistry` under per-shard labels
+  (see :func:`repro.obs.metrics.labelled`), merges worker span snapshots
+  under ``shard.worker/``, and drives a rate-limited
+  :class:`ShardProgress` live line with per-shard skew statistics.
+* **Crash flight recorder.**  Workers append a bounded spill journal of
+  round begin/end records (fsynced *before* any fault can fire); when a
+  worker dies, hangs or errors, the supervisor's :class:`FlightRecorder`
+  salvages the spill tail into a ``flightrec/<run_id>/shard-<i>.jsonl``
+  bundle, and :func:`diagnose_crash` turns a bundle into a
+  :class:`CrashReport` naming the dead shard, its last round and the
+  spans still open at death.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ObservabilityError
+from repro.obs.events import SHARD_ROUND, TraceEvent, event_to_json
+from repro.obs.metrics import labelled
+from repro.obs.recorder import load_jsonl_meta
+
+__all__ = [
+    "SUPERVISOR_SOURCE",
+    "MERGED_SOURCE",
+    "new_run_id",
+    "shard_source",
+    "parse_shard_source",
+    "TraceContext",
+    "merge_traces",
+    "merge_trace_files",
+    "write_trace",
+    "ShardProgress",
+    "TelemetryBus",
+    "FlightRecorder",
+    "flight_incarnation",
+    "flight_round_begin",
+    "flight_round_end",
+    "CrashReport",
+    "diagnose_crash",
+]
+
+#: trace-meta ``source`` tag of the supervisor's own stream
+SUPERVISOR_SOURCE = "supervisor"
+#: trace-meta ``source`` tag of a merged trace
+MERGED_SOURCE = "merged"
+#: flight-spill record layout version (bump on incompatible change)
+FLIGHT_SCHEMA = 1
+#: how many spill records a salvaged bundle keeps by default
+DEFAULT_FLIGHT_TAIL = 200
+
+
+def new_run_id(*parts) -> str:
+    """A short hex run identifier.
+
+    With *parts*, the id is a pure function of them (sha256-derived), so
+    deterministic replays of the same configuration reuse the same id —
+    the property the byte-identical merged-trace gate relies on.  With
+    no parts, a fresh random id is drawn.
+    """
+    if parts:
+        digest = hashlib.sha256(
+            "\x1f".join(str(p) for p in parts).encode("utf-8")
+        )
+        return digest.hexdigest()[:12]
+    return uuid.uuid4().hex[:12]
+
+
+def shard_source(shard: int) -> str:
+    """The ``source`` tag of shard *shard*'s trace stream."""
+    return f"shard:{int(shard)}"
+
+
+def parse_shard_source(source: str) -> "int | None":
+    """The shard index of a ``shard:<i>`` source tag (None otherwise)."""
+    if isinstance(source, str) and source.startswith("shard:"):
+        try:
+            return int(source.split(":", 1)[1])
+        except ValueError:
+            return None
+    return None
+
+
+class TraceContext:
+    """Causal context of one distributed run.
+
+    Owned by the supervisor and duck-typed onto the order policy
+    (``ShardedCommitOrder.trace_ctx``): each multi-shard round draws the
+    next halo-exchange sequence number *once* and stamps it — together
+    with the ``run_id`` — on everything the round produces, on both
+    sides of the pipe.  Sequence numbers start at 1 and are consumed in
+    lock-step with the deterministic round order, so replays and resumed
+    runs assign identical numbers.
+    """
+
+    __slots__ = ("run_id", "_seq")
+
+    def __init__(self, run_id: "str | None" = None) -> None:
+        self.run_id = None if run_id is None else str(run_id)
+        self._seq = 0
+
+    @property
+    def seq(self) -> int:
+        """The most recently issued sequence number (0 before the first)."""
+        return self._seq
+
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+
+# ----------------------------------------------------------------------
+# trace merging
+# ----------------------------------------------------------------------
+def merge_traces(streams) -> "tuple[list[TraceEvent], dict]":
+    """Merge per-process trace streams into one causally ordered trace.
+
+    *streams* is an iterable of ``(events, meta)`` pairs as returned by
+    :func:`repro.obs.load_jsonl_meta`: exactly one stream must be the
+    supervisor's (``source`` absent or ``"supervisor"``), the rest are
+    shard streams tagged ``shard:<i>``.  The supervisor's local order is
+    the backbone; each shard event is placed immediately before the
+    first supervisor event carrying the same (or a later) ``seq`` —
+    i.e. a round's worker-side records precede the ``order_decision``
+    that consumed them.  Ties are broken by ``(seq, shard, local
+    position)``, so the result is a pure function of the stream
+    *contents*: permuting the input order cannot change the output.
+
+    Returns ``(events, meta)`` where ``meta`` tags the trace as
+    ``source="merged"`` and records the participating shards.  Raises
+    :class:`~repro.errors.ObservabilityError` on inconsistent streams
+    (conflicting ``run_id``, duplicate sources, shard events without a
+    ``seq``).
+    """
+    sup_events: "list[TraceEvent] | None" = None
+    sup_meta: dict = {}
+    shard_streams: "dict[int, list[TraceEvent]]" = {}
+    run_ids: set[str] = set()
+    count = 0
+    for events, meta in streams:
+        count += 1
+        meta = dict(meta or {})
+        run_id = meta.get("run_id")
+        if run_id is not None:
+            run_ids.add(str(run_id))
+        source = str(meta.get("source", SUPERVISOR_SOURCE))
+        shard = parse_shard_source(source)
+        if shard is None:
+            if source != SUPERVISOR_SOURCE:
+                raise ObservabilityError(
+                    f"cannot merge trace stream with source {source!r}"
+                )
+            if sup_events is not None:
+                raise ObservabilityError(
+                    "merge_traces got more than one supervisor stream"
+                )
+            sup_events = list(events)
+            sup_meta = meta
+        else:
+            if shard in shard_streams:
+                raise ObservabilityError(
+                    f"duplicate trace stream for {source!r}"
+                )
+            shard_streams[shard] = list(events)
+    if count == 0:
+        raise ObservabilityError("merge_traces got no streams")
+    if len(run_ids) > 1:
+        raise ObservabilityError(
+            f"streams disagree on run_id: {sorted(run_ids)}"
+        )
+    if sup_events is None:
+        raise ObservabilityError(
+            "merge_traces needs the supervisor stream (it is the backbone)"
+        )
+
+    # shard events bucketed by seq; the sorted-shard outer walk makes each
+    # bucket already ordered by (shard, local position)
+    buckets: "dict[int, list[TraceEvent]]" = {}
+    for shard in sorted(shard_streams):
+        for pos, event in enumerate(shard_streams[shard]):
+            seq = event.get("seq")
+            if seq is None:
+                raise ObservabilityError(
+                    f"shard:{shard} event #{pos} ({event.kind}) carries no "
+                    "'seq' — not a distributed-trace stream?"
+                )
+            buckets.setdefault(int(seq), []).append(event)
+    pending = sorted(buckets, reverse=True)  # pop() walks ascending
+
+    merged: list[TraceEvent] = []
+
+    def flush_through(seq: float) -> None:
+        while pending and pending[-1] <= seq:
+            merged.extend(buckets[pending.pop()])
+
+    for event in sup_events:
+        seq = event.get("seq")
+        if seq is not None:
+            flush_through(int(seq))
+        merged.append(event)
+    flush_through(float("inf"))  # rounds the supervisor never recorded
+
+    meta = {
+        "source": MERGED_SOURCE,
+        "streams": count,
+        "shards": sorted(shard_streams),
+    }
+    if run_ids:
+        meta["run_id"] = next(iter(run_ids))
+    if sup_meta.get("dropped"):
+        meta["dropped"] = sup_meta["dropped"]
+    return merged, meta
+
+
+def merge_trace_files(paths, out=None) -> "tuple[list[TraceEvent], dict]":
+    """Load, merge and optionally write distributed trace files.
+
+    *paths* are JSONL trace files written by :func:`write_trace` (each
+    carrying its ``source``/``run_id`` meta line); *out*, when given,
+    receives the merged trace in the same format.  Input order is
+    irrelevant — see :func:`merge_traces`.
+    """
+    events, meta = merge_traces(load_jsonl_meta(p) for p in paths)
+    if out is not None:
+        write_trace(out, events, meta)
+    return events, meta
+
+
+def write_trace(path, events, meta: "dict | None" = None) -> Path:
+    """Write one trace stream: a ``{"meta": ...}`` line plus canonical events.
+
+    The meta line is the stream's identity (``source``, ``run_id``);
+    :func:`repro.obs.load_jsonl` skips it, so any trace consumer —
+    including :func:`repro.obs.verify_trace` — reads the file unchanged.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = []
+    if meta:
+        lines.append(
+            json.dumps({"meta": dict(meta)}, sort_keys=True, separators=(",", ":"))
+        )
+    lines.extend(event_to_json(event) for event in events)
+    path.write_text("".join(line + "\n" for line in lines), encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# live progress monitor
+# ----------------------------------------------------------------------
+def _stderr_sink(line: str) -> None:
+    print(line, file=sys.stderr, flush=True)
+
+
+class ShardProgress:
+    """Periodic one-line live status for a sharded run.
+
+    The sharded sibling of :class:`~repro.obs.analysis.SweepProgress`:
+    feed it one :meth:`on_round` per resolved multi-shard round (plus
+    halo-barrier waits via :meth:`note_halo_wait_seconds`) and it
+    rate-limits itself to one line per *interval* seconds on *sink*,
+    reporting per-shard totals and the commit-rate skew — the live
+    symptom of a shard stalling the halo barrier.  Clock and sink are
+    injectable so tests drive it deterministically without sleeping.
+    """
+
+    #: EWMA smoothing factor for the halo-barrier wait
+    ALPHA = 0.3
+
+    def __init__(
+        self,
+        shards: int,
+        *,
+        interval: float = 5.0,
+        sink=None,
+        clock=None,
+    ) -> None:
+        if shards < 1:
+            raise ObservabilityError(f"shards must be >= 1, got {shards}")
+        if interval < 0:
+            raise ObservabilityError(f"interval must be >= 0, got {interval}")
+        self.shards = int(shards)
+        self.interval = float(interval)
+        self._sink = sink if sink is not None else _stderr_sink
+        self._clock = clock if clock is not None else time.monotonic
+        self.rounds = 0
+        self.launched = [0] * self.shards
+        self.committed = [0] * self.shards
+        self.halo_aborts = 0
+        self.ewma_halo_wait_seconds: "float | None" = None
+        self._last_emit: "float | None" = None
+
+    # -- feeding -------------------------------------------------------
+    def on_round(self, launched, committed, halo_aborts: int = 0) -> None:
+        """Accumulate one round's per-shard launch/commit counts."""
+        if len(launched) != self.shards or len(committed) != self.shards:
+            raise ObservabilityError(
+                f"per-shard stats for {len(launched)} shards on a "
+                f"{self.shards}-shard monitor"
+            )
+        self.rounds += 1
+        for shard in range(self.shards):
+            self.launched[shard] += int(launched[shard])
+            self.committed[shard] += int(committed[shard])
+        self.halo_aborts += int(halo_aborts)
+
+    def note_halo_wait_seconds(self, seconds: float) -> None:
+        seconds = float(seconds)
+        if self.ewma_halo_wait_seconds is None:
+            self.ewma_halo_wait_seconds = seconds
+        else:
+            self.ewma_halo_wait_seconds = (
+                self.ALPHA * seconds
+                + (1.0 - self.ALPHA) * self.ewma_halo_wait_seconds
+            )
+
+    # -- reporting -----------------------------------------------------
+    def commit_rates(self) -> "list[float]":
+        """Cumulative per-shard commit rate (committed / launched)."""
+        return [
+            c / l if l else 0.0
+            for c, l in zip(self.committed, self.launched)
+        ]
+
+    def skew(self) -> "tuple[float, float]":
+        """(max, min) cumulative per-shard commit rate."""
+        rates = self.commit_rates()
+        return (max(rates), min(rates)) if rates else (0.0, 0.0)
+
+    def status_line(self) -> str:
+        hi, lo = self.skew()
+        parts = [
+            f"shards[{self.shards}]: round {self.rounds}",
+            f"launched {sum(self.launched)}",
+            f"committed {sum(self.committed)}",
+            f"halo aborts {self.halo_aborts}",
+            f"commit rate max {hi:.2f}/min {lo:.2f}",
+        ]
+        if self.ewma_halo_wait_seconds is not None:
+            parts.append(
+                f"halo wait EWMA {self.ewma_halo_wait_seconds * 1e3:.1f}ms"
+            )
+        return " | ".join(parts)
+
+    def maybe_emit(self, force: bool = False) -> "str | None":
+        """Emit a status line if *interval* elapsed (or *force*)."""
+        now = self._clock()
+        if (
+            not force
+            and self._last_emit is not None
+            and now - self._last_emit < self.interval
+        ):
+            return None
+        self._last_emit = now
+        line = self.status_line()
+        self._sink(line)
+        return line
+
+
+# ----------------------------------------------------------------------
+# supervisor-side telemetry bus
+# ----------------------------------------------------------------------
+class TelemetryBus:
+    """Aggregates per-round worker telemetry on the supervisor side.
+
+    One bus per distributed run.  The shard pool feeds it twice per
+    round: :meth:`ingest` with each worker reply's piggybacked telemetry
+    (event payloads and span-snapshot deltas), and :meth:`note_round`
+    with the supervisor's own per-shard accounting and timings.  The bus
+    fans those out to whichever channels are attached:
+
+    * *trace_dir* — per-shard event buffers, written as one
+      ``shard-<i>.jsonl`` stream per shard on :meth:`close` (bounded by
+      *capacity* events per shard, mirroring the recorder's ring);
+    * *metrics* — per-shard labelled counters (``shard.launched``,
+      ``shard.committed``), the ``shard.halo_aborts`` counter, the
+      ``shard.halo_wait_seconds`` histogram and the
+      ``shard.commit_rate_max``/``min`` skew gauges;
+    * *profiler* — worker span deltas merged under ``shard.worker/``
+      plus supervisor-side ``shard.round`` wall-clock, the same shape
+      the sweep supervisor produces for ``--profile``;
+    * *monitor* — a :class:`ShardProgress` fed and rate-limit-emitted
+      every round.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        *,
+        run_id: "str | None" = None,
+        trace_dir=None,
+        metrics=None,
+        profiler=None,
+        monitor: "ShardProgress | None" = None,
+        capacity: int = 4096,
+    ) -> None:
+        if shards < 1:
+            raise ObservabilityError(f"shards must be >= 1, got {shards}")
+        if capacity < 1:
+            raise ObservabilityError(f"capacity must be >= 1, got {capacity}")
+        self.shards = int(shards)
+        self.run_id = None if run_id is None else str(run_id)
+        self.trace_dir = None if trace_dir is None else Path(trace_dir)
+        self.metrics = metrics
+        self.profiler = profiler
+        self.monitor = monitor
+        self.capacity = int(capacity)
+        self._events = [deque(maxlen=self.capacity) for _ in range(self.shards)]
+        self._dropped = [0] * self.shards
+        self._launched = [0] * self.shards
+        self._committed = [0] * self.shards
+        self.rounds = 0
+
+    @property
+    def wants_events(self) -> bool:
+        """Whether workers should ship per-round trace events."""
+        return self.trace_dir is not None
+
+    @property
+    def wants_spans(self) -> bool:
+        """Whether workers should ship per-round span snapshots."""
+        return self.profiler is not None
+
+    # -- worker-side deltas --------------------------------------------
+    def ingest(self, shard: int, telem: "dict | None") -> None:
+        """Fold one worker reply's piggybacked telemetry into the bus."""
+        if not telem:
+            return
+        if self.wants_events:
+            buf = self._events[shard]
+            for payload in telem.get("events", ()):
+                if len(buf) == buf.maxlen:
+                    self._dropped[shard] += 1
+                buf.append(
+                    TraceEvent(
+                        step=int(payload.get("step", 0)),
+                        kind=str(payload.get("kind", SHARD_ROUND)),
+                        data=dict(payload.get("data") or {}),
+                    )
+                )
+        spans = telem.get("spans")
+        if spans and self.profiler is not None:
+            self.profiler.merge(spans, prefix=("shard.worker",))
+
+    # -- supervisor-side accounting ------------------------------------
+    def note_round(
+        self,
+        stats: dict,
+        *,
+        halo_wait_seconds: "float | None" = None,
+        round_seconds: "float | None" = None,
+    ) -> None:
+        """Account one resolved round (*stats* per-shard launched/committed)."""
+        launched = [int(x) for x in stats["launched"]]
+        committed = [int(x) for x in stats["committed"]]
+        halo_aborts = int(stats.get("halo_aborts", 0))
+        self.rounds += 1
+        for shard in range(self.shards):
+            self._launched[shard] += launched[shard]
+            self._committed[shard] += committed[shard]
+        registry = self.metrics
+        if registry is not None:
+            for shard in range(self.shards):
+                registry.counter(
+                    labelled("shard.launched", shard=shard)
+                ).inc(launched[shard])
+                registry.counter(
+                    labelled("shard.committed", shard=shard)
+                ).inc(committed[shard])
+            registry.counter("shard.halo_aborts").inc(halo_aborts)
+            rates = [
+                c / l if l else 0.0
+                for c, l in zip(self._committed, self._launched)
+            ]
+            registry.gauge("shard.commit_rate_max").set(max(rates))
+            registry.gauge("shard.commit_rate_min").set(min(rates))
+            if halo_wait_seconds is not None:
+                registry.histogram("shard.halo_wait_seconds").observe(
+                    float(halo_wait_seconds)
+                )
+        if self.profiler is not None and round_seconds is not None:
+            self.profiler.add("shard.round", int(round_seconds * 1e9))
+        if self.monitor is not None:
+            self.monitor.on_round(launched, committed, halo_aborts)
+            if halo_wait_seconds is not None:
+                self.monitor.note_halo_wait_seconds(halo_wait_seconds)
+            self.monitor.maybe_emit()
+
+    # -- trace output --------------------------------------------------
+    def shard_stream(self, shard: int) -> "tuple[list[TraceEvent], dict]":
+        """One shard's buffered events plus its stream meta."""
+        meta: dict = {"source": shard_source(shard)}
+        if self.run_id is not None:
+            meta["run_id"] = self.run_id
+        if self._dropped[shard]:
+            meta["capacity"] = self.capacity
+            meta["dropped"] = self._dropped[shard]
+        return list(self._events[shard]), meta
+
+    def write_traces(self) -> "list[Path]":
+        """Write every shard stream under ``trace_dir`` (one file each)."""
+        if self.trace_dir is None:
+            raise ObservabilityError("telemetry bus has no trace_dir")
+        paths = []
+        for shard in range(self.shards):
+            events, meta = self.shard_stream(shard)
+            paths.append(
+                write_trace(self.trace_dir / f"shard-{shard}.jsonl", events, meta)
+            )
+        return paths
+
+    def close(self) -> "list[Path]":
+        """Flush the monitor and write shard traces (when configured)."""
+        if self.monitor is not None:
+            self.monitor.maybe_emit(force=True)
+        return self.write_traces() if self.trace_dir is not None else []
+
+
+# ----------------------------------------------------------------------
+# crash flight recorder
+# ----------------------------------------------------------------------
+def flight_incarnation(run_id, shard: int, attempt: int) -> dict:
+    """Spill record opening one worker incarnation."""
+    return {
+        "flight": {
+            "schema": FLIGHT_SCHEMA,
+            "run_id": None if run_id is None else str(run_id),
+            "shard": int(shard),
+            "attempt": int(attempt),
+        }
+    }
+
+
+def flight_round_begin(step, seq, size: int, attempt: int) -> dict:
+    """Spill record written (and fsynced) before a round is served."""
+    return {
+        "round_begin": {
+            "step": None if step is None else int(step),
+            "seq": None if seq is None else int(seq),
+            "size": int(size),
+            "attempt": int(attempt),
+            "open_spans": ["shard.round"],
+        }
+    }
+
+
+def flight_round_end(step, launched: int, committed: int, spans=None) -> dict:
+    """Spill record written after a round's reply was sent."""
+    return {
+        "round_end": {
+            "step": None if step is None else int(step),
+            "launched": int(launched),
+            "committed": int(committed),
+            "spans": spans,
+        }
+    }
+
+
+class FlightRecorder:
+    """Supervisor-side salvage of dead workers' spill journals.
+
+    Workers append one :func:`flight_round_begin` record — fsynced — to
+    their per-shard spill file *before* serving each round (and before
+    any injected fault can fire), and one :func:`flight_round_end` after
+    the reply is sent.  When the pool observes a crash, timeout or
+    worker error, :meth:`salvage` copies the spill's tail into the
+    bundle ``<base>/<run_id>/shard-<i>.jsonl`` with a leading meta line
+    recording the failure; :func:`diagnose_crash` reads bundles back.
+    A later incarnation of the same shard appends to the same spill, so
+    the bundle of a second death supersedes the first (last crash wins).
+    """
+
+    def __init__(self, base_dir, run_id, shards: int) -> None:
+        if shards < 1:
+            raise ObservabilityError(f"shards must be >= 1, got {shards}")
+        self.run_id = str(run_id)
+        self.shards = int(shards)
+        self.dir = Path(base_dir) / self.run_id
+        self.dir.mkdir(parents=True, exist_ok=True)
+        #: bundles written so far, in salvage order
+        self.salvaged: "list[Path]" = []
+
+    def spill_path(self, shard: int) -> Path:
+        return self.dir / f"spill-{int(shard)}.jsonl"
+
+    def bundle_path(self, shard: int) -> Path:
+        return self.dir / f"shard-{int(shard)}.jsonl"
+
+    def worker_payload(self, shard: int) -> dict:
+        """What a spawning worker needs to write its spill."""
+        return {"path": str(self.spill_path(shard)), "run_id": self.run_id}
+
+    def salvage(
+        self,
+        shard: int,
+        *,
+        reason: str,
+        attempt: int,
+        tail: int = DEFAULT_FLIGHT_TAIL,
+    ) -> Path:
+        """Copy the spill tail of a dead worker into its crash bundle."""
+        spill = self.spill_path(shard)
+        lines: "list[str]" = []
+        if spill.exists():
+            lines = [
+                line
+                for line in spill.read_text(encoding="utf-8").splitlines()
+                if line.strip()
+            ]
+        kept = lines[-tail:] if tail and len(lines) > tail else lines
+        meta = {
+            "flight_bundle": {
+                "schema": FLIGHT_SCHEMA,
+                "run_id": self.run_id,
+                "shard": int(shard),
+                "source": shard_source(shard),
+                "reason": str(reason),
+                "attempt": int(attempt),
+                "salvaged_lines": len(kept),
+                "total_lines": len(lines),
+            }
+        }
+        bundle = self.bundle_path(shard)
+        bundle.write_text(
+            "".join(
+                line + "\n"
+                for line in [json.dumps(meta, sort_keys=True)] + kept
+            ),
+            encoding="utf-8",
+        )
+        self.salvaged.append(bundle)
+        return bundle
+
+
+@dataclass(frozen=True)
+class CrashReport:
+    """What a dead shard worker was doing when it died.
+
+    Reconstructed from a flight-recorder bundle by
+    :func:`diagnose_crash`: the failure the supervisor observed, the
+    last round the worker began (step, sequence number, batch size),
+    whether that round ever completed — its ``open_spans`` are the spans
+    still running at death — and the tail of the spill journal.
+    """
+
+    bundle: str
+    run_id: "str | None"
+    shard: int
+    reason: str
+    attempt: int
+    rounds_started: int
+    rounds_completed: int
+    last_step: "int | None"
+    last_seq: "int | None"
+    open_spans: tuple
+    tail: tuple
+    spans: "dict | None"
+
+    @property
+    def died_mid_round(self) -> bool:
+        return self.rounds_started > self.rounds_completed
+
+    def render(self) -> str:
+        lines = [
+            f"crash flight report: shard {self.shard}"
+            + (f" (run {self.run_id})" if self.run_id else ""),
+            f"  reason: {self.reason}",
+            f"  dead incarnation: attempt {self.attempt}",
+            f"  rounds: {self.rounds_started} begun, "
+            f"{self.rounds_completed} completed",
+        ]
+        if self.last_step is not None or self.last_seq is not None:
+            where = f"step {self.last_step}"
+            if self.last_seq is not None:
+                where += f", seq {self.last_seq}"
+            lines.append(f"  last round at death: {where}")
+        if self.open_spans:
+            lines.append(
+                "  open spans at death: " + ", ".join(self.open_spans)
+            )
+        else:
+            lines.append("  open spans at death: none")
+        if self.tail:
+            lines.append(f"  last {len(self.tail)} spill records:")
+            for record in self.tail:
+                lines.append(
+                    "    "
+                    + json.dumps(record, sort_keys=True, separators=(",", ":"))
+                )
+        return "\n".join(lines)
+
+
+def diagnose_crash(bundle, last: int = 10) -> CrashReport:
+    """Analyse one flight-recorder bundle into a :class:`CrashReport`.
+
+    *bundle* is a ``shard-<i>.jsonl`` file written by
+    :meth:`FlightRecorder.salvage`.  The report pairs ``round_begin``
+    and ``round_end`` records: a begin without its end means the worker
+    died mid-round, and that begin's ``open_spans`` are what was running
+    at death.  *last* bounds the spill tail included verbatim.
+    """
+    path = Path(bundle)
+    if not path.exists():
+        raise ObservabilityError(f"no flight bundle at {path}")
+    head: "dict | None" = None
+    records: "list[dict]" = []
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"{path}:{lineno}: malformed flight record: {line[:80]!r}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ObservabilityError(
+                f"{path}:{lineno}: flight record is not an object"
+            )
+        if "flight_bundle" in payload:
+            head = payload["flight_bundle"]
+        else:
+            records.append(payload)
+    if head is None:
+        raise ObservabilityError(f"{path} has no flight_bundle meta line")
+
+    started = completed = 0
+    open_begin: "dict | None" = None
+    last_step = last_seq = None
+    attempt = int(head.get("attempt", 0))
+    spans = None
+    for record in records:
+        if "flight" in record:
+            # a fresh incarnation implicitly abandons any open round
+            open_begin = None
+        elif "round_begin" in record:
+            begin = record["round_begin"]
+            started += 1
+            open_begin = begin
+            last_step = begin.get("step")
+            last_seq = begin.get("seq")
+        elif "round_end" in record:
+            completed += 1
+            open_begin = None
+            end = record["round_end"]
+            if end.get("spans") is not None:
+                spans = end["spans"]
+    open_spans = (
+        tuple(str(s) for s in open_begin.get("open_spans", ()))
+        if open_begin is not None
+        else ()
+    )
+    return CrashReport(
+        bundle=str(path),
+        run_id=head.get("run_id"),
+        shard=int(head.get("shard", -1)),
+        reason=str(head.get("reason", "unknown")),
+        attempt=attempt,
+        rounds_started=started,
+        rounds_completed=completed,
+        last_step=None if last_step is None else int(last_step),
+        last_seq=None if last_seq is None else int(last_seq),
+        open_spans=open_spans,
+        tail=tuple(records[-last:]) if last else (),
+        spans=spans,
+    )

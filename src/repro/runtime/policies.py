@@ -719,6 +719,12 @@ class ShardedCommitOrder(UnorderedCommitOrder):
         self.halo_aborts_total = 0
         #: per-shard launched/committed counts of the most recent round
         self.last_shard_stats: "dict | None" = None
+        #: distributed-tracing context (duck-typed
+        #: :class:`repro.obs.distributed.TraceContext`); when set, every
+        #: multi-shard round draws one halo-exchange sequence number and
+        #: stamps ``run_id``/``seq`` on its order events — strictly
+        #: additive fields, absent (and byte-invisible) when unset
+        self.trace_ctx = None
 
     def label(self) -> str:
         # one shard IS the unordered policy — label it as such so
@@ -744,13 +750,16 @@ class ShardedCommitOrder(UnorderedCommitOrder):
         if self.shards == 1:
             return super().execute(batch)
         eng = self.engine
+        seq = None if self.trace_ctx is None else self.trace_ctx.next_seq()
         with eng.phase_span("resolve"):
             part = self.partition
             graph = self.conflict_policy.graph
             step = eng.steps_executed
             final = local = None
             if self.pool is not None:
-                final, local = self.pool.resolve(step, batch, part, graph)
+                final, local = self.pool.resolve(
+                    step, batch, part, graph, seq=seq
+                )
             elif eng.engine_mode == "fast" and batch:
                 payloads = np.asarray([task.payload for task in batch])
                 masks = two_phase_commit_mask_fast(
@@ -763,10 +772,10 @@ class ShardedCommitOrder(UnorderedCommitOrder):
                     graph, part, [task.payload for task in batch]
                 )
             outcome = self.conflict_policy._split_by_mask(batch, final)
-        self._note_round(batch, part, final, local)
+        self._note_round(batch, part, final, local, seq=seq)
         return outcome
 
-    def _note_round(self, batch, part, final, local) -> None:
+    def _note_round(self, batch, part, final, local, seq=None) -> None:
         """Account one multi-shard round and emit its trace events."""
         eng = self.engine
         payloads = np.asarray(
@@ -784,6 +793,12 @@ class ShardedCommitOrder(UnorderedCommitOrder):
         }
         if eng.recorder is not None:
             step = eng.steps_executed
+            causal = {}
+            if self.trace_ctx is not None:
+                if self.trace_ctx.run_id is not None:
+                    causal["run_id"] = self.trace_ctx.run_id
+                if seq is not None:
+                    causal["seq"] = int(seq)
             eng.recorder.emit(
                 "order_decision",
                 step=step,
@@ -791,6 +806,7 @@ class ShardedCommitOrder(UnorderedCommitOrder):
                 shards=self.shards,
                 launched=self.last_shard_stats["launched"],
                 committed=self.last_shard_stats["committed"],
+                **causal,
             )
             eng.recorder.emit(
                 "halo_exchange",
@@ -800,6 +816,7 @@ class ShardedCommitOrder(UnorderedCommitOrder):
                 halo_aborts=halo_aborts,
                 committed_nodes=[int(p) for p in payloads[final]],
                 committed_shards=[int(s) for s in shard_by_pos[final]],
+                **causal,
             )
 
     def step_metrics(self, metrics, outcome) -> None:

@@ -37,12 +37,29 @@ Design
   (batch draws are deterministic), so an interrupted run — even one
   whose journal has a torn final line — finishes byte-identical to an
   uninterrupted one.
+* **Distributed observability** (all opt-in, see
+  :mod:`repro.obs.distributed`).  With ``trace_dir=`` each worker ships
+  one ``shard_round`` event per round over its existing reply pipe,
+  buffered by a supervisor-side :class:`~repro.obs.TelemetryBus` and
+  written as per-shard ``shard-<i>.jsonl`` streams that
+  :func:`~repro.obs.merge_traces` interleaves with the supervisor trace
+  by halo-exchange sequence number; an active span profiler receives
+  worker span deltas under ``shard.worker/`` plus supervisor-side
+  ``shard.round`` wall-clock (the sweep supervisor's merge idiom, so
+  ``--profile`` works); an active/passed metrics registry gains
+  per-shard labelled ``shard.*`` series and halo-wait/skew statistics;
+  and ``flight_dir=`` arms the crash flight recorder: workers journal
+  fsynced round begin/end records, and a dying worker's spill tail is
+  salvaged into ``<flight_dir>/<run_id>/shard-<i>.jsonl`` before the
+  respawn.  The default path (none of these configured) is byte- and
+  message-identical to the uninstrumented runtime.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -66,12 +83,29 @@ DEFAULT_SHARD_JOURNAL = "shard-journal.jsonl"
 _SUPPORTED_WORKLOADS = frozenset({"replay", "consuming"})
 
 
+def _flight_write(file, record: dict, fsync: bool = False) -> None:
+    """Append one spill record; fsync when it must survive a SIGKILL."""
+    file.write(json.dumps(record, sort_keys=True) + "\n")
+    file.flush()
+    if fsync:
+        os.fsync(file.fileno())
+
+
 def _shard_worker_main(conns, payload: dict) -> None:
     """Worker entry point: serve phase-1 rounds until EOF or close.
 
     Fires the injected fault plan (if any) once, before the first round
     this incarnation serves, with ``("shard:<i>", attempt)`` identity —
     the shard-process extension of the sweep harness's fault matching.
+
+    Three opt-in payload extensions (see the module doc) layer the
+    distributed-observability duties on top: ``telem_events`` /
+    ``telem_spans`` piggyback a per-round telemetry delta on the reply,
+    and ``flight`` journals fsynced round begin/end records to the
+    flight-recorder spill — the ``round_begin`` lands on disk *before*
+    the fault plan can fire, so the spill always names the round a
+    killed worker died in.  With none of them set, the message protocol
+    is byte-identical to the uninstrumented worker.
     """
     recv_conn, send_conn = conns
     adjacency: "dict[int, set[int]]" = {}
@@ -80,6 +114,24 @@ def _shard_worker_main(conns, payload: dict) -> None:
         adjacency.setdefault(v, set()).add(u)
     plan = payload.get("faults")
     fired = plan is None
+    shard = payload["shard"]
+    attempt = payload["attempt"]
+    telem_events = bool(payload.get("telem_events"))
+    telem_spans = bool(payload.get("telem_spans"))
+    flight = payload.get("flight")
+    if telem_events or telem_spans or flight is not None:
+        # one up-call import per incarnation; the default path never
+        # touches repro.obs at all
+        from repro.obs import distributed as _dist
+        from repro.obs.spans import SpanProfiler
+    flight_file = None
+    if flight is not None:
+        flight_file = open(flight["path"], "a", encoding="utf-8")
+        _flight_write(
+            flight_file,
+            _dist.flight_incarnation(flight.get("run_id"), shard, attempt),
+            fsync=True,
+        )
     try:
         while True:
             try:
@@ -89,15 +141,55 @@ def _shard_worker_main(conns, payload: dict) -> None:
             if message is None:  # close sentinel
                 break
             try:
+                sub = message["sub"]
+                step = message.get("step")
+                seq = message.get("seq")
+                if flight_file is not None:
+                    _flight_write(
+                        flight_file,
+                        _dist.flight_round_begin(step, seq, len(sub), attempt),
+                        fsync=True,
+                    )
                 if not fired:
                     fired = True
                     from repro.testing.faults import FaultPlan
 
-                    FaultPlan.from_dict(plan).fire(
-                        f"shard:{payload['shard']}", payload["attempt"]
+                    FaultPlan.from_dict(plan).fire(f"shard:{shard}", attempt)
+                profiler = SpanProfiler() if telem_spans else None
+                if profiler is not None:
+                    with profiler.span("shard.round"):
+                        positions = local_greedy_positions(adjacency, sub)
+                else:
+                    positions = local_greedy_positions(adjacency, sub)
+                reply: dict = {"ok": True, "positions": positions}
+                spans = None if profiler is None else profiler.snapshot()
+                if telem_events or spans is not None:
+                    telem: dict = {}
+                    if telem_events:
+                        telem["events"] = [
+                            {
+                                "step": 0 if step is None else int(step),
+                                "kind": "shard_round",
+                                "data": {
+                                    "src": f"shard:{shard}",
+                                    "seq": seq,
+                                    "launched": len(sub),
+                                    "committed": len(positions),
+                                    "attempt": attempt,
+                                },
+                            }
+                        ]
+                    if spans is not None:
+                        telem["spans"] = spans
+                    reply["telem"] = telem
+                send_conn.send(reply)
+                if flight_file is not None:
+                    _flight_write(
+                        flight_file,
+                        _dist.flight_round_end(
+                            step, len(sub), len(positions), spans
+                        ),
                     )
-                positions = local_greedy_positions(adjacency, message["sub"])
-                send_conn.send({"ok": True, "positions": positions})
             except BaseException as exc:  # noqa: BLE001 - workers never re-raise
                 try:
                     send_conn.send(
@@ -110,6 +202,11 @@ def _shard_worker_main(conns, payload: dict) -> None:
         for conn in (recv_conn, send_conn):
             try:
                 conn.close()
+            except Exception:
+                pass
+        if flight_file is not None:
+            try:
+                flight_file.close()
             except Exception:
                 pass
 
@@ -204,6 +301,30 @@ class ShardPool:
         self._journal = (
             _RoundJournal(journal, shards, resume) if journal is not None else None
         )
+        self._bus = None
+        self._flight = None
+
+    # -- distributed observability (bind before the first round) ---------
+    def _check_unspawned(self, what: str) -> None:
+        if self._workers:
+            raise RuntimeEngineError(
+                f"cannot bind {what} after workers have spawned — bind "
+                "before the first resolved round"
+            )
+
+    def bind_telemetry(self, bus) -> None:
+        """Attach a :class:`~repro.obs.TelemetryBus` (duck-typed).
+
+        Worker payloads carry the bus's event/span appetite, so binding
+        is only legal before the lazily spawned workers exist.
+        """
+        self._check_unspawned("a telemetry bus")
+        self._bus = bus
+
+    def bind_flight(self, flight) -> None:
+        """Attach a :class:`~repro.obs.FlightRecorder` (duck-typed)."""
+        self._check_unspawned("a flight recorder")
+        self._flight = flight
 
     # -- worker lifecycle ------------------------------------------------
     def _ensure_edges(self, partition, graph) -> None:
@@ -214,16 +335,19 @@ class ShardPool:
             }
 
     def _spawn(self, shard: int) -> PersistentWorker:
-        worker = PersistentWorker(
-            _shard_worker_main,
-            {
-                "shard": shard,
-                "attempt": self._attempts[shard],
-                "edges": self._edges[shard],
-                "faults": self.faults,
-            },
-            self._ctx,
-        )
+        payload = {
+            "shard": shard,
+            "attempt": self._attempts[shard],
+            "edges": self._edges[shard],
+            "faults": self.faults,
+        }
+        if self._bus is not None:
+            payload["run_id"] = self._bus.run_id
+            payload["telem_events"] = self._bus.wants_events
+            payload["telem_spans"] = self._bus.wants_spans
+        if self._flight is not None:
+            payload["flight"] = self._flight.worker_payload(shard)
+        worker = PersistentWorker(_shard_worker_main, payload, self._ctx)
         self._workers[shard] = worker
         return worker
 
@@ -243,8 +367,15 @@ class ShardPool:
         return self._spawn(shard)
 
     # -- one round -------------------------------------------------------
-    def resolve(self, step, batch, partition, graph):
-        """Two-phase masks for one round, worker-backed and journaled."""
+    def resolve(self, step, batch, partition, graph, *, seq=None):
+        """Two-phase masks for one round, worker-backed and journaled.
+
+        *seq* is the round's halo-exchange sequence number when
+        distributed tracing is on (threaded through the round message so
+        workers stamp it on their telemetry); ``None`` otherwise.
+        Journal-replayed rounds return before any worker or telemetry
+        involvement — a resumed run re-derives masks, not observability.
+        """
         m = len(batch)
         record = self._journal.lookup(step) if self._journal is not None else None
         if record is not None:
@@ -254,6 +385,7 @@ class ShardPool:
             local[np.asarray(record["local"], dtype=np.int64)] = True
             return final, local
         self._ensure_edges(partition, graph)
+        t_round = time.perf_counter()
         payloads = np.asarray(
             [task.payload for task in batch] or [], dtype=np.int64
         )
@@ -264,30 +396,67 @@ class ShardPool:
                 (pos, int(payloads[pos]))
             )
         local = np.zeros(m, dtype=bool)
-        message = {"step": int(step)}
+        message = {"step": int(step), "seq": seq}
         pending = []
         for shard, sub in sorted(subs.items()):
-            self._worker(shard).post({**message, "sub": sub})
-            pending.append((shard, sub))
-        for shard, sub in pending:
-            local[self._collect(shard, sub)] = True
+            msg = {**message, "sub": sub}
+            self._worker(shard).post(msg)
+            pending.append((shard, msg))
+        first_reply = last_reply = None
+        for shard, msg in pending:
+            local[self._collect(shard, msg)] = True
+            now = time.perf_counter()
+            if first_reply is None:
+                first_reply = now
+            last_reply = now
         final = self._halo_exchange(graph, partition, payloads, shard_by_pos, local)
         if self._journal is not None:
             self._journal.record(step, final, local)
+        if self._bus is not None:
+            launched = np.bincount(shard_by_pos, minlength=self.shards)
+            committed = np.bincount(shard_by_pos[final], minlength=self.shards)
+            self._bus.note_round(
+                {
+                    "launched": [int(x) for x in launched],
+                    "committed": [int(x) for x in committed],
+                    "halo_aborts": int(np.count_nonzero(local & ~final)),
+                },
+                # how long the first finished shard waited for the last
+                halo_wait_seconds=(
+                    last_reply - first_reply if first_reply is not None else None
+                ),
+                round_seconds=time.perf_counter() - t_round,
+            )
         return final, local
 
-    def _collect(self, shard: int, sub) -> "list[int]":
-        """One shard's phase-1 reply, respawning and retrying on failure."""
+    def _collect(self, shard: int, message: dict) -> "list[int]":
+        """One shard's phase-1 reply, respawning and retrying on failure.
+
+        Respawned workers get the *full* round message back (step and
+        sequence number included), so a recovered round is
+        indistinguishable from an undisturbed one on both channels.
+        A failure first salvages the dead incarnation's flight spill
+        (when a recorder is bound) — the attempt index recorded is the
+        incarnation that died, not its replacement.
+        """
         worker = self._workers[shard]
         while True:
             status, reply = worker.collect(self.timeout)
             if status == "ok" and reply.get("ok"):
+                if self._bus is not None:
+                    self._bus.ingest(shard, reply.get("telem"))
                 return reply["positions"]
-            why = reply if status != "ok" else reply.get("error", "worker error")
             if status == "ok":
+                why = f"error: {reply.get('error', 'worker error')}"
                 worker.close()  # erroring worker: its loop already exited
-            worker = self._respawn(shard, str(why))
-            if not worker.post({"sub": sub}):  # pragma: no cover - instant death
+            else:
+                why = f"{status}: {reply}"
+            if self._flight is not None:
+                self._flight.salvage(
+                    shard, reason=why, attempt=self._attempts[shard]
+                )
+            worker = self._respawn(shard, why)
+            if not worker.post(message):  # pragma: no cover - instant death
                 continue
 
     @staticmethod
@@ -332,6 +501,10 @@ def run_sharded(
     timeout: "float | None" = None,
     journal=None,
     resume: bool = False,
+    run_id=None,
+    trace_dir=None,
+    flight_dir=None,
+    monitor=None,
 ):
     """One sharded engine run with worker-process phase-1 resolution.
 
@@ -341,6 +514,27 @@ def run_sharded(
     single-shard spec) runs in-process with no pool at all.  See the
     module docstring for the fault/journal semantics of ``faults=``,
     ``timeout=``, ``journal=`` and ``resume=``.
+
+    The distributed-observability layer is opt-in per channel:
+
+    * ``trace_dir=`` turns on distributed tracing — the supervisor's
+      ``order_decision``/``halo_exchange`` events gain ``run_id``/``seq``
+      fields and each shard's ``shard_round`` stream is written to
+      ``<trace_dir>/shard-<i>.jsonl`` when the run finishes (the
+      supervisor trace itself stays in *recorder*, to be written by the
+      caller — see :func:`repro.obs.write_trace`);
+    * ``flight_dir=`` arms the crash flight recorder under
+      ``<flight_dir>/<run_id>/``;
+    * ``monitor=`` takes a :class:`repro.obs.ShardProgress` fed every
+      round (the CLI's ``--live``);
+    * an **active span profiler** (``--profile``) automatically receives
+      worker span deltas under ``shard.worker/`` plus ``shard.round``
+      wall-clock, and the metrics registry (*metrics* or the active one)
+      gains per-shard ``shard.*`` series.
+
+    *run_id* names the run across all of its streams; one is derived
+    when needed (deterministically if you pass your own — see
+    :func:`repro.obs.new_run_id`).  Returns the engine's run result.
     """
     # call-time up-reach into api/registry (sanctioned; see config.py)
     from repro.api import _controller_for, _order_engine
@@ -376,6 +570,41 @@ def run_sharded(
         else None
     )
     order = ShardedCommitOrder(workload.policy, shards=shards, pool=pool)
+    bus = None
+    if pool is not None:
+        # call-time up-reach into repro.obs (same layering note as above)
+        from repro.obs.distributed import (
+            FlightRecorder,
+            TelemetryBus,
+            TraceContext,
+            new_run_id,
+        )
+        from repro.obs.metrics import active_metrics
+        from repro.obs.spans import active_profiler
+
+        registry = metrics if metrics is not None else active_metrics()
+        profiler = active_profiler()
+        if run_id is None and (trace_dir is not None or flight_dir is not None):
+            run_id = new_run_id()
+        if (
+            trace_dir is not None
+            or monitor is not None
+            or registry is not None
+            or profiler is not None
+        ):
+            bus = TelemetryBus(
+                shards,
+                run_id=run_id,
+                trace_dir=trace_dir,
+                metrics=registry,
+                profiler=profiler,
+                monitor=monitor,
+            )
+            pool.bind_telemetry(bus)
+        if flight_dir is not None:
+            pool.bind_flight(FlightRecorder(flight_dir, run_id, shards))
+        if trace_dir is not None:
+            order.trace_ctx = TraceContext(run_id)
     engine = _order_engine(
         config,
         order,
@@ -391,3 +620,5 @@ def run_sharded(
     finally:
         if pool is not None:
             pool.close()
+        if bus is not None:
+            bus.close()

@@ -12,7 +12,8 @@ the round with no state to lose.
 
 Note the shard targets: the ``kill:shard:1:0`` colon DSL cannot express
 them (the shard id adds a fourth ``:`` field), so plans are built
-programmatically or passed in the JSON form — both are exercised here.
+programmatically, passed in the JSON form, or spelled with the ``@``
+separator (``kill@shard:1``) — all three are exercised here.
 
 Seeds derive from ``REPRO_TEST_SEED`` (default 0) so CI's flaky-hunter
 job can re-run this suite under several seeds.
@@ -121,6 +122,50 @@ class TestPlanForms:
         parsed = FaultPlan.parse(plan.to_json())
         assert parsed == plan
         assert _run(faults=parsed) == baseline
+
+
+class TestFlightRecorder:
+    """Crash drills with the flight recorder armed.
+
+    The recorder is a pure observer: arming it (and salvaging bundles
+    mid-run) must not move a byte of the trace, and each dead worker's
+    bundle must name the shard, the failure, the last round it began and
+    the spans still open at death.
+    """
+
+    def test_kill_at_shard_dsl_round_trips(self):
+        # the '@' form exists precisely because shard targets contain ':'
+        plan = FaultPlan.parse("kill@shard:2")
+        assert plan.specs[0].experiment == "shard:2"
+        assert plan.specs[0].attempts == (0,)
+        assert FaultPlan.parse(plan.describe()) == plan
+
+    def test_faulted_run_with_recorder_is_byte_identical(self, baseline, tmp_path):
+        plan = FaultPlan.parse("kill@shard:2")
+        trace = _run(
+            faults=plan, flight_dir=tmp_path / "flightrec", run_id="drill"
+        )
+        assert trace == baseline
+
+    def test_bundle_names_shard_round_and_open_spans(self, tmp_path):
+        from repro.obs import diagnose_crash
+
+        plan = FaultPlan.parse("kill@shard:2")
+        _run(faults=plan, flight_dir=tmp_path / "flightrec", run_id="drill")
+        bundles = sorted((tmp_path / "flightrec" / "drill").glob("shard-*.jsonl"))
+        assert [b.name for b in bundles] == ["shard-2.jsonl"]
+        report = diagnose_crash(bundles[0])
+        assert report.shard == 2
+        assert report.attempt == 0  # the incarnation that died, not its heir
+        assert "crash" in report.reason
+        assert report.died_mid_round
+        assert report.last_step is not None
+        assert report.open_spans == ("shard.round",)
+
+    def test_undisturbed_run_leaves_no_bundles(self, baseline, tmp_path):
+        trace = _run(flight_dir=tmp_path / "flightrec", run_id="calm")
+        assert trace == baseline
+        assert not list((tmp_path / "flightrec" / "calm").glob("shard-*.jsonl"))
 
 
 class TestJournalResume:

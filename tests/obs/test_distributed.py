@@ -1,0 +1,675 @@
+"""Tests for :mod:`repro.obs.distributed` — the cross-process layer.
+
+Three tiers:
+
+* **Units** — run ids, source tags, :class:`TraceContext`,
+  :func:`merge_traces` causal placement and its error surface,
+  :class:`ShardProgress` (driven by a fake clock/sink, no sleeping),
+  :class:`TelemetryBus` fan-out and the flight-recorder salvage /
+  :func:`diagnose_crash` pairing logic.
+* **Property** — merging is a pure function of stream *contents*:
+  every permutation of the input streams yields the same merged trace,
+  on synthetic streams (hypothesis) and on real run output alike.
+* **End-to-end** — a process-backed 2-shard run with ``trace_dir`` set
+  produces per-shard streams that merge into one causally ordered trace
+  which (a) replays deterministically via :func:`repro.obs.verify_trace`
+  and (b) is byte-identical across repeat runs.  A checked-in golden
+  fixture pins the merged bytes (regenerate only after an intentional
+  semantic change, and only under ``REPRO_TEST_SEED=0``)::
+
+      PYTHONPATH=src python -c "from tests.obs.test_distributed import regenerate; regenerate()"
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RunConfig
+from repro.control.fixed import FixedController
+from repro.errors import ObservabilityError
+from repro.graph.generators import gnm_random
+from repro.obs import TraceRecorder, load_jsonl, load_jsonl_meta, verify_trace
+from repro.obs.distributed import (
+    CrashReport,
+    FlightRecorder,
+    ShardProgress,
+    TelemetryBus,
+    TraceContext,
+    diagnose_crash,
+    flight_incarnation,
+    flight_round_begin,
+    flight_round_end,
+    merge_trace_files,
+    merge_traces,
+    new_run_id,
+    parse_shard_source,
+    shard_source,
+    write_trace,
+)
+from repro.obs.events import HALO_EXCHANGE, ORDER_DECISION, SHARD_ROUND, TraceEvent
+from repro.obs.metrics import MetricsRegistry, labelled
+from repro.obs.spans import SpanProfiler
+from repro.runtime.sharded import run_sharded
+
+BASE_SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+GRAPH_SEED = 2011
+ENGINE_SEED = 8 + BASE_SEED
+MAX_STEPS = 20
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_merged_sharded2.jsonl"
+
+
+# ----------------------------------------------------------------------
+# units: identity helpers
+# ----------------------------------------------------------------------
+class TestRunId:
+    def test_derived_id_is_deterministic(self):
+        assert new_run_id("a", 1, 2.5) == new_run_id("a", 1, 2.5)
+
+    def test_derived_id_depends_on_parts(self):
+        assert new_run_id("a", 1) != new_run_id("a", 2)
+
+    def test_random_ids_differ(self):
+        assert new_run_id() != new_run_id()
+
+    def test_shape(self):
+        for run_id in (new_run_id(), new_run_id("x")):
+            assert len(run_id) == 12
+            int(run_id, 16)  # hex
+
+
+class TestShardSource:
+    def test_roundtrip(self):
+        assert parse_shard_source(shard_source(3)) == 3
+
+    @pytest.mark.parametrize("bad", ["supervisor", "shard:x", "", None, 7])
+    def test_non_shard_sources(self, bad):
+        assert parse_shard_source(bad) is None
+
+
+class TestTraceContext:
+    def test_seq_starts_at_one_and_increments(self):
+        ctx = TraceContext("r")
+        assert ctx.seq == 0
+        assert [ctx.next_seq() for _ in range(3)] == [1, 2, 3]
+        assert ctx.seq == 3
+
+    def test_run_id_stringified(self):
+        assert TraceContext(42).run_id == "42"
+        assert TraceContext().run_id is None
+
+
+# ----------------------------------------------------------------------
+# units: merging
+# ----------------------------------------------------------------------
+def _sup_stream(seqs, run_id="r"):
+    events = [TraceEvent(step=0, kind="run_start", data={})]
+    for i, seq in enumerate(seqs):
+        events.append(
+            TraceEvent(step=i, kind=ORDER_DECISION, data={"seq": seq})
+        )
+    events.append(TraceEvent(step=len(seqs), kind="run_end", data={}))
+    return events, {"source": "supervisor", "run_id": run_id}
+
+
+def _shard_stream(shard, seqs, run_id="r"):
+    events = [
+        TraceEvent(
+            step=i,
+            kind=SHARD_ROUND,
+            data={"src": shard_source(shard), "seq": seq},
+        )
+        for i, seq in enumerate(seqs)
+    ]
+    return events, {"source": shard_source(shard), "run_id": run_id}
+
+
+class TestMergeTraces:
+    def test_shard_events_precede_their_supervisor_event(self):
+        merged, meta = merge_traces(
+            [_sup_stream([1, 2]), _shard_stream(0, [1, 2]), _shard_stream(1, [1, 2])]
+        )
+        kinds = [(e.kind, e.get("seq"), e.data.get("src")) for e in merged]
+        assert kinds == [
+            ("run_start", None, None),
+            (SHARD_ROUND, 1, "shard:0"),
+            (SHARD_ROUND, 1, "shard:1"),
+            (ORDER_DECISION, 1, None),
+            (SHARD_ROUND, 2, "shard:0"),
+            (SHARD_ROUND, 2, "shard:1"),
+            (ORDER_DECISION, 2, None),
+            ("run_end", None, None),
+        ]
+        assert meta["source"] == "merged"
+        assert meta["streams"] == 3
+        assert meta["shards"] == [0, 1]
+        assert meta["run_id"] == "r"
+
+    def test_orphan_rounds_flush_at_the_end(self):
+        # the worker served seq 3 but the supervisor died before
+        # recording it: the round's events must still appear, after the
+        # supervisor backbone
+        merged, _ = merge_traces([_sup_stream([1]), _shard_stream(0, [1, 3])])
+        assert [e.get("seq") for e in merged] == [None, 1, 1, None, 3]
+
+    def test_supervisor_source_tag_optional(self):
+        events, _ = _sup_stream([1])
+        shard_events, _ = _shard_stream(0, [1])
+        merged, meta = merge_traces(
+            [(events, {}), (shard_events, {"source": "shard:0"})]
+        )
+        assert len(merged) == 4
+        assert "run_id" not in meta  # no stream carried one
+
+    def test_no_streams_rejected(self):
+        with pytest.raises(ObservabilityError, match="no streams"):
+            merge_traces([])
+
+    def test_two_supervisors_rejected(self):
+        with pytest.raises(ObservabilityError, match="more than one supervisor"):
+            merge_traces([_sup_stream([1]), _sup_stream([1])])
+
+    def test_missing_supervisor_rejected(self):
+        with pytest.raises(ObservabilityError, match="backbone"):
+            merge_traces([_shard_stream(0, [1])])
+
+    def test_unknown_source_rejected(self):
+        events, _ = _sup_stream([1])
+        with pytest.raises(ObservabilityError, match="cannot merge"):
+            merge_traces([(events, {"source": "gateway"})])
+
+    def test_duplicate_shard_rejected(self):
+        with pytest.raises(ObservabilityError, match="duplicate"):
+            merge_traces(
+                [_sup_stream([1]), _shard_stream(0, [1]), _shard_stream(0, [1])]
+            )
+
+    def test_run_id_disagreement_rejected(self):
+        with pytest.raises(ObservabilityError, match="disagree on run_id"):
+            merge_traces(
+                [_sup_stream([1], run_id="a"), _shard_stream(0, [1], run_id="b")]
+            )
+
+    def test_shard_event_without_seq_rejected(self):
+        bare = [TraceEvent(step=0, kind=SHARD_ROUND, data={})]
+        with pytest.raises(ObservabilityError, match="no 'seq'"):
+            merge_traces(
+                [_sup_stream([1]), (bare, {"source": "shard:0", "run_id": "r"})]
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        shard_rounds=st.lists(
+            st.lists(st.integers(min_value=1, max_value=9), max_size=6),
+            min_size=1,
+            max_size=4,
+        ),
+        data=st.data(),
+    )
+    def test_merge_is_order_invariant(self, shard_rounds, data):
+        """Permuting the input streams cannot change the merged trace."""
+        streams = [_sup_stream([1, 2, 3, 4])] + [
+            _shard_stream(shard, sorted(seqs))
+            for shard, seqs in enumerate(shard_rounds)
+        ]
+        perm = data.draw(st.permutations(streams))
+        reference, ref_meta = merge_traces(streams)
+        permuted, perm_meta = merge_traces(perm)
+        assert permuted == reference
+        assert perm_meta == ref_meta
+
+
+class TestTraceFiles:
+    def test_write_then_merge_files(self, tmp_path):
+        paths = []
+        for name, stream in [
+            ("sup", _sup_stream([1])),
+            ("s0", _shard_stream(0, [1])),
+        ]:
+            events, meta = stream
+            paths.append(write_trace(tmp_path / f"{name}.jsonl", events, meta))
+        out = tmp_path / "merged.jsonl"
+        events, meta = merge_trace_files(paths, out=out)
+        loaded_events, loaded_meta = load_jsonl_meta(out)
+        assert loaded_meta["source"] == "merged"
+        assert [e.kind for e in loaded_events] == [e.kind for e in events]
+
+    def test_meta_line_invisible_to_plain_loader(self, tmp_path):
+        events, meta = _sup_stream([1])
+        path = write_trace(tmp_path / "t.jsonl", events, meta)
+        assert len(load_jsonl(path)) == len(events)
+
+    def test_write_trace_without_meta(self, tmp_path):
+        events, _ = _sup_stream([1])
+        path = write_trace(tmp_path / "t.jsonl", events)
+        loaded, meta = load_jsonl_meta(path)
+        assert len(loaded) == len(events)
+        assert not meta
+
+
+# ----------------------------------------------------------------------
+# units: live progress
+# ----------------------------------------------------------------------
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestShardProgress:
+    def _monitor(self, interval=5.0):
+        clock, lines = _FakeClock(), []
+        mon = ShardProgress(2, interval=interval, sink=lines.append, clock=clock)
+        return mon, clock, lines
+
+    def test_rate_limits_to_interval(self):
+        mon, clock, lines = self._monitor()
+        mon.on_round([4, 4], [3, 2], halo_aborts=1)
+        assert mon.maybe_emit() is not None  # first emit always fires
+        mon.on_round([4, 4], [4, 4])
+        clock.now = 4.0
+        assert mon.maybe_emit() is None  # inside the interval
+        clock.now = 5.0
+        assert mon.maybe_emit() is not None
+        assert len(lines) == 2
+
+    def test_force_bypasses_rate_limit(self):
+        mon, _, lines = self._monitor()
+        mon.on_round([1, 1], [1, 1])
+        mon.maybe_emit()
+        assert mon.maybe_emit(force=True) is not None
+        assert len(lines) == 2
+
+    def test_status_line_reports_totals_and_skew(self):
+        mon, _, _ = self._monitor()
+        mon.on_round([10, 10], [9, 3], halo_aborts=2)
+        mon.note_halo_wait_seconds(0.004)
+        line = mon.status_line()
+        assert "launched 20" in line
+        assert "committed 12" in line
+        assert "halo aborts 2" in line
+        assert "max 0.90/min 0.30" in line
+        assert "halo wait EWMA 4.0ms" in line
+
+    def test_halo_wait_ewma(self):
+        mon, _, _ = self._monitor()
+        mon.note_halo_wait_seconds(1.0)
+        mon.note_halo_wait_seconds(0.0)
+        assert mon.ewma_halo_wait_seconds == pytest.approx(0.7)
+
+    def test_skew_of_idle_monitor(self):
+        mon, _, _ = self._monitor()
+        assert mon.skew() == (0.0, 0.0)
+
+    def test_shard_count_mismatch_rejected(self):
+        mon, _, _ = self._monitor()
+        with pytest.raises(ObservabilityError, match="2-shard"):
+            mon.on_round([1, 2, 3], [1, 2, 3])
+
+    @pytest.mark.parametrize("kwargs", [{"shards": 0}, {"shards": 2, "interval": -1}])
+    def test_bad_construction_rejected(self, kwargs):
+        with pytest.raises(ObservabilityError):
+            ShardProgress(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# units: telemetry bus
+# ----------------------------------------------------------------------
+def _round_telem(shard, seq, **data):
+    payload = {"src": shard_source(shard), "seq": seq, **data}
+    return {
+        "events": [{"step": seq - 1, "kind": SHARD_ROUND, "data": payload}],
+        "spans": None,
+    }
+
+
+class TestTelemetryBus:
+    def test_ingest_buffers_events_per_shard(self):
+        bus = TelemetryBus(2, run_id="r", trace_dir="unused")
+        bus.ingest(0, _round_telem(0, 1))
+        bus.ingest(1, _round_telem(1, 1))
+        events, meta = bus.shard_stream(0)
+        assert [e.get("seq") for e in events] == [1]
+        assert meta == {"source": "shard:0", "run_id": "r"}
+
+    def test_capacity_bounds_buffer_and_counts_drops(self):
+        bus = TelemetryBus(1, trace_dir="unused", capacity=2)
+        for seq in range(1, 5):
+            bus.ingest(0, _round_telem(0, seq))
+        events, meta = bus.shard_stream(0)
+        assert [e.get("seq") for e in events] == [3, 4]  # ring kept the tail
+        assert meta["dropped"] == 2
+        assert meta["capacity"] == 2
+
+    def test_ingest_without_channels_is_a_no_op(self):
+        bus = TelemetryBus(1)
+        bus.ingest(0, _round_telem(0, 1))
+        assert not bus.wants_events and not bus.wants_spans
+        events, _ = bus.shard_stream(0)
+        assert events == []
+
+    def test_note_round_feeds_labelled_metrics(self):
+        registry = MetricsRegistry()
+        bus = TelemetryBus(2, metrics=registry)
+        bus.note_round(
+            {"launched": [8, 8], "committed": [8, 2], "halo_aborts": 6},
+            halo_wait_seconds=0.001,
+        )
+        snap = registry.snapshot()
+        assert snap[labelled("shard.launched", shard=0)] == 8
+        assert snap[labelled("shard.committed", shard=1)] == 2
+        assert snap["shard.halo_aborts"] == 6
+        assert snap["shard.commit_rate_max"] == 1.0
+        assert snap["shard.commit_rate_min"] == 0.25
+
+    def test_worker_spans_merge_under_prefix(self):
+        profiler = SpanProfiler()
+        bus = TelemetryBus(1, profiler=profiler)
+        worker = SpanProfiler()
+        worker.add("resolve", 500)
+        bus.ingest(0, {"events": [], "spans": worker.snapshot()})
+        bus.note_round(
+            {"launched": [4], "committed": [4]}, round_seconds=1e-6
+        )
+        stats = profiler.stats()
+        assert stats["shard.worker/resolve"].total_ns == 500
+        assert stats["shard.round"].count == 1
+
+    def test_note_round_drives_monitor(self):
+        clock, lines = _FakeClock(), []
+        mon = ShardProgress(2, interval=0.0, sink=lines.append, clock=clock)
+        bus = TelemetryBus(2, monitor=mon)
+        bus.note_round({"launched": [4, 4], "committed": [3, 4]})
+        assert mon.rounds == 1 and lines
+
+    def test_close_writes_one_stream_per_shard(self, tmp_path):
+        bus = TelemetryBus(2, run_id="r", trace_dir=tmp_path)
+        bus.ingest(0, _round_telem(0, 1))
+        paths = bus.close()
+        assert [p.name for p in paths] == ["shard-0.jsonl", "shard-1.jsonl"]
+        events, meta = load_jsonl_meta(paths[0])
+        assert meta["source"] == "shard:0" and len(events) == 1
+        # the empty shard still writes its (empty) stream
+        events, _ = load_jsonl_meta(paths[1])
+        assert events == []
+
+    def test_write_traces_needs_trace_dir(self):
+        with pytest.raises(ObservabilityError, match="trace_dir"):
+            TelemetryBus(1).write_traces()
+
+    @pytest.mark.parametrize("kwargs", [{"shards": 0}, {"shards": 1, "capacity": 0}])
+    def test_bad_construction_rejected(self, kwargs):
+        with pytest.raises(ObservabilityError):
+            TelemetryBus(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# units: flight recorder
+# ----------------------------------------------------------------------
+def _spill(recorder: FlightRecorder, shard: int, records) -> None:
+    path = recorder.spill_path(shard)
+    path.write_text(
+        "".join(json.dumps(r, sort_keys=True) + "\n" for r in records),
+        encoding="utf-8",
+    )
+
+
+class TestFlightRecorder:
+    def test_salvage_and_diagnose_mid_round_death(self, tmp_path):
+        rec = FlightRecorder(tmp_path, "run1", 2)
+        _spill(
+            rec,
+            1,
+            [
+                flight_incarnation("run1", 1, 0),
+                flight_round_begin(0, 1, 33, 0),
+                flight_round_end(0, 33, 30),
+                flight_round_begin(4, 5, 17, 0),
+            ],
+        )
+        bundle = rec.salvage(1, reason="signal: killed", attempt=0)
+        assert bundle == rec.bundle_path(1)
+        assert rec.salvaged == [bundle]
+        report = diagnose_crash(bundle)
+        assert isinstance(report, CrashReport)
+        assert (report.shard, report.run_id) == (1, "run1")
+        assert report.reason == "signal: killed"
+        assert (report.rounds_started, report.rounds_completed) == (2, 1)
+        assert report.died_mid_round
+        assert (report.last_step, report.last_seq) == (4, 5)
+        assert report.open_spans == ("shard.round",)
+
+    def test_clean_death_between_rounds(self, tmp_path):
+        rec = FlightRecorder(tmp_path, "run1", 1)
+        _spill(
+            rec,
+            0,
+            [
+                flight_incarnation("run1", 0, 0),
+                flight_round_begin(0, 1, 8, 0),
+                flight_round_end(0, 8, 8, spans={"resolve": 1}),
+            ],
+        )
+        report = diagnose_crash(rec.salvage(0, reason="timeout", attempt=0))
+        assert not report.died_mid_round
+        assert report.open_spans == ()
+        assert report.spans == {"resolve": 1}
+
+    def test_new_incarnation_abandons_open_round(self, tmp_path):
+        # the respawn's incarnation record closes its predecessor's round:
+        # only a begin *after* the latest incarnation counts as open
+        rec = FlightRecorder(tmp_path, "run1", 1)
+        _spill(
+            rec,
+            0,
+            [
+                flight_incarnation("run1", 0, 0),
+                flight_round_begin(0, 1, 8, 0),
+                flight_incarnation("run1", 0, 1),
+            ],
+        )
+        report = diagnose_crash(rec.salvage(0, reason="crash", attempt=1))
+        assert report.died_mid_round  # one begun, none completed...
+        assert report.open_spans == ()  # ...but nothing open at *this* death
+
+    def test_salvage_keeps_only_the_tail(self, tmp_path):
+        rec = FlightRecorder(tmp_path, "run1", 1)
+        _spill(
+            rec,
+            0,
+            [flight_round_begin(s, s + 1, 1, 0) for s in range(10)],
+        )
+        bundle = rec.salvage(0, reason="crash", attempt=0, tail=3)
+        head = json.loads(bundle.read_text(encoding="utf-8").splitlines()[0])
+        assert head["flight_bundle"]["salvaged_lines"] == 3
+        assert head["flight_bundle"]["total_lines"] == 10
+
+    def test_salvage_of_missing_spill_yields_empty_bundle(self, tmp_path):
+        # died before writing anything: the bundle still names the failure
+        rec = FlightRecorder(tmp_path, "run1", 1)
+        report = diagnose_crash(rec.salvage(0, reason="spawn died", attempt=0))
+        assert report.rounds_started == 0
+        assert report.tail == ()
+
+    def test_render_names_the_essentials(self, tmp_path):
+        rec = FlightRecorder(tmp_path, "run9", 1)
+        _spill(rec, 0, [flight_round_begin(7, 3, 5, 2)])
+        text = diagnose_crash(rec.salvage(0, reason="crash", attempt=2)).render()
+        assert "shard 0" in text and "run9" in text
+        assert "reason: crash" in text
+        assert "step 7, seq 3" in text
+        assert "open spans at death: shard.round" in text
+
+    def test_diagnose_missing_bundle_rejected(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="no flight bundle"):
+            diagnose_crash(tmp_path / "nope.jsonl")
+
+    def test_diagnose_malformed_bundle_rejected(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"flight_bundle": {}}\nnot json\n', encoding="utf-8")
+        with pytest.raises(ObservabilityError, match="malformed"):
+            diagnose_crash(bad)
+
+    def test_diagnose_headless_bundle_rejected(self, tmp_path):
+        headless = tmp_path / "headless.jsonl"
+        headless.write_text(
+            json.dumps(flight_round_begin(0, 1, 1, 0)) + "\n", encoding="utf-8"
+        )
+        with pytest.raises(ObservabilityError, match="flight_bundle"):
+            diagnose_crash(headless)
+
+
+# ----------------------------------------------------------------------
+# end-to-end: process-backed runs
+# ----------------------------------------------------------------------
+def _distributed_run(trace_dir: Path, shards: int = 2):
+    """One traced sharded run; returns (supervisor jsonl, result)."""
+    recorder = TraceRecorder()
+    run_id = new_run_id("test", GRAPH_SEED, ENGINE_SEED, shards)
+    config = RunConfig(
+        workload="consuming",
+        rho=0.25,
+        m_max=64,
+        order=f"sharded:{shards}",
+        max_steps=MAX_STEPS,
+    )
+    result = run_sharded(
+        config,
+        gnm_random(200, 8, seed=GRAPH_SEED),
+        seed=ENGINE_SEED,
+        recorder=recorder,
+        run_id=run_id,
+        trace_dir=trace_dir,
+    )
+    write_trace(
+        trace_dir / "supervisor.jsonl",
+        recorder.events,
+        {"source": "supervisor", "run_id": run_id},
+    )
+    return recorder.to_jsonl(), result
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    trace_dir = tmp_path_factory.mktemp("dist-trace")
+    supervisor_jsonl, result = _distributed_run(trace_dir)
+    return trace_dir, supervisor_jsonl, result
+
+
+def _stream_paths(trace_dir: Path) -> "list[Path]":
+    return sorted(trace_dir.glob("shard-*.jsonl")) + [
+        trace_dir / "supervisor.jsonl"
+    ]
+
+
+class TestDistributedRunEndToEnd:
+    def test_every_stream_written_and_tagged(self, traced_run):
+        trace_dir, _, _ = traced_run
+        paths = _stream_paths(trace_dir)
+        assert [p.name for p in paths] == [
+            "shard-0.jsonl",
+            "shard-1.jsonl",
+            "supervisor.jsonl",
+        ]
+        sources = {load_jsonl_meta(p)[1]["source"] for p in paths}
+        assert sources == {"shard:0", "shard:1", "supervisor"}
+        run_ids = {load_jsonl_meta(p)[1]["run_id"] for p in paths}
+        assert len(run_ids) == 1
+
+    def test_merged_trace_replays_deterministically(self, traced_run, tmp_path):
+        trace_dir, _, result = traced_run
+        merged, meta = merge_trace_files(
+            _stream_paths(trace_dir), out=tmp_path / "merged.jsonl"
+        )
+        assert meta["shards"] == [0, 1]
+        reports = verify_trace(load_jsonl(tmp_path / "merged.jsonl"))
+        assert sum(r.steps for r in reports) == len(result)
+
+    def test_worker_rounds_sit_before_their_order_decision(self, traced_run):
+        trace_dir, _, _ = traced_run
+        merged, _ = merge_traces(
+            load_jsonl_meta(p) for p in _stream_paths(trace_dir)
+        )
+        last_seen = {}
+        for i, event in enumerate(merged):
+            seq = event.get("seq")
+            if seq is None:
+                continue
+            if event.kind == SHARD_ROUND:
+                last_seen.setdefault(seq, i)
+            elif event.kind in (ORDER_DECISION, HALO_EXCHANGE):
+                if seq in last_seen:
+                    assert last_seen[seq] < i
+        assert last_seen  # multi-shard rounds actually happened
+
+    def test_repeat_run_is_byte_identical(self, traced_run, tmp_path):
+        trace_dir, supervisor_jsonl, _ = traced_run
+        repeat_dir = tmp_path / "repeat"
+        repeat_jsonl, _ = _distributed_run(repeat_dir)
+        assert repeat_jsonl == supervisor_jsonl
+        for name in ("shard-0.jsonl", "shard-1.jsonl"):
+            assert (repeat_dir / name).read_bytes() == (
+                trace_dir / name
+            ).read_bytes()
+
+    def test_real_streams_merge_order_invariant(self, traced_run):
+        trace_dir, _, _ = traced_run
+        streams = [load_jsonl_meta(p) for p in _stream_paths(trace_dir)]
+        reference, _ = merge_traces(streams)
+        for perm in itertools.permutations(streams):
+            merged, _ = merge_traces(perm)
+            assert merged == reference
+
+
+class TestGoldenMergedTrace:
+    """The merged 2-shard trace, pinned byte-for-byte.
+
+    Seeds derive from ``REPRO_TEST_SEED`` so the module's other tests
+    run under every flaky-hunter seed, but the fixture is only defined
+    for the default seed — skip elsewhere.
+    """
+
+    pytestmark = pytest.mark.skipif(
+        BASE_SEED != 0, reason="golden fixture is pinned to REPRO_TEST_SEED=0"
+    )
+
+    def test_fixture_exists(self):
+        assert FIXTURE.exists(), "golden fixture missing; run regenerate()"
+
+    def test_merged_trace_matches_fixture(self, traced_run, tmp_path):
+        trace_dir, _, _ = traced_run
+        out = tmp_path / "merged.jsonl"
+        merge_trace_files(_stream_paths(trace_dir), out=out)
+        assert out.read_text(encoding="utf-8") == FIXTURE.read_text(
+            encoding="utf-8"
+        ), (
+            "merged distributed trace drifted: round/seq assignment, event "
+            "schema or serialisation changed; if intentional, regenerate"
+        )
+
+    def test_fixture_replays_deterministically(self):
+        reports = verify_trace(load_jsonl(FIXTURE))
+        assert len(reports) == 1
+
+
+def regenerate() -> None:
+    """Rewrite the golden merged-trace fixture (REPRO_TEST_SEED=0 only)."""
+    import tempfile
+
+    if BASE_SEED != 0:
+        raise SystemExit("regenerate only under REPRO_TEST_SEED=0")
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_dir = Path(tmp)
+        _distributed_run(trace_dir)
+        FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+        merge_trace_files(_stream_paths(trace_dir), out=FIXTURE)
+    print(f"wrote {FIXTURE}")
