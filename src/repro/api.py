@@ -35,7 +35,9 @@ from repro.registry import (
     WORKLOADS,
     order_family,
     parse_order_spec,
+    parse_workload_spec,
     select_backend_for,
+    workload_is_self_building,
     workset_for,
 )
 from repro.runtime.core import Engine
@@ -100,6 +102,7 @@ def run(
     seed=None,
     recorder=None,
     metrics=None,
+    record_workload: "str | None" = None,
 ):
     """Execute one :class:`~repro.config.RunConfig`.
 
@@ -111,11 +114,19 @@ def run(
     * ``graph=`` given — build the configured workload
       (``config.workload``) over the graph, wire the configured
       controller, and return the engine's
-      :class:`~repro.runtime.stats.RunResult`;
+      :class:`~repro.runtime.stats.RunResult`.  Self-building workloads
+      — the applications (``workload="boruvka"`` …, which synthesise a
+      seeded input) and trace replays (``workload="trace:<path>"``) —
+      also run with no ``graph=`` at all;
     * ``initial=`` + ``operator=`` given — run a task loop
       (:class:`~repro.runtime.engine.OptimisticEngine`, or
       :class:`~repro.runtime.ordered.OrderedEngine` when
       ``priority_of=`` is supplied) and return its ``RunResult``.
+
+    ``record_workload=`` (graph/workload runs only) wraps the workload
+    in a :class:`~repro.runtime.wktrace.WorkloadCapture` and saves the
+    recorded :class:`~repro.runtime.wktrace.WorkloadTrace` to that path
+    after the run, for later ``workload="trace:<path>"`` replays.
 
     ``config.order`` selects the commit-order policy
     (``"unordered"``, ``"ordered"``, ``"relaxed:k"``, ``"async[:w]"`` or
@@ -140,22 +151,47 @@ def run(
     if config.experiment is not None:
         return EXPERIMENTS.create(config.experiment, seed, config.quick)
 
-    if graph is not None:
+    workload_name, workload_kwargs = parse_workload_spec(config.workload)
+    if graph is not None or (
+        initial is None and operator is None and workload_is_self_building(workload_name)
+    ):
         if initial is not None or operator is not None:
             raise ConfigError("pass either graph= or initial=/operator=, not both")
-        if config.workload == "replay" and config.max_steps is None:
+        if workload_name == "replay" and config.max_steps is None:
             raise ReproError("replay workloads never drain; pass max_steps")
-        workload = WORKLOADS.create(config.workload, graph, config)
+        workload = WORKLOADS.create(workload_name, graph, config, **workload_kwargs)
+        if record_workload is not None:
+            from repro.runtime.wktrace import WorkloadCapture
+
+            workload = WorkloadCapture(workload, label=workload_name)
         if config.order is not None:
             # explicit commit order: the workload factory already matched
             # its work-set to the order family (workset_for), so only the
             # policy itself is built here.  Priority-family policies rank
-            # tasks by node id — the canonical graph priority — and every
-            # family shares the workload's conflict policy, so ordered,
-            # relaxed and unordered runs detect the same conflicts.
+            # tasks by the workload's own priority (event times for DES;
+            # node id — the canonical graph priority — otherwise), and
+            # every family shares the workload's conflict policy, so
+            # ordered, relaxed and unordered runs detect the same
+            # conflicts.
             name, kwargs = parse_order_spec(config.order)
+            if record_workload is not None and name == "sharded":
+                raise ConfigError(
+                    "record_workload= is not supported under the sharded "
+                    "commit order; record unsharded, then replay the trace "
+                    "with shards=N"
+                )
+            if getattr(workload, "requires_order", False) and order_family(name) != "priority":
+                raise ConfigError(
+                    f"workload {workload_name!r} requires in-order commits "
+                    f'(order="ordered" or "relaxed:k"), got order={config.order!r}'
+                )
             if order_family(name) == "priority":
-                kwargs["priority_of"] = lambda task: float(task.payload)
+                priority_fn = getattr(workload, "priority_of", None)
+                kwargs["priority_of"] = (
+                    priority_fn
+                    if priority_fn is not None
+                    else (lambda task: float(task.payload))
+                )
             if (
                 name == "sharded"
                 and "shards" not in kwargs
@@ -176,14 +212,21 @@ def run(
                 metrics,
             )
         else:
-            engine = workload.build_engine(
+            # make_engine is the non-deprecated workload protocol; fall
+            # back to build_engine for third-party workloads predating it
+            make = getattr(workload, "make_engine", None)
+            builder = make if make is not None else workload.build_engine
+            engine = builder(
                 _controller_for(config, controller),
                 seed=seed,
                 recorder=recorder,
                 metrics=metrics,
                 engine=config.engine,
             )
-        return engine.run(max_steps=config.max_steps)
+        result = engine.run(max_steps=config.max_steps)
+        if record_workload is not None:
+            workload.save(record_workload)
+        return result
 
     if initial is not None:
         if operator is None:
@@ -279,7 +322,8 @@ def run(
         return engine.run(max_steps=config.max_steps)
 
     raise ConfigError(
-        "run() needs an experiment in the config, a graph=, or initial=/operator="
+        "run() needs an experiment in the config, a graph=, initial=/operator=, "
+        "or a self-building workload (an application name or trace:<path>)"
     )
 
 

@@ -1,5 +1,15 @@
-"""Irregular applications: the workloads that drive the controller."""
+"""Irregular applications: the workloads that drive the controller.
 
+Every application is an :class:`~repro.apps.base.AppWorkload` — it
+speaks the core workload protocol (``workset`` / ``operator`` /
+``policy`` / :meth:`~repro.apps.base.AppWorkload.make_engine`) and is
+registered as a named workload (see :mod:`repro.apps.catalog`), so
+``repro.api.run(RunConfig(workload="boruvka"))`` runs it through the
+full pipeline: any commit-order policy, selection backend, and the
+observability / sweep / sharding machinery.
+"""
+
+from repro.apps.base import AppWorkload
 from repro.apps.boruvka import (
     BoruvkaMST,
     WeightedGraph,
@@ -35,9 +45,26 @@ from repro.apps.profiles import (
     spike_profile,
     step_profile,
 )
+from repro.apps.catalog import (
+    APP_WORKLOADS,
+    DEFAULT_SCALES,
+    ORDERED_APPS,
+    build_app_input,
+    check_order_combination,
+    make_app_workload,
+    workload_from_input,
+)
 from repro.apps.sp import SatInstance, SurveyPropagation, random_ksat
 
 __all__ = [
+    "AppWorkload",
+    "APP_WORKLOADS",
+    "DEFAULT_SCALES",
+    "ORDERED_APPS",
+    "build_app_input",
+    "check_order_combination",
+    "make_app_workload",
+    "workload_from_input",
     "BoruvkaMST",
     "WeightedGraph",
     "kruskal_weight",

@@ -1,0 +1,176 @@
+"""Shared workload plumbing for the application layer.
+
+Historically every app constructed its engine directly: eight bespoke
+``build_engine`` methods with drifting signatures (``des.py`` took
+``engine=`` where the others took ``step_hook=``), all hard-wired to
+:class:`~repro.runtime.engine.OptimisticEngine` /
+:class:`~repro.runtime.ordered.OrderedEngine` — which meant no app could
+run under a :class:`~repro.runtime.core.OrderPolicy`, a selection
+backend, or the sharded runtime.
+
+:class:`AppWorkload` collapses that onto the workload protocol the core
+stack already speaks (``workset`` / ``operator`` / ``policy`` plus
+:meth:`make_engine`), the same shape as
+:class:`~repro.runtime.workloads.GraphWorkloadBase`:
+
+* apps accept an injected ``workset=`` (how ``repro.api.run`` hands them
+  the work-set matching ``config.order`` / ``config.select``), defaulting
+  to the historical :class:`~repro.runtime.workset.RandomWorkset` so
+  direct construction stays byte-identical;
+* ordered-only apps set :attr:`requires_order` and override
+  :meth:`priority_of`; the config/registry layer rejects unordered runs
+  of such apps with an actionable error;
+* the historical ``build_engine`` survives as a thin deprecation shim
+  over :meth:`make_engine`, now with one unified signature accepting
+  *both* ``step_hook=`` and ``engine=`` everywhere.
+
+Engine classes are imported at call time only: the apps layer sits below
+the point where engines are wired together, and
+``tools/check_layers.py`` forbids module-level ``runtime.engine`` /
+``runtime.ordered`` imports from ``repro.apps``.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.runtime.task import Task
+from repro.runtime.workset import RandomWorkset
+
+__all__ = ["AppWorkload"]
+
+
+class AppWorkload:
+    """Mixin giving an application the core-stack workload protocol.
+
+    Subclasses call :meth:`_init_workset` early in ``__init__`` (before
+    seeding tasks), then seed via :meth:`_seed_task`, and expose
+    ``self.policy``.  Everything else — the ``operator`` property,
+    :meth:`make_engine`, the deprecated :meth:`build_engine` shim — is
+    inherited.
+    """
+
+    #: ordered-only apps (commits must respect priorities) set this True;
+    #: the registry/config layer then rejects unordered commit orders.
+    requires_order: bool = False
+
+    # ------------------------------------------------------------------
+    # work-set plumbing
+    # ------------------------------------------------------------------
+    def _init_workset(self, workset=None) -> None:
+        """Adopt the injected work-set, or the historical default.
+
+        ``None`` keeps the app byte-identical to its pre-registry
+        behaviour: an unordered :class:`RandomWorkset` (or, for
+        ``requires_order`` apps, a priority work-set — those override
+        :meth:`_default_workset`).
+        """
+        self.workset = workset if workset is not None else self._default_workset()
+        # priority work-sets take (task, priority); plain ones take (task)
+        self._priority_seeding = hasattr(self.workset, "take_earliest")
+
+    def _default_workset(self):
+        return RandomWorkset()
+
+    def _seed_task(self, task: Task) -> None:
+        """Add *task* to the work-set, priority-aware when needed."""
+        if self._priority_seeding:
+            self.workset.add(task, self.priority_of(task))
+        else:
+            self.workset.add(task)
+
+    # ------------------------------------------------------------------
+    # workload protocol
+    # ------------------------------------------------------------------
+    @property
+    def operator(self):
+        """Apps are their own :class:`~repro.runtime.task.Operator`."""
+        return self
+
+    def priority_of(self, task: Task) -> float:
+        """Commit priority of *task* under ordered/relaxed policies.
+
+        The default ranks by payload (node/clause/cluster id — the
+        canonical graph priority); apps with semantic order (DES event
+        times) override it.
+        """
+        return float(task.payload)
+
+    def make_engine(
+        self,
+        controller,
+        *,
+        seed=None,
+        step_hook=None,
+        cost_model=None,
+        recorder=None,
+        metrics=None,
+        engine=None,
+    ):
+        """Wire this app and *controller* into its historical engine.
+
+        This is the non-deprecated path ``repro.api.run`` uses when no
+        explicit ``order=`` is configured; explicit orders go through the
+        core :class:`~repro.runtime.core.Engine` instead.
+        """
+        if self.requires_order:
+            from repro.runtime.ordered import OrderedEngine
+
+            return OrderedEngine(
+                workset=self.workset,
+                operator=self.operator,
+                controller=controller,
+                priority_of=self.priority_of,
+                seed=seed,
+                step_hook=step_hook,
+                cost_model=cost_model,
+                recorder=recorder,
+                metrics=metrics,
+                engine=engine,
+            )
+        from repro.runtime.engine import OptimisticEngine
+
+        return OptimisticEngine(
+            workset=self.workset,
+            operator=self.operator,
+            policy=self.policy,
+            controller=controller,
+            seed=seed,
+            step_hook=step_hook,
+            cost_model=cost_model,
+            recorder=recorder,
+            metrics=metrics,
+            engine=engine,
+        )
+
+    def build_engine(
+        self,
+        controller,
+        seed=None,
+        step_hook=None,
+        cost_model=None,
+        recorder=None,
+        metrics=None,
+        engine=None,
+    ):
+        """Deprecated: use ``repro.api.run`` or :meth:`make_engine`.
+
+        One signature for every app now — the historical per-app drift
+        (``engine=`` vs ``step_hook=``) is gone, and both keywords are
+        accepted everywhere.
+        """
+        warnings.warn(
+            f"{type(self).__name__}.build_engine is deprecated; use "
+            f"repro.api.run(RunConfig(workload=...)) or make_engine()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.make_engine(
+            controller,
+            seed=seed,
+            step_hook=step_hook,
+            cost_model=cost_model,
+            recorder=recorder,
+            metrics=metrics,
+            engine=engine,
+        )

@@ -24,11 +24,10 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from repro.apps.base import AppWorkload
 from repro.errors import ApplicationError
 from repro.runtime.conflict import ItemLockPolicy
-from repro.runtime.engine import OptimisticEngine
 from repro.runtime.task import Operator, Task
-from repro.runtime.workset import RandomWorkset
 from repro.utils.rng import ensure_rng
 
 __all__ = ["WeightedGraph", "random_weighted_graph", "BoruvkaMST", "kruskal_weight"]
@@ -114,10 +113,10 @@ def kruskal_weight(graph: WeightedGraph) -> float:
     return total
 
 
-class BoruvkaMST(Operator):
+class BoruvkaMST(AppWorkload, Operator):
     """Borůvka contraction as engine tasks (payload = component root)."""
 
-    def __init__(self, graph: WeightedGraph):
+    def __init__(self, graph: WeightedGraph, *, workset=None):
         self.graph = graph
         n = graph.num_nodes
         self._parent = list(range(n))
@@ -132,11 +131,11 @@ class BoruvkaMST(Operator):
                     self._comp_edges[u][v] = (u, v, w)
         self.mst_edges: list[Edge] = []
         self.policy = ItemLockPolicy()
-        self.workset = RandomWorkset()
+        self._init_workset(workset)
         self.stale_commits = 0
         for u in range(n):
             if self._comp_edges[u]:
-                self.workset.add(Task(payload=u))
+                self._seed_task(Task(payload=u))
 
     # ------------------------------------------------------------------
     def find(self, x: int) -> int:
@@ -214,17 +213,6 @@ class BoruvkaMST(Operator):
         return a
 
     # ------------------------------------------------------------------
-    def build_engine(self, controller, seed=None, step_hook=None) -> OptimisticEngine:
-        """Engine running Borůvka under *controller*."""
-        return OptimisticEngine(
-            workset=self.workset,
-            operator=self,
-            policy=self.policy,
-            controller=controller,
-            seed=seed,
-            step_hook=step_hook,
-        )
-
     @property
     def total_weight(self) -> float:
         return float(sum(w for _, _, w in self.mst_edges))

@@ -19,11 +19,10 @@ from itertools import count
 
 import numpy as np
 
+from repro.apps.base import AppWorkload
 from repro.errors import ApplicationError
 from repro.runtime.conflict import ItemLockPolicy
-from repro.runtime.engine import OptimisticEngine
 from repro.runtime.task import Operator, Task
-from repro.runtime.workset import RandomWorkset
 from repro.utils.rng import ensure_rng
 
 __all__ = ["AgglomerativeClustering", "random_points"]
@@ -52,7 +51,7 @@ class _Cluster:
         self.members = members
 
 
-class AgglomerativeClustering(Operator):
+class AgglomerativeClustering(AppWorkload, Operator):
     """Centroid-linkage agglomeration under optimistic parallelism.
 
     Task payloads are cluster ids.  The run drains when every live cluster
@@ -61,7 +60,7 @@ class AgglomerativeClustering(Operator):
     parent id rows, in commit order).
     """
 
-    def __init__(self, points: np.ndarray, merge_threshold: float = 0.05):
+    def __init__(self, points: np.ndarray, merge_threshold: float = 0.05, *, workset=None):
         pts = np.asarray(points, dtype=float)
         if pts.ndim != 2 or pts.shape[1] != 2:
             raise ApplicationError(f"points must be (n, 2), got {pts.shape}")
@@ -74,13 +73,13 @@ class AgglomerativeClustering(Operator):
         self._grid: dict[tuple[int, int], set[int]] = {}
         self.dendrogram: list[tuple[int, int, int, float]] = []  # (a, b, parent, dist)
         self.policy = ItemLockPolicy()
-        self.workset = RandomWorkset()
+        self._init_workset(workset)
         self.stale_commits = 0
         for i, (x, y) in enumerate(pts):
             cid = next(self._ids)
             self._clusters[cid] = _Cluster(cid, (float(x), float(y)), 1, [i])
             self._grid_add(cid)
-            self.workset.add(Task(payload=cid))
+            self._seed_task(Task(payload=cid))
 
     # ------------------------------------------------------------------
     # centroid grid
@@ -155,18 +154,6 @@ class AgglomerativeClustering(Operator):
         self._grid_add(parent)
         self.dendrogram.append((cid, other, parent, dist))
         return [Task(payload=parent)]
-
-    # ------------------------------------------------------------------
-    def build_engine(self, controller, seed=None, step_hook=None) -> OptimisticEngine:
-        """Engine clustering the points under *controller*."""
-        return OptimisticEngine(
-            workset=self.workset,
-            operator=self,
-            policy=self.policy,
-            controller=controller,
-            seed=seed,
-            step_hook=step_hook,
-        )
 
     # ------------------------------------------------------------------
     def num_clusters(self) -> int:

@@ -15,17 +15,16 @@ tests cross-check against :func:`repro.model.committed_set` semantics.
 
 from __future__ import annotations
 
+from repro.apps.base import AppWorkload
 from repro.errors import ApplicationError
 from repro.graph.ccgraph import CCGraph
 from repro.runtime.conflict import ItemLockPolicy
-from repro.runtime.engine import OptimisticEngine
 from repro.runtime.task import Operator, Task
-from repro.runtime.workset import RandomWorkset
 
 __all__ = ["GreedyColoring", "independent_set_via_coloring"]
 
 
-class GreedyColoring(Operator):
+class GreedyColoring(AppWorkload, Operator):
     """Colour *graph* greedily under optimistic parallelism.
 
     Task payloads are node ids; :attr:`colors` maps node → colour once the
@@ -33,14 +32,14 @@ class GreedyColoring(Operator):
     neighbours' colours only in a batch where no neighbour commits.
     """
 
-    def __init__(self, graph: CCGraph):
+    def __init__(self, graph: CCGraph, *, workset=None):
         self.graph = graph
         self.colors: dict[int, int] = {}
         self.policy = ItemLockPolicy()
-        self.workset = RandomWorkset()
+        self._init_workset(workset)
         self.recolor_attempts = 0
         for node in graph.nodes():
-            self.workset.add(Task(payload=node))
+            self._seed_task(Task(payload=node))
 
     # ------------------------------------------------------------------
     # Operator interface
@@ -66,18 +65,6 @@ class GreedyColoring(Operator):
         return []
 
     # ------------------------------------------------------------------
-    def build_engine(self, controller, seed=None, step_hook=None) -> OptimisticEngine:
-        """Engine colouring the graph under *controller*."""
-        return OptimisticEngine(
-            workset=self.workset,
-            operator=self,
-            policy=self.policy,
-            controller=controller,
-            seed=seed,
-            step_hook=step_hook,
-        )
-
-    # ------------------------------------------------------------------
     def is_proper(self) -> bool:
         """Every edge bicoloured; every node coloured."""
         if set(self.colors) != set(self.graph.nodes()):
@@ -100,7 +87,7 @@ class GreedyColoring(Operator):
 def independent_set_via_coloring(graph: CCGraph, controller, seed=None) -> set[int]:
     """Independent set: colour the graph, then take the largest colour class."""
     app = GreedyColoring(graph)
-    app.build_engine(controller, seed=seed).run()
+    app.make_engine(controller, seed=seed).run()
     if not app.colors:
         return set()
     classes: dict[int, set[int]] = {}

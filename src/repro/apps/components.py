@@ -13,32 +13,31 @@ Oracle: labels equal networkx's connected components.
 
 from __future__ import annotations
 
+from repro.apps.base import AppWorkload
 from repro.errors import ApplicationError
 from repro.graph.ccgraph import CCGraph
 from repro.runtime.conflict import ItemLockPolicy
-from repro.runtime.engine import OptimisticEngine
 from repro.runtime.task import Operator, Task
-from repro.runtime.workset import RandomWorkset
 
 __all__ = ["LabelPropagation"]
 
 
-class LabelPropagation(Operator):
+class LabelPropagation(AppWorkload, Operator):
     """Min-label propagation over an undirected :class:`CCGraph`."""
 
-    def __init__(self, graph: CCGraph):
+    def __init__(self, graph: CCGraph, *, workset=None):
         if graph.num_nodes == 0:
             raise ApplicationError("graph has no nodes to label")
         self.graph = graph
         self.labels: dict[int, int] = {u: u for u in graph.nodes()}
         self.policy = ItemLockPolicy()
-        self.workset = RandomWorkset()
+        self._init_workset(workset)
         self.updates = 0
         self.wasted_visits = 0
         self._enqueued: set[int] = set()
         for u in graph.nodes():
             self._enqueued.add(u)
-            self.workset.add(Task(payload=u))
+            self._seed_task(Task(payload=u))
 
     # ------------------------------------------------------------------
     # Operator interface
@@ -67,18 +66,6 @@ class LabelPropagation(Operator):
         if not improved_any and not out:
             self.wasted_visits += 1
         return out
-
-    # ------------------------------------------------------------------
-    def build_engine(self, controller, seed=None, step_hook=None) -> OptimisticEngine:
-        """Engine labelling the graph under *controller*."""
-        return OptimisticEngine(
-            workset=self.workset,
-            operator=self,
-            policy=self.policy,
-            controller=controller,
-            seed=seed,
-            step_hook=step_hook,
-        )
 
     # ------------------------------------------------------------------
     def num_components(self) -> int:

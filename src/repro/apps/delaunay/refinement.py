@@ -39,13 +39,12 @@ import math
 
 import numpy as np
 
+from repro.apps.base import AppWorkload
 from repro.apps.delaunay.geometry import min_angle_deg
 from repro.apps.delaunay.triangulation import Triangulation
 from repro.errors import ApplicationError, GeometryError
 from repro.runtime.conflict import ItemLockPolicy
-from repro.runtime.engine import OptimisticEngine
 from repro.runtime.task import Operator, Task
-from repro.runtime.workset import RandomWorkset
 from repro.utils.rng import ensure_rng
 
 __all__ = ["RefinementWorkload", "random_input_mesh", "mesh_quality"]
@@ -77,11 +76,11 @@ def mesh_quality(tri: Triangulation) -> dict[str, float]:
     }
 
 
-class RefinementWorkload(Operator):
+class RefinementWorkload(AppWorkload, Operator):
     """Work-set formulation of Delaunay refinement.
 
     Also the :class:`~repro.runtime.task.Operator` for its own tasks (task
-    payloads are triangle ids).  Use :meth:`build_engine` to wire it to a
+    payloads are triangle ids).  Use :meth:`make_engine` to wire it to a
     controller, or drive the engine manually.
 
     Parameters
@@ -104,6 +103,8 @@ class RefinementWorkload(Operator):
         min_angle: float = 25.0,
         min_edge: float = 0.02,
         domain: tuple[float, float, float, float] | None = None,
+        *,
+        workset=None,
     ) -> None:
         if not 0.0 < min_angle < 60.0:
             raise ApplicationError(
@@ -127,13 +128,13 @@ class RefinementWorkload(Operator):
             domain = (min(xs), min(ys), max(xs), max(ys))
         self.domain = domain
         self.policy = ItemLockPolicy()
-        self.workset = RandomWorkset()
+        self._init_workset(workset)
         self.stale_commits = 0
         self.insertions = 0
         self.given_up: set[int] = set()
         for tid in mesh.triangle_ids():
             if self.is_bad(tid):
-                self.workset.add(Task(payload=tid))
+                self._seed_task(Task(payload=tid))
 
     # ------------------------------------------------------------------
     def _in_domain(self, p: tuple[float, float]) -> bool:
@@ -203,17 +204,6 @@ class RefinementWorkload(Operator):
         return [Task(payload=t) for t in new_tris if self.is_bad(t)]
 
     # ------------------------------------------------------------------
-    def build_engine(self, controller, seed=None, step_hook=None) -> OptimisticEngine:
-        """Engine running this refinement under *controller*."""
-        return OptimisticEngine(
-            workset=self.workset,
-            operator=self,
-            policy=self.policy,
-            controller=controller,
-            seed=seed,
-            step_hook=step_hook,
-        )
-
     def remaining_bad(self) -> int:
         """Count of currently bad (and refinable) triangles."""
         return sum(1 for tid in self.mesh.triangle_ids() if self.is_bad(tid))

@@ -28,8 +28,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.apps.base import AppWorkload
 from repro.errors import ApplicationError
-from repro.runtime.ordered import OrderedEngine, PriorityWorkset
+from repro.runtime.conflict import ItemLockPolicy
+from repro.runtime.policies import PriorityWorkset
 from repro.runtime.task import Operator, Task
 from repro.utils.rng import ensure_rng
 
@@ -82,12 +84,16 @@ def _draws(seed: int, job: int, hop: int) -> tuple[float, float]:
     return float(rng.random()), float(rng.random())
 
 
-class DiscreteEventSimulation(Operator):
+class DiscreteEventSimulation(AppWorkload, Operator):
     """The PDES workload as an ordered-engine operator.
 
     Task payloads are :class:`Event` instances; priorities are event
     times.  The run drains once every job's chain passes ``end_time``.
     """
+
+    #: events must commit chronologically — unordered commit orders are
+    #: rejected by the registry/config layer for this app.
+    requires_order = True
 
     def __init__(
         self,
@@ -95,6 +101,8 @@ class DiscreteEventSimulation(Operator):
         num_jobs: int,
         end_time: float,
         seed: int = 0,
+        *,
+        workset=None,
     ):
         if num_jobs < 1:
             raise ApplicationError(f"need at least one job, got {num_jobs}")
@@ -104,13 +112,14 @@ class DiscreteEventSimulation(Operator):
         self.end_time = float(end_time)
         self.seed = int(seed)
         self.history: list[Event] = []  # committed events, in commit order
-        self.workset = PriorityWorkset()
+        self.policy = ItemLockPolicy()
+        self._init_workset(workset)
         init_rng = ensure_rng(seed)
         for job in range(num_jobs):
             station = int(init_rng.integers(0, network.num_stations))
             ev = self._make_event(0.0, station, job, hop=0)
             if ev is not None:
-                self.workset.add(Task(payload=ev), ev.time)
+                self._seed_task(Task(payload=ev))
 
     # ------------------------------------------------------------------
     def _make_event(self, now: float, station: int, job: int, hop: int) -> "Event | None":
@@ -142,16 +151,11 @@ class DiscreteEventSimulation(Operator):
         return [Task(payload=nxt)] if nxt is not None else []
 
     # ------------------------------------------------------------------
-    def build_engine(self, controller, seed=None, engine=None) -> OrderedEngine:
-        """Ordered engine running this simulation under *controller*."""
-        return OrderedEngine(
-            workset=self.workset,
-            operator=self,
-            controller=controller,
-            priority_of=lambda task: task.payload.time,
-            seed=seed,
-            engine=engine,
-        )
+    def _default_workset(self):
+        return PriorityWorkset()
+
+    def priority_of(self, task: Task) -> float:
+        return task.payload.time
 
     def check_history_ordered(self) -> bool:
         """Committed history must be chronologically sorted."""

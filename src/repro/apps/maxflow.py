@@ -25,11 +25,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.apps.base import AppWorkload
 from repro.errors import ApplicationError
 from repro.runtime.conflict import ItemLockPolicy
-from repro.runtime.engine import OptimisticEngine
 from repro.runtime.task import Operator, Task
-from repro.runtime.workset import RandomWorkset
 from repro.utils.rng import ensure_rng
 
 __all__ = ["FlowNetwork", "random_flow_network", "PreflowPush", "reference_max_flow"]
@@ -108,10 +107,10 @@ def reference_max_flow(network: FlowNetwork) -> int:
     return int(maximum_flow(mat, network.source, network.sink).flow_value)
 
 
-class PreflowPush(Operator):
+class PreflowPush(AppWorkload, Operator):
     """Goldberg–Tarjan discharge as engine tasks (payload = node id)."""
 
-    def __init__(self, network: FlowNetwork):
+    def __init__(self, network: FlowNetwork, *, workset=None):
         self.net = network
         n = network.num_nodes
         self.height = [0] * n
@@ -119,7 +118,7 @@ class PreflowPush(Operator):
         self.flow: list[dict[int, int]] = [dict() for _ in range(n)]
         self.height[network.source] = n
         self.policy = ItemLockPolicy()
-        self.workset = RandomWorkset()
+        self._init_workset(workset)
         self.discharges = 0
         self.relabels = 0
         self._enqueued: set[int] = set()
@@ -156,7 +155,7 @@ class PreflowPush(Operator):
     def _enqueue(self, v: int) -> None:
         if v not in self._enqueued and self._is_active(v):
             self._enqueued.add(v)
-            self.workset.add(Task(payload=v))
+            self._seed_task(Task(payload=v))
 
     # ------------------------------------------------------------------
     # Operator interface
@@ -214,18 +213,6 @@ class PreflowPush(Operator):
             self._enqueued.add(u)
             out.append(Task(payload=u))
         return out
-
-    # ------------------------------------------------------------------
-    def build_engine(self, controller, seed=None, step_hook=None) -> OptimisticEngine:
-        """Engine computing the max flow under *controller*."""
-        return OptimisticEngine(
-            workset=self.workset,
-            operator=self,
-            policy=self.policy,
-            controller=controller,
-            seed=seed,
-            step_hook=step_hook,
-        )
 
     # ------------------------------------------------------------------
     @property

@@ -28,9 +28,13 @@ from repro.errors import ApplicationError
 from repro.graph.ccgraph import CCGraph
 from repro.graph.generators import union_of_cliques
 from repro.runtime.conflict import BatchOutcome, ConflictPolicy
-from repro.runtime.engine import OptimisticEngine
 from repro.runtime.task import Operator, Task
 from repro.runtime.workset import RandomWorkset
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # layering: apps sit below the engine wiring
+    from repro.runtime.engine import OptimisticEngine
 
 __all__ = [
     "Phase",
@@ -206,7 +210,7 @@ class ScheduledReplayWorkload:
         """Length of the full schedule in engine steps."""
         return sum(p.duration for p in self.phases)
 
-    def _advance(self, engine: OptimisticEngine, stats) -> None:
+    def _advance(self, engine: "OptimisticEngine", stats) -> None:
         self._steps_left -= 1
         if self._steps_left > 0 or self._phase_idx + 1 >= len(self.phases):
             return
@@ -218,8 +222,10 @@ class ScheduledReplayWorkload:
         engine.workset = self.workset
         self.transitions.append(stats.step + 1)
 
-    def build_engine(self, controller, seed=None) -> OptimisticEngine:
+    def build_engine(self, controller, seed=None) -> "OptimisticEngine":
         """Engine whose work-set and conflicts follow the schedule."""
+        from repro.runtime.engine import OptimisticEngine
+
         return OptimisticEngine(
             workset=self.workset,
             operator=self.operator,

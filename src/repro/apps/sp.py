@@ -32,11 +32,10 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.apps.base import AppWorkload
 from repro.errors import ApplicationError
 from repro.runtime.conflict import ItemLockPolicy
-from repro.runtime.engine import OptimisticEngine
 from repro.runtime.task import Operator, Task
-from repro.runtime.workset import RandomWorkset
 from repro.utils.rng import ensure_rng
 
 __all__ = ["SatInstance", "random_ksat", "SurveyPropagation"]
@@ -79,14 +78,15 @@ def random_ksat(num_vars: int, num_clauses: int, k: int = 3, seed=None) -> SatIn
     return SatInstance(num_vars, clauses)
 
 
-class SurveyPropagation(Operator):
+class SurveyPropagation(AppWorkload, Operator):
     """Asynchronous SP message passing under optimistic parallelism.
 
     Task payloads are clause indices.  Surveys live in ``eta[(a, var)]``.
     """
 
     def __init__(self, instance: SatInstance, tol: float = 1e-3, damping: float = 0.0,
-                 init: float = 0.5, max_updates: int | None = None, seed=None):
+                 init: float = 0.5, max_updates: int | None = None, seed=None,
+                 *, workset=None):
         if not 0.0 <= damping < 1.0:
             raise ApplicationError(f"damping must be in [0, 1), got {damping}")
         if tol <= 0:
@@ -112,10 +112,10 @@ class SurveyPropagation(Operator):
         self.updates_done = 0
         self.max_updates = max_updates
         self.policy = ItemLockPolicy()
-        self.workset = RandomWorkset()
+        self._init_workset(workset)
         self._enqueued: set[int] = set()
         for a in range(len(instance.clauses)):
-            self.workset.add(Task(payload=a))
+            self._seed_task(Task(payload=a))
             self._enqueued.add(a)
 
     # ------------------------------------------------------------------
@@ -181,18 +181,6 @@ class SurveyPropagation(Operator):
                     self._enqueued.add(b)
                     out.append(Task(payload=b))
         return out
-
-    # ------------------------------------------------------------------
-    def build_engine(self, controller, seed=None, step_hook=None) -> OptimisticEngine:
-        """Engine running SP to a fixed point under *controller*."""
-        return OptimisticEngine(
-            workset=self.workset,
-            operator=self,
-            policy=self.policy,
-            controller=controller,
-            seed=seed,
-            step_hook=step_hook,
-        )
 
     # ------------------------------------------------------------------
     def max_residual(self) -> float:

@@ -75,8 +75,15 @@ class RunConfig:
     quick:
         Reduced problem sizes (experiment runs only).
     workload:
-        Registered workload factory name for graph runs
-        (``"replay"``, ``"consuming"``, ``"regenerating"``).
+        Registered workload factory name: a synthetic graph workload
+        (``"replay"``, ``"consuming"``, ``"regenerating"`` — these need
+        ``graph=``), an application (``"boruvka"``, ``"delaunay"``,
+        ``"coloring"``, ``"des"``, ``"maxflow"``, ``"sp"``,
+        ``"clustering"``, ``"components"``, optionally with a
+        ``":<scale>"`` suffix — these synthesise a seeded input when no
+        ``graph=`` is passed), or a recorded workload trace to replay
+        (``"trace:<path>"``).  Ordered-only apps (``"des"``) reject
+        unordered ``order=`` specs at construction time.
     controller:
         Registered controller factory name (default ``"hybrid"``,
         the paper's Algorithm 1).
@@ -205,6 +212,17 @@ class RunConfig:
                     f"order={self.order!r} brings its own work-set; "
                     f"it cannot be combined with select={self.select!r}"
                 )
+        # eager workload-spec validation, mirroring the order check
+        # above: malformed specs ("trace:" without a path, "boruvka:x"
+        # without an integer scale) and ordered-only apps combined with
+        # an unordered commit order fail at construction time
+        from repro.registry import parse_workload_spec
+
+        workload_name, _ = parse_workload_spec(self.workload)
+        if self.order is not None:
+            from repro.apps.catalog import check_order_combination
+
+            check_order_combination(workload_name, self.order)
         _opt_int(self.shards, "shards", minimum=1)
         if self.shards is not None:
             # shards only means something to the sharded commit order;

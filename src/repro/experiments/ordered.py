@@ -61,7 +61,7 @@ def run(
     speedups = []
     for m in fixed_ms:
         sim = DiscreteEventSimulation(network, num_jobs, end_time, seed=sim_seed)
-        engine = sim.build_engine(FixedController(m), seed=int(rng.integers(0, 2**31 - 1)))
+        engine = sim.make_engine(FixedController(m), seed=int(rng.integers(0, 2**31 - 1)))
         res = engine.run(max_steps=10**7)
         if sim.history != reference:
             raise ExperimentError(f"history diverged from the oracle at m={m}")
@@ -86,7 +86,7 @@ def run(
     result.add_series("speedup vs m", [float(m) for m in fixed_ms], speedups)
 
     sim = DiscreteEventSimulation(network, num_jobs, end_time, seed=sim_seed)
-    engine = sim.build_engine(
+    engine = sim.make_engine(
         HybridController(rho), seed=int(rng.integers(0, 2**31 - 1))
     )
     res = engine.run(max_steps=10**7)

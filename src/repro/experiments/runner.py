@@ -4,6 +4,15 @@ Runs one or all experiments and prints their rendered reports.  Every
 experiment accepts ``--seed`` for reproducibility and ``--quick`` for a
 reduced-size run (used by the test suite; the benchmarks run full size).
 
+Workload record/replay (``apps`` experiment only, see
+:mod:`repro.runtime.wktrace`):
+
+* ``--record-workload DIR`` — record each application's hybrid run as a
+  workload trace (``<app>.wktrace``) into DIR.
+* ``--replay-workload PATH`` — evaluate every controller over a
+  deterministic replay of the recorded trace at PATH instead of building
+  the applications.
+
 Observability options (see :mod:`repro.obs`):
 
 * ``--trace PATH`` — record a structured JSONL trace of every engine run
@@ -104,12 +113,18 @@ def _adaptation(seed, quick: bool) -> ExperimentResult:
     return adaptation.run(seed=seed)
 
 
-def _apps(seed, quick: bool) -> ExperimentResult:
+def _apps(seed, quick: bool, **workload_io) -> ExperimentResult:
+    # workload_io forwards the CLI's --record-workload/--replay-workload
+    # (record_workload=/replay_workload= of apps_eval.run)
     if quick:
         return apps_eval.run(
-            apps=("boruvka", "coloring"), scale=150, fixed_ms=(2, 16), seed=seed
+            apps=("boruvka", "coloring"),
+            scale=150,
+            fixed_ms=(2, 16),
+            seed=seed,
+            **workload_io,
         )
-    return apps_eval.run(seed=seed)
+    return apps_eval.run(seed=seed, **workload_io)
 
 
 def _ablation(seed, quick: bool) -> ExperimentResult:
@@ -213,6 +228,22 @@ def main(argv: "list[str] | None" = None) -> int:
         "verify deterministic replay of every recorded controller",
     )
     parser.add_argument(
+        "--record-workload",
+        default=None,
+        metavar="DIR",
+        help="'apps' experiment only: record each application's hybrid run "
+        "as a workload trace (<app>.wktrace) into DIR, replayable via "
+        "--replay-workload or RunConfig(workload='trace:<path>')",
+    )
+    parser.add_argument(
+        "--replay-workload",
+        default=None,
+        metavar="PATH",
+        help="'apps' experiment only: evaluate the controllers over a "
+        "deterministic replay of the recorded workload trace at PATH "
+        "instead of building the applications",
+    )
+    parser.add_argument(
         "--metrics",
         action="store_true",
         help="collect and print the runtime metrics registry",
@@ -311,6 +342,15 @@ def main(argv: "list[str] | None" = None) -> int:
         parser.error(
             f"unknown experiment {unknown[0]!r}; choose from {sorted(EXPERIMENTS)}"
         )
+    workload_io = args.record_workload is not None or args.replay_workload is not None
+    if workload_io:
+        if args.record_workload is not None and args.replay_workload is not None:
+            parser.error("pass --record-workload or --replay-workload, not both")
+        if args.experiment != "apps":
+            parser.error(
+                "--record-workload/--replay-workload apply to the 'apps' "
+                "experiment only (run: repro-experiments apps --record-workload DIR)"
+            )
 
     def emit(name: str, result: ExperimentResult) -> None:
         print(result.render())
@@ -328,6 +368,11 @@ def main(argv: "list[str] | None" = None) -> int:
         or args.timeout is not None
         or args.live
     )
+    if sweep_mode and workload_io:
+        parser.error(
+            "--record-workload/--replay-workload run inline; drop the sweep "
+            "options (--jobs/--cache-dir/--timeout/...)"
+        )
     if args.resume and args.cache_dir is None:
         parser.error("--resume requires --cache-dir (the journal lives beside the cache)")
     if args.retries < 0:
@@ -350,7 +395,15 @@ def main(argv: "list[str] | None" = None) -> int:
     def execute() -> None:
         for name in names:
             try:
-                result = run_experiment(name, seed=args.seed, quick=args.quick)
+                if workload_io:  # only reachable with experiment == "apps"
+                    result = _apps(
+                        args.seed,
+                        args.quick,
+                        record_workload=args.record_workload,
+                        replay_workload=args.replay_workload,
+                    )
+                else:
+                    result = run_experiment(name, seed=args.seed, quick=args.quick)
             except ValueError as exc:
                 parser.error(str(exc))
             emit(name, result)

@@ -113,7 +113,16 @@ class CCGraph:
     per-node payloads let applications attach their task state.
     """
 
-    __slots__ = ("_adj", "_data", "_next_id", "_num_edges", "_version", "_csr", "_delta")
+    __slots__ = (
+        "_adj",
+        "_data",
+        "_next_id",
+        "_num_edges",
+        "_version",
+        "_csr",
+        "_delta",
+        "_morph_hook",
+    )
 
     def __init__(self) -> None:
         self._adj: dict[int, set[int]] = {}
@@ -129,6 +138,10 @@ class CCGraph:
         # conflict_view() call and fed by the mutation hooks below (one
         # is-None test per mutation when no view exists).
         self._delta: "ConflictDeltaView | None" = None
+        # optional morph observer (set_morph_hook); same one-is-None-test
+        # cost model as _delta.  The workload-trace recorder uses it to
+        # attribute graph morphs to the committing task.
+        self._morph_hook: "object | None" = None
 
     # ------------------------------------------------------------------
     # construction
@@ -169,6 +182,8 @@ class CCGraph:
         self._version += 1
         if self._delta is not None:
             self._delta._record_add_node(nid)
+        if self._morph_hook is not None:
+            self._morph_hook("add_node", nid)
         if data is not None:
             self._data[nid] = data
         return nid
@@ -190,6 +205,8 @@ class CCGraph:
             self._version += 1
             if self._delta is not None:
                 self._delta._record_add_edge(u, v)
+            if self._morph_hook is not None:
+                self._morph_hook("add_edge", u, v)
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove the edge ``{u, v}``; raises if absent."""
@@ -207,6 +224,8 @@ class CCGraph:
         self._version += 1
         if self._delta is not None:
             self._delta._record_remove_edge()
+        if self._morph_hook is not None:
+            self._morph_hook("remove_edge", u, v)
 
     def remove_node(self, u: int) -> None:
         """Remove node *u* and all incident edges (a task commit)."""
@@ -221,6 +240,8 @@ class CCGraph:
         del self._adj[u]
         self._data.pop(u, None)
         self._version += 1
+        if self._morph_hook is not None:
+            self._morph_hook("remove_node", u)
 
     # ------------------------------------------------------------------
     # queries
@@ -242,6 +263,20 @@ class CCGraph:
     def version(self) -> int:
         """Monotone topology version: bumps on every structural mutation."""
         return self._version
+
+    def set_morph_hook(self, hook) -> None:
+        """Install (or, with ``None``, remove) a morph observer.
+
+        *hook* is called after every structural mutation as
+        ``hook("add_node", nid)``, ``hook("add_edge", u, v)``,
+        ``hook("remove_edge", u, v)`` or ``hook("remove_node", u)``.
+        At most one hook is active at a time; installing over an existing
+        one raises so two observers cannot silently drop each other's
+        morphs.  The hook must not mutate the graph.
+        """
+        if hook is not None and self._morph_hook is not None:
+            raise GraphError("a morph hook is already installed on this graph")
+        self._morph_hook = hook
 
     @property
     def num_edges(self) -> int:

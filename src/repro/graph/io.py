@@ -1,13 +1,21 @@
-"""Graph persistence: native edge lists and DIMACS.
+"""Graph persistence: native edge lists, DIMACS, and SNAP.
 
-Two formats:
+Three formats:
 
 * the native text format — a header ``# nodes <n>`` plus one ``u v`` pair
   per line (0-based), node ids remapped to ``0..n-1`` on write so files
   are stable regardless of the source graph's free-list history;
 * the **DIMACS edge format** used by the irregular-algorithms community's
   benchmark inputs — ``p edge <n> <m>`` plus ``e <u> <v>`` lines
-  (1-based), comments on ``c`` lines.
+  (1-based), comments on ``c`` lines;
+* the **SNAP edge-list format** of the Stanford Network Analysis
+  Project datasets — bare ``u<TAB>v`` pairs with ``#`` (and ``%``)
+  comment lines, no header, and *arbitrary* non-negative node ids.
+  Loading remaps ids to dense ``0..n-1`` in first-appearance order,
+  deduplicates repeated/reversed edges (SNAP files list directed arcs;
+  the conflict graph is undirected), and drops self-loops by default
+  (``self_loops="error"`` rejects them instead — a CC-graph edge is a
+  conflict between *distinct* tasks).
 """
 
 from __future__ import annotations
@@ -27,6 +35,10 @@ __all__ = [
     "loads_dimacs",
     "write_dimacs",
     "read_dimacs",
+    "dumps_snap",
+    "loads_snap",
+    "write_snap",
+    "read_snap",
 ]
 
 
@@ -124,6 +136,89 @@ def loads_dimacs(text: str) -> CCGraph:
             f"problem line declared {declared_edges} edges, found {g.num_edges}"
         )
     return g
+
+
+def dumps_snap(graph: CCGraph, comment: str = "") -> str:
+    """Serialise *graph* as a SNAP edge list (tab-separated, 0-based).
+
+    Node ids are remapped to ``0..n-1`` (iteration order) and each
+    undirected edge is written once as ``u<TAB>v`` with ``u < v``.
+    Isolated nodes cannot be represented in a bare edge list; a
+    ``# Nodes:``/``# Edges:`` comment header records the true counts the
+    way the published SNAP datasets do.
+    """
+    remap = {u: i for i, u in enumerate(graph.nodes())}
+    buf = io.StringIO()
+    if comment:
+        for line in comment.splitlines():
+            buf.write(f"# {line}\n")
+    buf.write(f"# Nodes: {graph.num_nodes} Edges: {graph.num_edges}\n")
+    buf.write("# FromNodeId\tToNodeId\n")
+    for u, v in sorted((remap[u], remap[v]) for u, v in graph.edges()):
+        buf.write(f"{u}\t{v}\n")
+    return buf.getvalue()
+
+
+def loads_snap(text: str, *, self_loops: str = "drop") -> CCGraph:
+    """Parse a SNAP edge list into a :class:`CCGraph`.
+
+    Accepts the format as published: ``#`` (and ``%``) comment lines and
+    blank lines anywhere, whitespace-separated endpoint pairs, arbitrary
+    non-negative node ids (remapped to dense ``0..n-1`` in
+    first-appearance order, left-to-right per line), duplicate and
+    reversed arcs (collapsed onto one undirected edge).  *self_loops*
+    chooses the policy for ``u u`` lines: ``"drop"`` (default — the id
+    still materialises its node) or ``"error"``.
+    """
+    if self_loops not in ("drop", "error"):
+        raise GraphError(
+            f'self_loops must be "drop" or "error", got {self_loops!r}'
+        )
+    g = CCGraph()
+    remap: dict[int, int] = {}
+
+    def node_of(raw_id: int) -> int:
+        nid = remap.get(raw_id)
+        if nid is None:
+            nid = remap[raw_id] = g.add_node()
+        return nid
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#") or line.startswith("%"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise GraphError(
+                f"line {lineno}: expected 'u v' endpoint pair, got {line!r}"
+            )
+        try:
+            raw_u, raw_v = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise GraphError(
+                f"line {lineno}: non-integer endpoint in {line!r}"
+            ) from exc
+        if raw_u < 0 or raw_v < 0:
+            raise GraphError(f"line {lineno}: negative node id in {line!r}")
+        if raw_u == raw_v:
+            if self_loops == "error":
+                raise GraphError(f"line {lineno}: self-loop on node {raw_u}")
+            node_of(raw_u)  # the node exists even though the loop is dropped
+            continue
+        g.add_edge(node_of(raw_u), node_of(raw_v))  # add_edge is idempotent
+    return g
+
+
+def write_snap(graph: CCGraph, path: "str | Path", comment: str = "") -> None:
+    """Write *graph* to *path* as a SNAP edge list."""
+    Path(path).write_text(dumps_snap(graph, comment=comment), encoding="utf-8")
+
+
+def read_snap(path: "str | Path", *, self_loops: str = "drop") -> CCGraph:
+    """Read a SNAP edge-list graph from *path*."""
+    return loads_snap(
+        Path(path).read_text(encoding="utf-8"), self_loops=self_loops
+    )
 
 
 def write_dimacs(graph: CCGraph, path: "str | Path", comment: str = "") -> None:

@@ -53,6 +53,15 @@ Event kinds emitted by the runtime:
     A controller update hit the ``[m_min, m_max]`` actuator bound.
 ``run_end``
     Totals for one ``run()`` invocation.
+``workload_capture``
+    A :class:`~repro.runtime.wktrace.WorkloadCapture` saved its recorded
+    workload trace: destination path, task/commit/abort totals, and the
+    trace fingerprint.  Informational — the replayer ignores it.
+``workload_replay``
+    A :class:`~repro.runtime.wktrace.TraceReplayWorkload` was built from
+    a recorded trace: source path, workload label, task/commit totals
+    and fingerprint, so a run's provenance names the exact morph
+    sequence it executed.  Informational.
 
 The parallel sweep harness (:mod:`repro.experiments.parallel`) emits its
 own lifecycle kinds into the same trace so that a sweep's failure history
@@ -100,6 +109,8 @@ __all__ = [
     "DECISION",
     "CLAMP",
     "RUN_END",
+    "WORKLOAD_CAPTURE",
+    "WORKLOAD_REPLAY",
     "SWEEP_START",
     "SWEEP_END",
     "SWEEP_TASK_START",
@@ -121,6 +132,8 @@ SHARD_ROUND = "shard_round"
 DECISION = "decision"
 CLAMP = "clamp"
 RUN_END = "run_end"
+WORKLOAD_CAPTURE = "workload_capture"
+WORKLOAD_REPLAY = "workload_replay"
 
 SWEEP_START = "sweep_start"
 SWEEP_END = "sweep_end"
@@ -146,7 +159,7 @@ SWEEP_KINDS = frozenset(
 _KNOWN_KINDS = (
     frozenset(
         {RUN_START, SELECT, STEP, ORDER_DECISION, HALO_EXCHANGE, SHARD_ROUND,
-         DECISION, CLAMP, RUN_END}
+         DECISION, CLAMP, RUN_END, WORKLOAD_CAPTURE, WORKLOAD_REPLAY}
     )
     | SWEEP_KINDS
 )

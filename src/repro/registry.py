@@ -47,6 +47,8 @@ __all__ = [
     "registry",
     "select_backend_for",
     "parse_order_spec",
+    "parse_workload_spec",
+    "workload_is_self_building",
     "order_family",
     "workset_for",
     "ENGINES",
@@ -252,6 +254,57 @@ def parse_order_spec(order: str) -> "tuple[str, dict]":
     return name, {param: value}
 
 
+def parse_workload_spec(workload: str) -> "tuple[str, dict]":
+    """Split a ``workload=`` spec into ``(registry name, factory kwargs)``.
+
+    ``"boruvka:500"`` parses to ``("boruvka", {"scale": 500})`` — the
+    app at problem size 500 — and ``"trace:runs/boruvka.jsonl"`` to
+    ``("trace", {"path": "runs/boruvka.jsonl"})``, a recorded workload
+    trace to replay.  Plain names pass through, as do third-party names
+    that happen to contain ``":"``.
+    """
+    from repro.errors import ConfigError
+
+    if not isinstance(workload, str) or not workload:
+        raise ConfigError(
+            f"workload spec must be a non-empty string, got {workload!r}"
+        )
+    name, sep, suffix = workload.partition(":")
+    if not sep:
+        return workload, {}
+    if name == "trace":
+        if not suffix:
+            raise ConfigError('workload="trace:<path>" needs a trace file path')
+        return name, {"path": suffix}
+    from repro.apps.catalog import APP_WORKLOADS
+
+    if name in APP_WORKLOADS:
+        try:
+            value = int(suffix)
+        except ValueError:
+            raise ConfigError(
+                f"workload spec {workload!r} needs an integer scale, got {suffix!r}"
+            ) from None
+        if value < 1:
+            raise ConfigError(
+                f"workload spec {workload!r} needs scale >= 1, got {value}"
+            )
+        return name, {"scale": value}
+    return workload, {}  # third-party name that happens to contain ":"
+
+
+def workload_is_self_building(name: str) -> bool:
+    """Workloads that build their own input (``api.run`` takes ``graph=None``).
+
+    True for the application workloads (which synthesise a seeded input
+    when none is given) and for ``"trace"`` replays (which rebuild their
+    state from the recorded file).
+    """
+    from repro.apps.catalog import APP_WORKLOADS
+
+    return name == "trace" or name in APP_WORKLOADS
+
+
 def order_family(name: str) -> str:
     """Work-set family of an order-policy name.
 
@@ -403,6 +456,59 @@ def _populate_workloads(reg: Registry) -> None:
         )
 
     reg.register("regenerating", _regenerating)
+
+    # the application workloads: factory source may be None (the app
+    # synthesises a seeded input), and the work-set again follows
+    # config.order / config.select via workset_for
+    from repro.apps.catalog import APP_WORKLOADS
+
+    def _app_factory(app_name):
+        def _make(graph, config, scale=None):
+            from repro.apps.catalog import ORDERED_APPS, make_app_workload
+
+            # ordered-only apps run on the historical OrderedEngine when
+            # no explicit order= is configured — their own priority
+            # work-set, not the unordered selection backend
+            if app_name in ORDERED_APPS and getattr(config, "order", None) is None:
+                workset = None
+            else:
+                workset = workset_for(config)
+            return make_app_workload(
+                app_name, graph, config, scale=scale, workset=workset
+            )
+
+        return _make
+
+    for app_name in APP_WORKLOADS:
+        reg.register(app_name, _app_factory(app_name))
+
+    def _trace(graph, config, path=None):
+        from repro.errors import ConfigError
+
+        if path is None:
+            raise ConfigError(
+                'workload="trace" needs a recorded trace: workload="trace:<path>"'
+            )
+        if graph is not None:
+            raise ConfigError(
+                "trace workloads rebuild their state from the recording; "
+                "pass graph=None"
+            )
+        from repro.runtime.wktrace import TraceReplayWorkload, WorkloadTrace
+
+        trace = WorkloadTrace.load(path)
+        # an ordered recording replayed without an explicit order= runs
+        # on the OrderedEngine, which needs the replay's own priority
+        # work-set rather than the unordered selection backend
+        if trace.requires_order and getattr(config, "order", None) is None:
+            workset = None
+        else:
+            workset = workset_for(config)
+        return TraceReplayWorkload.from_trace(
+            trace, path=path, workset=workset
+        )
+
+    reg.register("trace", _trace)
 
 
 def _populate_experiments(reg: Registry) -> None:

@@ -35,6 +35,11 @@ from repro.runtime.supervise import PersistentWorker, SupervisedProcess, mp_cont
 from repro.runtime.stats import RunResult, StepStats
 from repro.runtime.task import CallbackOperator, Operator, Task
 from repro.runtime.threads import ThreadedSpeculativeExecutor
+from repro.runtime.wktrace import (
+    TraceReplayWorkload,
+    WorkloadCapture,
+    WorkloadTrace,
+)
 from repro.runtime.workloads import (
     ConsumingGraphWorkload,
     GraphWorkloadBase,
@@ -89,6 +94,9 @@ __all__ = [
     "Operator",
     "Task",
     "ThreadedSpeculativeExecutor",
+    "TraceReplayWorkload",
+    "WorkloadCapture",
+    "WorkloadTrace",
     "ConsumingGraphWorkload",
     "GraphWorkloadBase",
     "RegeneratingGraphWorkload",

@@ -123,6 +123,29 @@ class GraphWorkloadBase:
                 new_tasks.extend(created)
         return new_tasks
 
+    def make_engine(
+        self,
+        controller: "Controller",
+        *,
+        seed=None,
+        step_hook=None,
+        cost_model=None,
+        recorder=None,
+        metrics=None,
+        engine: "str | None" = None,
+    ) -> OptimisticEngine:
+        """Alias of :meth:`build_engine` matching the workload protocol
+        the app layer speaks (``repro.apps.base.AppWorkload``)."""
+        return self.build_engine(
+            controller,
+            seed=seed,
+            step_hook=step_hook,
+            cost_model=cost_model,
+            recorder=recorder,
+            metrics=metrics,
+            engine=engine,
+        )
+
     def build_engine(
         self,
         controller: "Controller",

@@ -1,0 +1,64 @@
+"""Differential suite: legacy app wiring vs the unified registry path.
+
+Every application used to be driven by hand — build the input, build the
+workload, call ``build_engine`` with an explicitly constructed
+controller.  That spelling is now a deprecation shim over the same
+pipeline the registry uses, and this suite proves the collapse lossless:
+for each app, the legacy spelling and ``run(RunConfig(workload=...))``
+must produce **byte-identical** observability traces, not merely equal
+summary statistics.
+"""
+
+import warnings
+
+import pytest
+
+from repro import RunConfig
+from repro.api import run
+from repro.apps import build_app_input, workload_from_input
+from repro.obs import TraceRecorder
+from repro.registry import CONTROLLERS
+from repro.utils.rng import derive_seed
+
+SEED = 23
+
+#: small-but-nontrivial problem sizes so the full matrix stays fast
+SCALES = {
+    "boruvka": 60,
+    "clustering": 50,
+    "coloring": 60,
+    "components": 60,
+    "delaunay": 16,
+    "des": 6,
+    "maxflow": 30,
+    "sp": 12,
+}
+
+
+def _legacy_trace(name, cfg):
+    """The pre-registry spelling, exactly as historical callers wrote it."""
+    seed_in = derive_seed(SEED, "workload", name)
+    source = build_app_input(name, SCALES[name], seed_in)
+    app = workload_from_input(name, source, seed=seed_in)
+    controller = CONTROLLERS.create(cfg.controller, cfg)
+    rec = TraceRecorder()
+    with pytest.warns(DeprecationWarning, match="make_engine"):
+        engine = app.build_engine(
+            controller, seed=SEED, recorder=rec, engine=cfg.engine
+        )
+    engine.run()
+    return rec.to_jsonl()
+
+
+def _registry_trace(name, cfg):
+    rec = TraceRecorder()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        run(cfg, recorder=rec)
+    return rec.to_jsonl()
+
+
+@pytest.mark.parametrize("name", sorted(SCALES))
+def test_legacy_and_registry_paths_are_byte_identical(name):
+    cfg = RunConfig(workload=f"{name}:{SCALES[name]}", seed=SEED)
+    assert _legacy_trace(name, cfg) == _registry_trace(name, cfg)

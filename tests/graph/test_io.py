@@ -7,12 +7,16 @@ from repro.graph.generators import gnm_random
 from repro.graph.io import (
     dumps_dimacs,
     dumps_edgelist,
+    dumps_snap,
     loads_dimacs,
     loads_edgelist,
+    loads_snap,
     read_dimacs,
     read_edgelist,
+    read_snap,
     write_dimacs,
     write_edgelist,
+    write_snap,
 )
 
 
@@ -134,3 +138,70 @@ class TestParsing:
     def test_out_of_range_endpoint_raises(self):
         with pytest.raises(GraphError):
             loads_edgelist("# nodes 3\n0 3\n")
+
+
+class TestSnap:
+    def test_dumps_loads_round_trip(self):
+        g = gnm_random(30, 4, seed=1)
+        g2 = loads_snap(dumps_snap(g))
+        assert g2.num_nodes == g.num_nodes
+        assert g2.num_edges == g.num_edges
+
+    def test_header_counts_in_dump(self):
+        g = gnm_random(10, 2, seed=2)
+        text = dumps_snap(g, comment="test graph")
+        assert f"# Nodes: {g.num_nodes} Edges: {g.num_edges}" in text
+        assert text.startswith("# test graph\n")
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# SNAP header\n% matrix-market style\n\n0\t1\n\n1\t2\n"
+        g = loads_snap(text)
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_arbitrary_ids_remapped_first_seen(self):
+        g = loads_snap("9000\t42\n42\t7\n")
+        # 9000 -> 0, 42 -> 1, 7 -> 2 in first-appearance order
+        assert sorted(g.nodes()) == [0, 1, 2]
+        assert sorted(tuple(sorted(e)) for e in g.edges()) == [(0, 1), (1, 2)]
+
+    def test_duplicate_and_reversed_arcs_collapse(self):
+        g = loads_snap("0\t1\n1\t0\n0\t1\n")
+        assert g.num_edges == 1
+
+    def test_self_loop_dropped_but_node_kept(self):
+        g = loads_snap("5\t5\n5\t6\n")
+        assert g.num_nodes == 2
+        assert g.num_edges == 1
+        lonely = loads_snap("3\t3\n")
+        assert lonely.num_nodes == 1
+        assert lonely.num_edges == 0
+
+    def test_self_loop_error_mode(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            loads_snap("5\t5\n", self_loops="error")
+
+    def test_bad_self_loops_value_rejected(self):
+        with pytest.raises(GraphError, match="self_loops"):
+            loads_snap("0\t1\n", self_loops="keep")
+
+    def test_malformed_lines_raise(self):
+        with pytest.raises(GraphError, match="endpoint pair"):
+            loads_snap("0 1 2\n")
+        with pytest.raises(GraphError, match="non-integer"):
+            loads_snap("a\tb\n")
+        with pytest.raises(GraphError, match="negative"):
+            loads_snap("-1\t2\n")
+
+    def test_file_round_trip(self, tmp_path):
+        g = gnm_random(25, 3, seed=4)
+        path = tmp_path / "g.snap.txt"
+        write_snap(g, path, comment="fixture")
+        g2 = read_snap(path)
+        assert g2.num_nodes == g.num_nodes
+        assert g2.num_edges == g.num_edges
+
+    def test_space_separated_pairs_accepted(self):
+        # some SNAP mirrors use spaces, not tabs
+        g = loads_snap("0 1\n1 2\n")
+        assert g.num_edges == 2

@@ -70,3 +70,60 @@ class TestBareExperimentNameShim:
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             assert repro.run(repro.RunConfig(experiment="test-depr-exp2")) == "ok"
+
+
+class TestAppBuildEngineShim:
+    """``AppWorkload.build_engine`` is a shim over ``make_engine``."""
+
+    def _app(self, seed=0):
+        from repro.apps import build_app_input, workload_from_input
+
+        return workload_from_input(
+            "coloring", build_app_input("coloring", 40, seed=seed), seed=seed
+        )
+
+    def test_build_engine_warns_with_replacement_named(self):
+        app = self._app()
+        with pytest.warns(DeprecationWarning, match="make_engine"):
+            app.build_engine(FixedController(4), seed=1)
+
+    def test_make_engine_never_warns(self):
+        app = self._app()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            app.make_engine(FixedController(4), seed=1).run()
+
+    def test_shim_is_byte_identical_to_make_engine(self):
+        from repro.obs import TraceRecorder
+
+        rec_new = TraceRecorder()
+        self._app().make_engine(FixedController(4), seed=1, recorder=rec_new).run()
+
+        rec_old = TraceRecorder()
+        with pytest.warns(DeprecationWarning):
+            engine = self._app().build_engine(
+                FixedController(4), seed=1, recorder=rec_old
+            )
+        engine.run()
+        assert rec_old.to_jsonl() == rec_new.to_jsonl()
+
+    def test_unified_signature_accepts_step_hook_and_engine(self):
+        calls = []
+        app = self._app()
+        engine = app.make_engine(
+            FixedController(4),
+            seed=2,
+            step_hook=lambda *a, **k: calls.append(1),
+            engine="reference",
+        )
+        engine.run()
+        assert calls  # the hook reached the underlying engine
+
+    def test_ordered_app_signature_is_unified_too(self):
+        from repro.apps import build_app_input, workload_from_input
+
+        des = workload_from_input("des", build_app_input("des", 4, seed=1), seed=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            res = des.make_engine(FixedController(3), seed=2, engine="reference").run()
+        assert res.total_committed > 0

@@ -28,6 +28,11 @@ sanctioned mechanism for a lower layer to *optionally* use a higher one
 at call time (e.g. the runtime attaching to an active ``repro.obs``
 recorder).
 
+A few *downward* edges are banned too (``FORBIDDEN_EDGES``): the apps
+layer may not import ``repro.runtime.engine`` / ``repro.runtime.ordered``
+at module level — apps describe workloads, and which engine family runs
+them is wired at call time by ``make_engine`` / the registry.
+
 Usage::
 
     python tools/check_layers.py [--src src] [--verbose]
@@ -82,6 +87,39 @@ LAYERS: dict[str, int] = {
     "repro.api": 14,
     "repro": 15,  # the package root facade re-exports everything
 }
+
+
+#: module-level import edges banned even though they point *down* the
+#: stack.  Each entry is (importer prefix, imported module, exact, why):
+#: with ``exact`` False the imported module's submodules are covered
+#: too; True bans only the named module (``repro.runtime`` itself is the
+#: package facade whose __init__ pulls in the engines, while its
+#: primitive submodules stay importable).
+FORBIDDEN_EDGES: "tuple[tuple[str, str, bool, str], ...]" = (
+    (
+        "repro.apps",
+        "repro.runtime.engine",
+        False,
+        "apps wire engines at call time (make_engine), never at import time",
+    ),
+    (
+        "repro.apps",
+        "repro.runtime.ordered",
+        False,
+        "apps wire engines at call time (make_engine), never at import time",
+    ),
+    (
+        "repro.apps",
+        "repro.runtime",
+        True,
+        "the runtime package facade re-exports the engines; import the "
+        "specific primitive submodule instead",
+    ),
+)
+
+
+def _prefix_match(module: str, prefix: str) -> bool:
+    return module == prefix or module.startswith(prefix + ".")
 
 
 def rank_of(module: str) -> "int | None":
@@ -169,6 +207,18 @@ def check_file(path: Path, src: Path) -> "list[str]":
                 f"{path}:{lineno}: {module} (layer {my_rank}) imports "
                 f"{imported} (layer {imported_rank}) — back-edge up the stack"
             )
+            continue
+        for importer, banned, exact, why in FORBIDDEN_EDGES:
+            if not _prefix_match(module, importer):
+                continue
+            if imported == banned or (
+                not exact and _prefix_match(imported, banned)
+            ):
+                violations.append(
+                    f"{path}:{lineno}: {module} imports {imported} — "
+                    f"forbidden edge: {why}"
+                )
+                break
     return violations
 
 
